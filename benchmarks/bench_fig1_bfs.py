@@ -1,0 +1,68 @@
+"""Figure 1: construction of BFS(leader) in ecc(leader) = O(D) rounds.
+
+Proposition 1 states the procedure of Figure 1 takes O(D) rounds and
+O(log n) memory per node.  The harness measures the construction on graph
+families with increasing diameter and on families with increasing size but
+fixed diameter, showing that the round count tracks the depth (not n), and
+that the per-node memory stays logarithmic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_workloads import cycle_family, fixed_diameter_family, network_for, record
+
+from repro.algorithms.bfs import run_bfs_tree
+from repro.analysis.fitting import fit_power_law
+
+
+def _measure(graphs):
+    rows = []
+    for name, graph in graphs:
+        network = network_for(graph)
+        root = graph.nodes()[0]
+        tree = run_bfs_tree(network, root)
+        rows.append(
+            {
+                "family": name,
+                "n": graph.num_nodes,
+                "depth": tree.depth,
+                "rounds": tree.metrics.rounds,
+                "memory_bits": tree.metrics.max_node_memory_bits,
+                "correct": tree.distance == graph.bfs_distances(root),
+            }
+        )
+    return rows
+
+
+def test_bfs_rounds_track_diameter_not_n(run_once, benchmark):
+    growing_d = run_once(_measure, cycle_family((16, 32, 64, 128)))
+    fit_vs_depth = fit_power_law(
+        [row["depth"] for row in growing_d], [row["rounds"] for row in growing_d]
+    )
+    record(
+        benchmark,
+        rounds_exponent_vs_depth=round(fit_vs_depth.exponent, 3),
+        expected_exponent=1.0,
+        rounds_over_depth=[round(r["rounds"] / r["depth"], 2) for r in growing_d],
+        all_correct=all(row["correct"] for row in growing_d),
+    )
+    assert all(row["correct"] for row in growing_d)
+    assert 0.85 <= fit_vs_depth.exponent <= 1.15
+    assert all(row["rounds"] <= row["depth"] + 5 for row in growing_d)
+
+
+def test_bfs_rounds_flat_when_diameter_fixed(run_once, benchmark):
+    fixed_d = run_once(_measure, fixed_diameter_family((40, 80, 160), diameter=8))
+    rounds = [row["rounds"] for row in fixed_d]
+    memory = [row["memory_bits"] for row in fixed_d]
+    log_bound = [3 * math.ceil(math.log2(row["n"] + 1)) for row in fixed_d]
+    record(
+        benchmark,
+        rounds_at_fixed_diameter=rounds,
+        memory_bits=memory,
+        memory_bound_3logn=log_bound,
+    )
+    assert max(rounds) - min(rounds) <= 4
+    assert all(m <= bound for m, bound in zip(memory, log_bound))

@@ -1,0 +1,75 @@
+"""Figure 2: the Evaluation procedure (Proposition 4).
+
+Claims to reproduce: for any u0, the procedure lets the leader compute
+``f(u0) = max_{v in S(u0)} ecc(v)`` in O(D) rounds (a fixed schedule of
+~2d + 6d + O(d) rounds plus the Step-5 revert) with O(log n) bits of memory
+per node, and maximising f over u0 yields the diameter (the value the
+quantum optimization will amplify towards).
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_workloads import clique_chain_family, network_for, record
+
+from repro.algorithms.bfs import run_bfs_tree
+from repro.algorithms.broadcast import run_tree_aggregate_max
+from repro.algorithms.evaluation import run_evaluation_procedure
+from repro.analysis.fitting import fit_power_law
+from repro.core.coverage import empirical_optimum_mass, popt_lower_bound
+
+
+def _measure(graphs):
+    rows = []
+    for name, graph in graphs:
+        network = network_for(graph)
+        root = graph.nodes()[0]
+        tree = run_bfs_tree(network, root)
+        d = max(1, run_tree_aggregate_max(network, tree, tree.distance).value)
+        eccentricities = graph.all_eccentricities()
+        values = []
+        sample_rounds = None
+        sample_memory = None
+        for u0 in graph.nodes():
+            result = run_evaluation_procedure(network, tree, d, u0)
+            values.append(result.value)
+            expected = max(eccentricities[v] for v in result.window_nodes)
+            assert result.value == expected
+            sample_rounds = result.metrics.rounds
+            sample_memory = result.metrics.max_node_memory_bits
+        rows.append(
+            {
+                "family": name,
+                "n": graph.num_nodes,
+                "d": d,
+                "rounds_per_evaluation": sample_rounds,
+                "memory_bits": sample_memory,
+                "max_f_equals_diameter": max(values) == graph.diameter(),
+                "popt_empirical": empirical_optimum_mass(graph, tree, 2 * d),
+                "popt_bound": popt_lower_bound(graph.num_nodes, d),
+            }
+        )
+    return rows
+
+
+def test_evaluation_rounds_linear_in_d_and_memory_logarithmic(run_once, benchmark):
+    rows = run_once(_measure, clique_chain_family((2, 4, 6, 8), clique_size=3))
+    fit = fit_power_law([row["d"] for row in rows], [row["rounds_per_evaluation"] for row in rows])
+    record(
+        benchmark,
+        rounds_exponent_vs_d=round(fit.exponent, 3),
+        expected_exponent=1.0,
+        rounds_over_d=[round(r["rounds_per_evaluation"] / r["d"], 1) for r in rows],
+        memory_bits=[row["memory_bits"] for row in rows],
+        memory_bound=[8 * math.ceil(math.log2(row["n"] + 1)) for row in rows],
+        max_f_equals_diameter=all(row["max_f_equals_diameter"] for row in rows),
+        popt_empirical_vs_bound=[
+            (round(row["popt_empirical"], 3), round(row["popt_bound"], 3)) for row in rows
+        ],
+    )
+    assert all(row["max_f_equals_diameter"] for row in rows)
+    assert 0.75 <= fit.exponent <= 1.25
+    for row in rows:
+        assert row["memory_bits"] <= 8 * math.ceil(math.log2(row["n"] + 1))
+        assert row["popt_empirical"] >= row["popt_bound"] - 1e-12

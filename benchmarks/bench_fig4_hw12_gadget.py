@@ -1,0 +1,61 @@
+"""Figure 4 / Theorem 8: the HW12 gadget G_n(x, y).
+
+Claims to reproduce: the construction is a (Theta(n), Theta(n^2), 2, 3)-
+reduction -- the number of nodes and cut edges grow linearly in the size
+parameter while the encodable input length grows quadratically, and the
+diameter of G_n(x, y) is 2 exactly when the inputs are disjoint and 3 when
+they intersect.  The harness verifies the promise on sampled instances
+across sizes and reports the parameter scaling.
+"""
+
+from __future__ import annotations
+
+from bench_workloads import record
+
+from repro.analysis.fitting import fit_power_law
+from repro.lowerbounds.disjointness import (
+    random_disjoint_instance,
+    random_intersecting_instance,
+)
+from repro.lowerbounds.reductions import hw12_reduction, verify_reduction_on_instance
+
+
+def _measure(sizes, instances_per_size=3):
+    rows = []
+    for s in sizes:
+        reduction = hw12_reduction(s)
+        all_ok = True
+        for seed in range(instances_per_size):
+            x, y = random_disjoint_instance(reduction.input_length, seed=seed)
+            check = verify_reduction_on_instance(reduction, x, y)
+            all_ok &= check.satisfied and check.diameter == 2
+            x, y = random_intersecting_instance(reduction.input_length, seed=seed)
+            check = verify_reduction_on_instance(reduction, x, y)
+            all_ok &= check.satisfied and check.diameter == 3
+        rows.append(
+            {
+                "s": s,
+                "n": reduction.num_nodes,
+                "k": reduction.input_length,
+                "b": reduction.cut_edges,
+                "promise_ok": all_ok,
+            }
+        )
+    return rows
+
+
+def test_hw12_gadget_promise_and_parameter_scaling(run_once, benchmark):
+    rows = run_once(_measure, (2, 3, 4, 6, 8))
+    k_fit = fit_power_law([row["n"] for row in rows], [row["k"] for row in rows])
+    b_fit = fit_power_law([row["n"] for row in rows], [row["b"] for row in rows])
+    record(
+        benchmark,
+        promise_holds=all(row["promise_ok"] for row in rows),
+        input_length_exponent_vs_n=round(k_fit.exponent, 3),
+        expected_input_length_exponent=2.0,
+        cut_exponent_vs_n=round(b_fit.exponent, 3),
+        expected_cut_exponent=1.0,
+    )
+    assert all(row["promise_ok"] for row in rows)
+    assert 1.7 <= k_fit.exponent <= 2.3
+    assert 0.8 <= b_fit.exponent <= 1.2

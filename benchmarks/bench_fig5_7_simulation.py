@@ -1,0 +1,75 @@
+"""Figures 5-7 / Theorem 11: the path network G_d and its two-party simulation.
+
+Claims to reproduce: an r-round protocol over the path A - P_1 - ... - P_d - B
+(bandwidth bw, at most s qubits of memory per intermediate node) can be
+simulated by a two-party protocol with O(r / d) messages and O(r (bw + s))
+bits of communication, producing the same output.  The harness runs a
+concrete DISJ protocol over G_d for a range of d, converts it with the
+block-staircase simulation, and reports how the message count and the total
+communication scale.
+"""
+
+from __future__ import annotations
+
+from bench_workloads import record
+
+from repro.lowerbounds.disjointness import disjointness, random_instance
+from repro.lowerbounds.simulation import (
+    make_disjointness_path_protocol,
+    run_path_protocol_directly,
+    simulate_path_protocol_as_two_party,
+)
+
+
+def _measure(k, path_lengths):
+    x, y = random_instance(k, seed=11)
+    expected = disjointness(x, y)
+    rows = []
+    for d in path_lengths:
+        protocol = make_disjointness_path_protocol(x, y, path_length=d)
+        direct = run_path_protocol_directly(protocol)
+        simulated = simulate_path_protocol_as_two_party(protocol)
+        rows.append(
+            {
+                "d": d,
+                "rounds": simulated.distributed_rounds,
+                "messages": simulated.num_messages,
+                "messages_times_d_over_r": simulated.num_messages
+                * d
+                / simulated.distributed_rounds,
+                "communication_bits": simulated.total_communication_bits,
+                "communication_over_r_bw_s": simulated.total_communication_bits
+                / (
+                    simulated.distributed_rounds
+                    * (protocol.bandwidth_bits + simulated.max_relay_memory_bits)
+                ),
+                "outputs_match": (simulated.alice_output, simulated.bob_output)
+                == direct
+                and simulated.bob_output == expected,
+            }
+        )
+    return rows
+
+
+def test_staircase_simulation_scaling(run_once, benchmark):
+    rows = run_once(_measure, 64, (2, 4, 8, 16))
+    record(
+        benchmark,
+        outputs_match=all(row["outputs_match"] for row in rows),
+        messages=[row["messages"] for row in rows],
+        messages_times_d_over_r=[
+            round(row["messages_times_d_over_r"], 2) for row in rows
+        ],
+        expected_messages_times_d_over_r="O(1) (Theorem 11)",
+        communication_over_r_bw_s=[
+            round(row["communication_over_r_bw_s"], 3) for row in rows
+        ],
+        expected_communication_ratio="O(1) (Theorem 11)",
+    )
+    assert all(row["outputs_match"] for row in rows)
+    # Message count * d / r stays bounded by a small constant.
+    assert all(row["messages_times_d_over_r"] <= 4.0 for row in rows)
+    # Total communication stays within a constant factor of r * (bw + s).
+    assert all(row["communication_over_r_bw_s"] <= 4.0 for row in rows)
+    # More relays => fewer messages for the same instance.
+    assert rows[-1]["messages"] < rows[0]["messages"]

@@ -1,0 +1,89 @@
+"""Table 1, row "Exact computation" (upper bounds).
+
+Paper claim: classically the exact diameter needs Theta(n) rounds, while the
+quantum algorithm of Theorem 1 needs O~(sqrt(n D)) rounds.  This harness
+measures both on the same graph families and reports
+
+* the fitted scaling exponent of the classical baseline against ``n``
+  (expected ~1),
+* the fitted scaling exponent of the quantum algorithm against ``n * D``
+  (expected ~0.5),
+* the ratio trend: quantum rounds divided by ``sqrt(n D)`` stays flat while
+  classical rounds divided by ``sqrt(n D)`` grows, i.e. the quantum
+  algorithm wins asymptotically whenever ``D = o(n)``.
+"""
+
+from __future__ import annotations
+
+from bench_workloads import (
+    clique_chain_family,
+    fixed_diameter_family,
+    network_for,
+    record,
+)
+
+from repro.algorithms.diameter_exact import run_classical_exact_diameter
+from repro.analysis.fitting import fit_power_law
+from repro.core.complexity import quantum_exact_upper
+from repro.core.exact_diameter import quantum_exact_diameter
+
+
+def _measure(graphs):
+    rows = []
+    for name, graph in graphs:
+        truth = graph.diameter()
+        classical = run_classical_exact_diameter(network_for(graph))
+        quantum = quantum_exact_diameter(graph, oracle_mode="reference", seed=7)
+        assert classical.diameter == truth
+        rows.append(
+            {
+                "family": name,
+                "n": graph.num_nodes,
+                "D": truth,
+                "classical_rounds": classical.rounds,
+                "quantum_rounds": quantum.rounds,
+                "quantum_correct": quantum.diameter == truth,
+            }
+        )
+    return rows
+
+
+def test_exact_upper_bounds_small_diameter(run_once, benchmark):
+    """n grows, D fixed: the regime where the quantum advantage is largest."""
+    rows = run_once(_measure, fixed_diameter_family((24, 48, 96, 160), diameter=6))
+    ns = [row["n"] for row in rows]
+    classical_fit = fit_power_law(ns, [row["classical_rounds"] for row in rows])
+    quantum_fit = fit_power_law(ns, [row["quantum_rounds"] for row in rows])
+    record(
+        benchmark,
+        classical_exponent_vs_n=round(classical_fit.exponent, 3),
+        quantum_exponent_vs_n=round(quantum_fit.exponent, 3),
+        expected_classical_exponent=1.0,
+        expected_quantum_exponent=0.5,
+        correctness=all(row["quantum_correct"] for row in rows),
+    )
+    assert classical_fit.exponent > 0.75
+    assert quantum_fit.exponent < classical_fit.exponent
+
+
+def test_exact_upper_bounds_growing_diameter(run_once, benchmark):
+    """n and D both grow (clique chains): rounds should track sqrt(n D)."""
+    rows = run_once(_measure, clique_chain_family((3, 5, 8, 12)))
+    nd = [row["n"] * row["D"] for row in rows]
+    quantum_fit = fit_power_law(nd, [row["quantum_rounds"] for row in rows])
+    classical_fit = fit_power_law(
+        [row["n"] for row in rows], [row["classical_rounds"] for row in rows]
+    )
+    normalised = [
+        row["quantum_rounds"] / quantum_exact_upper(row["n"], row["D"]) for row in rows
+    ]
+    record(
+        benchmark,
+        quantum_exponent_vs_nD=round(quantum_fit.exponent, 3),
+        expected_quantum_exponent=0.5,
+        classical_exponent_vs_n=round(classical_fit.exponent, 3),
+        normalised_quantum_spread=round(max(normalised) / min(normalised), 2),
+        correctness=all(row["quantum_correct"] for row in rows),
+    )
+    assert 0.25 <= quantum_fit.exponent <= 0.85
+    assert max(normalised) / min(normalised) <= 8.0

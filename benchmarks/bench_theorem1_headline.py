@@ -1,0 +1,104 @@
+"""Theorem 1 headline: exact quantum diameter in O~(sqrt(n D)) rounds.
+
+End-to-end measurement of the paper's main result: correctness rate over
+random seeds (the paper claims success probability 1 - 1/poly(n); the
+simulation reproduces the amplitude-amplification failure probability
+faithfully), per-node memory (claimed O((log n)^2) qubits) and the round
+scaling against sqrt(n D) compared with the classical Theta(n) baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_workloads import clique_chain_family, network_for, record
+
+from repro.algorithms.diameter_exact import run_classical_exact_diameter
+from repro.analysis.fitting import fit_power_law, geometric_mean_ratio
+from repro.core.complexity import classical_exact_upper, quantum_exact_upper
+from repro.core.exact_diameter import quantum_exact_diameter
+
+
+def _correctness_trials(graph, seeds):
+    truth = graph.diameter()
+    hits = 0
+    for seed in seeds:
+        result = quantum_exact_diameter(graph, oracle_mode="reference", seed=seed, delta=0.05)
+        hits += result.diameter == truth
+    return hits, len(seeds)
+
+
+def test_theorem1_correctness_rate_and_memory(run_once, benchmark):
+    def measure():
+        graph = clique_chain_family((6,), clique_size=5)[0][1]
+        hits, total = _correctness_trials(graph, range(10))
+        sample = quantum_exact_diameter(graph, oracle_mode="reference", seed=0)
+        log_n = math.ceil(math.log2(graph.num_nodes + 1))
+        return {
+            "hits": hits,
+            "trials": total,
+            "memory_bits": sample.memory_bits_per_node,
+            "memory_bound_logn_sq": 10 * log_n ** 2,
+            "evaluation_calls": sample.counts.evaluation_calls,
+        }
+
+    data = run_once(measure)
+    record(benchmark, **data)
+    assert data["hits"] >= 8
+    assert data["memory_bits"] <= data["memory_bound_logn_sq"]
+
+
+def test_theorem1_round_scaling_vs_classical(run_once, benchmark):
+    def measure():
+        rows = []
+        for name, graph in clique_chain_family((3, 5, 8, 12, 16)):
+            truth = graph.diameter()
+            quantum = quantum_exact_diameter(graph, oracle_mode="reference", seed=5)
+            classical = run_classical_exact_diameter(network_for(graph))
+            rows.append(
+                {
+                    "family": name,
+                    "n": graph.num_nodes,
+                    "D": truth,
+                    "quantum_rounds": quantum.rounds,
+                    "classical_rounds": classical.rounds,
+                }
+            )
+        return rows
+
+    rows = run_once(measure)
+    nd = [row["n"] * row["D"] for row in rows]
+    quantum_fit = fit_power_law(nd, [row["quantum_rounds"] for row in rows])
+    classical_fit = fit_power_law(
+        [row["n"] for row in rows], [row["classical_rounds"] for row in rows]
+    )
+    # Constant-normalised comparison: measured rounds divided by the paper's
+    # formula should be flat for the *matching* formula and drifting for the
+    # mismatched one.
+    quantum_normalised = [
+        row["quantum_rounds"] / quantum_exact_upper(row["n"], row["D"]) for row in rows
+    ]
+    quantum_vs_classical_formula = [
+        row["quantum_rounds"] / classical_exact_upper(row["n"]) for row in rows
+    ]
+    record(
+        benchmark,
+        quantum_exponent_vs_nD=round(quantum_fit.exponent, 3),
+        expected=0.5,
+        classical_exponent_vs_n=round(classical_fit.exponent, 3),
+        quantum_over_sqrt_nD=[round(v, 1) for v in quantum_normalised],
+        quantum_over_n=[round(v, 1) for v in quantum_vs_classical_formula],
+        typical_constant_factor=round(
+            geometric_mean_ratio(
+                [row["quantum_rounds"] for row in rows],
+                [quantum_exact_upper(row["n"], row["D"]) for row in rows],
+            ),
+            1,
+        ),
+    )
+    assert 0.3 <= quantum_fit.exponent <= 0.8
+    assert classical_fit.exponent >= 0.8
+    # The sqrt(nD)-normalised curve is flatter than the n-normalised curve.
+    spread_nd = max(quantum_normalised) / min(quantum_normalised)
+    spread_n = max(quantum_vs_classical_formula) / min(quantum_vs_classical_formula)
+    assert spread_nd <= spread_n * 1.5

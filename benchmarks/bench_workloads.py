@@ -1,0 +1,60 @@
+"""Shared workload builders and reporting helpers for the benchmarks.
+
+Every benchmark regenerates one experiment of the paper (a Table-1 row, a
+figure, or an ablation called out in DESIGN.md).  Measured quantities --
+round counts, fitted exponents, ratios, crossovers -- are attached to the
+pytest-benchmark ``extra_info`` so they appear in the benchmark report
+(``pytest benchmarks/ --benchmark-only``); EXPERIMENTS.md mirrors them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.congest.network import Network
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+def clique_chain_family(
+    block_counts: Iterable[int], clique_size: int = 4
+) -> List[Tuple[str, Graph]]:
+    """Graphs with n growing and D growing slowly (D = 2 * blocks - 1)."""
+    return [
+        (
+            f"clique_chain[{blocks}x{clique_size}]",
+            generators.clique_chain(blocks, clique_size),
+        )
+        for blocks in block_counts
+    ]
+
+
+def fixed_diameter_family(
+    sizes: Iterable[int], diameter: int, seed: int = 1
+) -> List[Tuple[str, Graph]]:
+    """Graphs with n growing and the diameter held fixed."""
+    return [
+        (
+            f"fixedD[{n},D={diameter}]",
+            generators.diameter_controlled_graph(n, diameter, seed=seed),
+        )
+        for n in sizes
+    ]
+
+
+def cycle_family(sizes: Iterable[int]) -> List[Tuple[str, Graph]]:
+    """Graphs where the diameter grows linearly with n."""
+    return [(f"cycle[{n}]", generators.cycle_graph(n)) for n in sizes]
+
+
+def network_for(graph: Graph, seed: int = 0) -> Network:
+    """A CONGEST network with the default O(log n) bandwidth."""
+    return Network(graph, seed=seed)
+
+
+def record(benchmark, **info) -> None:
+    """Attach measured values to the benchmark report and print them."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+    summary = ", ".join(f"{key}={value}" for key, value in info.items())
+    print(f"\n[{benchmark.name}] {summary}")

@@ -1,0 +1,20 @@
+"""Pytest fixtures for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the measured callable exactly once.
+
+    The workloads are heavy, deterministic sweeps; statistical repetition
+    would only multiply the wall-clock time without changing the measured
+    round counts, which are the quantities of interest.
+    """
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,84 @@
+"""Scenario: monitoring the diameter of a large low-diameter overlay network.
+
+The paper's second algorithm (Theorem 4) targets exactly this situation: the
+operator of a large, well-connected network wants a quick estimate of its
+diameter (within a 3/2 factor) without paying for exact computation.  The
+script compares, on the same overlay-like topology:
+
+* the trivial 2-approximation (one BFS),
+* the classical 3/2-approximation of [LP13, HPRW14],
+* the paper's quantum 3/2-approximation (Figure 3 / Theorem 4), including
+  the effect of the ball-size parameter ``s`` on the preparation/quantum
+  phase split.
+
+Run with:  python examples/approximation_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms import (
+    run_classical_two_approximation,
+    run_hprw_three_halves_approximation,
+)
+from repro.analysis.tables import render_table
+from repro.congest import Network
+from repro.core import quantum_three_halves_diameter
+from repro.core.approx_diameter import default_s_parameter
+from repro.graphs import generators
+
+
+def main() -> None:
+    # An overlay-like network: 150 nodes, diameter 6.
+    graph = generators.diameter_controlled_graph(150, target_diameter=6, seed=11)
+    n, true_diameter = graph.num_nodes, graph.diameter()
+    print(f"network: {n} nodes, diameter {true_diameter}\n")
+
+    two = run_classical_two_approximation(Network(graph, seed=0))
+    classical = run_hprw_three_halves_approximation(Network(graph, seed=0), seed=1)
+    quantum = quantum_three_halves_diameter(graph, oracle_mode="reference", seed=1)
+
+    rows = [
+        ["2-approximation (one BFS)", two.estimate,
+         f"[{two.estimate}, {2 * two.estimate}]", two.rounds],
+        ["classical 3/2-approx [HPRW14]", classical.estimate,
+         f"[{classical.estimate}, {math.ceil(1.5 * classical.estimate)}]",
+         classical.rounds],
+        ["quantum 3/2-approx (Theorem 4)", quantum.estimate,
+         f"[{quantum.estimate}, {math.ceil(1.5 * quantum.estimate)}]",
+         quantum.rounds],
+    ]
+    print(
+        render_table(
+            rows,
+            header=["algorithm", "estimate", "implied range for D", "rounds"],
+        )
+    )
+    print(f"\ntrue diameter: {true_diameter} (inside every implied range)")
+
+    # The s trade-off of Figure 3.
+    print("\nsweeping the ball-size parameter s (Figure 3):")
+    rows = []
+    for s in (4, 8, 16, 32):
+        result = quantum_three_halves_diameter(graph, s=s, oracle_mode="reference", seed=2)
+        quantum_phase = result.optimization.metrics.rounds
+        rows.append(
+            [s, result.ball_size, result.metrics.rounds - quantum_phase,
+             quantum_phase, result.metrics.rounds, result.estimate]
+        )
+    print(
+        render_table(
+            rows,
+            header=["s", "|R|", "preparation rounds", "quantum rounds",
+                    "total rounds", "estimate"],
+        )
+    )
+    print(
+        f"\nthe paper's balancing choice is s = Theta(n^2/3 / D^1/3) = "
+        f"{default_s_parameter(n, true_diameter)} at this size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Classical distributed algorithms on the CONGEST simulator.
+
+This subpackage contains both the *building blocks* used by the paper's
+quantum algorithms (leader election, BFS-tree construction, tree
+broadcast/convergecast, Euler-tour traversal, the pipelined distance waves
+of Figure 2) and the *classical baselines* the paper compares against
+(exact diameter in ``O(n)`` rounds in the style of [PRT12, HW12], and the
+3/2-approximation in ``O~(sqrt(n) + D)`` rounds in the style of
+[LP13, HPRW14]).
+
+Every public ``run_*`` helper takes a :class:`repro.congest.network.Network`
+and returns a small result object carrying both the computed values and the
+:class:`repro.congest.metrics.ExecutionMetrics` of the execution, so callers
+can compose phases and account for total round complexity.
+"""
+
+from repro.algorithms.bfs import BFSTreeResult, run_bfs_tree
+from repro.algorithms.broadcast import (
+    run_tree_aggregate_max,
+    run_tree_aggregate_sum,
+    run_tree_broadcast,
+)
+from repro.algorithms.dfs_traversal import (
+    EulerTourResult,
+    run_full_euler_tour,
+    run_windowed_euler_tour,
+)
+from repro.algorithms.diameter_approx import (
+    ApproxDiameterResult,
+    run_classical_two_approximation,
+    run_hprw_three_halves_approximation,
+)
+from repro.algorithms.diameter_exact import (
+    ExactDiameterResult,
+    run_classical_exact_diameter,
+)
+from repro.algorithms.eccentricity import run_eccentricity
+from repro.algorithms.evaluation import EvaluationResult, run_evaluation_procedure
+from repro.algorithms.leader_election import LeaderElectionResult, run_leader_election
+from repro.algorithms.multi_source_bfs import run_multi_source_bfs
+from repro.algorithms.waves import WaveScheduleEntry, run_distance_waves
+
+__all__ = [
+    "run_bfs_tree",
+    "BFSTreeResult",
+    "run_tree_broadcast",
+    "run_tree_aggregate_max",
+    "run_tree_aggregate_sum",
+    "run_full_euler_tour",
+    "run_windowed_euler_tour",
+    "EulerTourResult",
+    "run_eccentricity",
+    "run_leader_election",
+    "LeaderElectionResult",
+    "run_multi_source_bfs",
+    "run_distance_waves",
+    "WaveScheduleEntry",
+    "run_evaluation_procedure",
+    "EvaluationResult",
+    "run_classical_exact_diameter",
+    "ExactDiameterResult",
+    "run_classical_two_approximation",
+    "run_hprw_three_halves_approximation",
+    "ApproxDiameterResult",
+]

@@ -1,0 +1,195 @@
+"""Pipelined multi-source distance waves (Step 2 of Figure 2).
+
+This module implements the congestion-free pipelining at the heart of both
+the paper's Evaluation procedure (Proposition 4 / Figure 2) and the
+classical ``O(n)``-round exact-diameter baseline it refines ([PRT12]).
+
+Every *source* node ``u`` starts, at a prescribed round ``start(u)``, a
+BFS-like wave tagged with an integer ``tag(u)`` (the DFS number ``tau`` or
+the relative number ``tau'``).  Waves propagate one hop per round.  Each
+node keeps only ``O(log n)`` bits of state -- the largest tag processed so
+far (``t_v``) and the running maximum distance (``d_v``) -- and applies the
+Figure-2 filtering rule:
+
+* messages whose tag is not larger than ``t_v`` are disregarded;
+* among the remaining messages of a round, (at most) one is kept -- when the
+  schedule satisfies the walk property of Lemma 2 (``start`` gaps dominate
+  pairwise distances, which the DFS numbering guarantees) they are all
+  identical (Lemma 4);
+* the kept message ``(tag, delta)`` sets ``t_v = tag``,
+  ``d_v = max(d_v, delta + 1)`` and is re-broadcast as ``(tag, delta + 1)``.
+
+At the end of the (fixed, globally known) duration, ``d_v`` equals
+``max_u d(u, v)`` over all sources ``u``, so a final convergecast of
+``max_v d_v`` yields ``max_u ecc(u)`` -- the quantity ``f(u0)`` that the
+Evaluation procedure must hand to the leader, and the diameter itself when
+the sources are all of ``V``.
+
+Two knobs exist purely for the *ablation benchmark* that justifies the
+paper's scheduling (Section "Design choices" of DESIGN.md):
+
+* ``forward_all=True`` forwards every non-disregarded message instead of a
+  single one, which blows past the CONGEST bandwidth budget when waves
+  collide (measured as bandwidth violations in non-strict mode);
+* callers can supply any schedule, e.g. the *naive* all-start-at-zero
+  schedule, and observe that the computed values become wrong while the
+  DFS-based schedule stays correct.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.congest.metrics import ExecutionMetrics
+from repro.congest.network import Network
+from repro.congest.node import Inbox, NodeAlgorithm, Outbox
+from repro.graphs.graph import NodeId
+
+
+@dataclass(frozen=True)
+class WaveScheduleEntry:
+    """Start round and tag of one wave source."""
+
+    start_round: int
+    tag: int
+
+
+@dataclass
+class WaveResult:
+    """Outcome of the wave phase: the per-node maxima ``d_v``."""
+
+    max_distance: Dict[NodeId, int]
+    metrics: ExecutionMetrics
+
+    @property
+    def overall_max(self) -> int:
+        """``max_v d_v = max_u ecc(u)`` over the scheduled sources."""
+        return max(self.max_distance.values())
+
+
+class _WaveNode(NodeAlgorithm):
+    """Per-node state machine of the Figure-2 Step-2 process."""
+
+    def __init__(
+        self, node_id, neighbors, num_nodes, rng,
+        schedule: Optional[WaveScheduleEntry], duration: int,
+        forward_all: bool,
+    ) -> None:
+        super().__init__(node_id, neighbors, num_nodes, rng)
+        self.schedule = schedule
+        self.duration = duration
+        self.forward_all = forward_all
+        self.last_tag = -1          # t_v in the paper
+        self.max_distance = 0       # d_v in the paper
+        self.finished = False
+
+    def on_round(self, round_number: int, inbox: Inbox) -> Optional[Outbox]:
+        if round_number >= self.duration:
+            self.finished = True
+            return {}
+        if round_number == self.duration - 1:
+            self.finished = True
+
+        outgoing: List[Tuple[int, int]] = []
+
+        # Step 2(2): a source starts its own wave at its scheduled round.
+        if self.schedule is not None and round_number == self.schedule.start_round:
+            self.last_tag = max(self.last_tag, self.schedule.tag)
+            outgoing.append((self.schedule.tag, 0))
+
+        # Step 3(a)/(b): filter incoming messages.
+        fresh: List[Tuple[int, int]] = []
+        for _, payload in inbox.items():
+            if isinstance(payload, tuple) and payload and payload[0] == "w":
+                _, tag, delta = payload
+                if tag > self.last_tag:
+                    fresh.append((tag, delta))
+            elif isinstance(payload, list):
+                for item in payload:
+                    tag, delta = item[1], item[2]
+                    if tag > self.last_tag:
+                        fresh.append((tag, delta))
+
+        if fresh:
+            if self.forward_all:
+                kept = sorted(set(fresh))
+            else:
+                # In schedule-correct executions all fresh messages are
+                # identical (Lemma 4); keep the largest for determinism.
+                kept = [max(fresh)]
+            for tag, delta in kept:
+                self.last_tag = max(self.last_tag, tag)
+                self.max_distance = max(self.max_distance, delta + 1)
+                outgoing.append((tag, delta + 1))
+
+        if not outgoing:
+            return {}
+        if len(outgoing) == 1 and not self.forward_all:
+            tag, delta = outgoing[0]
+            return self.broadcast(("w", tag, delta))
+        if len(outgoing) == 1:
+            tag, delta = outgoing[0]
+            return self.broadcast(("w", tag, delta))
+        return self.broadcast([("w", tag, delta) for tag, delta in outgoing])
+
+    def result(self):
+        return self.max_distance
+
+    def memory_bits(self) -> Optional[int]:
+        # t_v, d_v, the schedule entry and one in-flight message: O(log n).
+        log_n = max(1, math.ceil(math.log2(self.num_nodes + 1)))
+        return 6 * log_n
+
+
+def run_distance_waves(
+    network: Network,
+    schedule: Dict[NodeId, WaveScheduleEntry],
+    duration: int,
+    forward_all: bool = False,
+) -> WaveResult:
+    """Run the pipelined wave process for exactly ``duration`` rounds.
+
+    Parameters
+    ----------
+    network:
+        The CONGEST network.
+    schedule:
+        Maps each *source* node to its :class:`WaveScheduleEntry`.  Tags must
+        be distinct non-negative integers; for the guarantees of Lemmas 2-4
+        to apply the schedule must satisfy ``start(u) = 2 * tag(u)`` with the
+        tags given by a DFS numbering (the callers in
+        :mod:`repro.algorithms.evaluation` and
+        :mod:`repro.algorithms.diameter_exact` construct exactly that).
+    duration:
+        Total number of rounds to run (globally known to all nodes, e.g.
+        ``6 d`` in Figure 2).
+    forward_all:
+        Ablation knob, see the module docstring.
+
+    Returns
+    -------
+    WaveResult
+        The per-node values ``d_v`` and the execution metrics.
+    """
+    if duration < 1:
+        raise ValueError(f"duration must be >= 1, got {duration}")
+    tags = [entry.tag for entry in schedule.values()]
+    if len(set(tags)) != len(tags):
+        raise ValueError("wave tags must be distinct")
+    if any(entry.tag < 0 or entry.start_round < 0 for entry in schedule.values()):
+        raise ValueError("wave tags and start rounds must be non-negative")
+    if any(entry.start_round >= duration for entry in schedule.values()):
+        raise ValueError("every wave must start before the duration elapses")
+
+    execution = network.run(
+        lambda node, net: _WaveNode(
+            node, net.graph.neighbors(node), net.num_nodes, net.node_rng(node),
+            schedule.get(node), duration, forward_all,
+        ),
+        exact_rounds=duration,
+        max_rounds=duration + 2,
+    )
+    execution.metrics.record_phase("distance_waves", execution.metrics.rounds)
+    return WaveResult(max_distance=execution.results, metrics=execution.metrics)

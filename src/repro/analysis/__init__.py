@@ -1,0 +1,26 @@
+"""Analysis utilities: parameter sweeps, scaling fits and table rendering.
+
+The benchmark harnesses use these helpers to turn raw measurements
+(rounds as a function of ``n`` and ``D``) into the quantities the paper's
+Table 1 talks about: scaling exponents, classical/quantum ratios and
+crossover points.
+"""
+
+from repro.analysis.fitting import (
+    crossover_point,
+    fit_power_law,
+    fit_power_law_two_predictors,
+    geometric_mean_ratio,
+)
+from repro.analysis.sweep import SweepRecord, sweep_table
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "fit_power_law",
+    "fit_power_law_two_predictors",
+    "crossover_point",
+    "geometric_mean_ratio",
+    "SweepRecord",
+    "sweep_table",
+    "render_table",
+]

@@ -1,0 +1,90 @@
+"""Parameter sweeps over graph families.
+
+A sweep runs one or more diameter algorithms over a family of graphs with
+varying ``(n, D)`` and collects one :class:`SweepRecord` per run.  The
+benchmark harnesses use sweeps to regenerate the rows of Table 1; the
+records are deliberately plain so they can be printed, fitted
+(:mod:`repro.analysis.fitting`) or dumped by the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class SweepRecord:
+    """One measurement: an algorithm run on one graph."""
+
+    family: str
+    algorithm: str
+    num_nodes: int
+    diameter: int
+    rounds: int
+    value: float
+    correct: Optional[bool] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def sweep_table(records: Iterable[SweepRecord]) -> str:
+    """Render a list of sweep records as an aligned text table."""
+    records = list(records)
+    if not records:
+        return "(no records)"
+    header = ["family", "algorithm", "n", "D", "rounds", "value", "correct"]
+    rows = [header]
+    for record in records:
+        rows.append(
+            [
+                record.family,
+                record.algorithm,
+                str(record.num_nodes),
+                str(record.diameter),
+                str(record.rounds),
+                f"{record.value:g}",
+                "-" if record.correct is None else str(record.correct),
+            ]
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def run_sweep(
+    graphs: Sequence[Tuple[str, Graph]],
+    algorithms: Dict[str, Callable[[Graph], Tuple[int, float]]],
+) -> List[SweepRecord]:
+    """Run every algorithm on every graph and collect records.
+
+    ``algorithms`` maps a name to a callable returning ``(rounds, value)``
+    for a given graph.  Correctness is checked against the sequential
+    diameter oracle when the algorithm's name contains ``"exact"``.
+    """
+    records: List[SweepRecord] = []
+    for family, graph in graphs:
+        true_diameter = graph.diameter()
+        for name, runner in algorithms.items():
+            rounds, value = runner(graph)
+            correct: Optional[bool] = None
+            if "exact" in name:
+                correct = int(value) == true_diameter
+            records.append(
+                SweepRecord(
+                    family=family,
+                    algorithm=name,
+                    num_nodes=graph.num_nodes,
+                    diameter=true_diameter,
+                    rounds=rounds,
+                    value=value,
+                    correct=correct,
+                )
+            )
+    return records

@@ -1,0 +1,156 @@
+"""Command-line interface: run the paper's algorithms from a shell.
+
+Examples
+--------
+Compute the diameter of a generated graph with every algorithm::
+
+    python -m repro diameter --family clique_chain --nodes 24 --seed 1
+
+Run only the quantum 3/2-approximation::
+
+    python -m repro approx --family random_sparse --nodes 60 --quantum
+
+Print Table 1 evaluated at a given size::
+
+    python -m repro table1 --nodes 100000 --diameter 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.algorithms import (
+    run_classical_exact_diameter,
+    run_classical_two_approximation,
+    run_hprw_three_halves_approximation,
+)
+from repro.analysis.tables import render_table, render_table1
+from repro.congest import Network
+from repro.core import quantum_exact_diameter, quantum_three_halves_diameter
+from repro.graphs import generators
+
+
+def _build_graph(args: argparse.Namespace):
+    if args.diameter is not None and args.family == "controlled":
+        return generators.diameter_controlled_graph(
+            args.nodes, args.diameter, seed=args.seed
+        )
+    return generators.family_for_sweep(args.family, args.nodes, seed=args.seed)
+
+
+def _cmd_diameter(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    truth = graph.diameter()
+    rows = []
+
+    classical = run_classical_exact_diameter(Network(graph, seed=args.seed))
+    rows.append(["classical exact [PRT12/HW12]", classical.diameter, classical.rounds])
+
+    quantum = quantum_exact_diameter(
+        graph, oracle_mode=args.oracle_mode, seed=args.seed
+    )
+    rows.append(["quantum exact (Theorem 1)", quantum.diameter, quantum.rounds])
+
+    print(f"graph: n={graph.num_nodes}, m={graph.num_edges}, true diameter={truth}")
+    print(render_table(rows, header=["algorithm", "answer", "rounds"]))
+    return 0 if classical.diameter == truth == quantum.diameter else 1
+
+
+def _cmd_approx(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    truth = graph.diameter()
+    rows = []
+
+    two = run_classical_two_approximation(Network(graph, seed=args.seed))
+    rows.append(["2-approximation", two.estimate, two.rounds])
+    classical = run_hprw_three_halves_approximation(
+        Network(graph, seed=args.seed), seed=args.seed
+    )
+    rows.append(["classical 3/2-approx [HPRW14]", classical.estimate, classical.rounds])
+    if args.quantum:
+        quantum = quantum_three_halves_diameter(
+            graph, oracle_mode=args.oracle_mode, seed=args.seed
+        )
+        rows.append(["quantum 3/2-approx (Theorem 4)", quantum.estimate, quantum.rounds])
+
+    print(f"graph: n={graph.num_nodes}, true diameter={truth}")
+    print(render_table(rows, header=["algorithm", "estimate", "rounds"]))
+    valid = all(row[1] <= truth for row in rows)
+    return 0 if valid else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    diameter = args.diameter if args.diameter is not None else max(1, args.nodes // 100)
+    print(render_table1(n=args.nodes, diameter=diameter, memory_qubits=args.memory))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Sublinear-Time Quantum Computation of the "
+            "Diameter in CONGEST Networks' (Le Gall & Magniez, PODC 2018)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--family",
+            default="clique_chain",
+            choices=sorted(set(generators.SWEEP_FAMILIES) | {"controlled"}),
+            help="graph family to generate (default: clique_chain)",
+        )
+        sub.add_argument("--nodes", type=int, default=24, help="number of nodes")
+        sub.add_argument(
+            "--diameter", type=int, default=None,
+            help="target diameter (only for --family controlled)",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
+        sub.add_argument(
+            "--oracle-mode", default="reference", choices=("reference", "congest"),
+            help="how quantum branch values are evaluated (default: reference)",
+        )
+
+    diameter_parser = subparsers.add_parser(
+        "diameter", help="exact diameter: classical baseline vs Theorem 1"
+    )
+    add_graph_options(diameter_parser)
+    diameter_parser.set_defaults(handler=_cmd_diameter)
+
+    approx_parser = subparsers.add_parser(
+        "approx", help="diameter approximations (2-approx, 3/2-approx, Theorem 4)"
+    )
+    add_graph_options(approx_parser)
+    approx_parser.add_argument(
+        "--quantum", action="store_true", help="also run the quantum 3/2-approximation"
+    )
+    approx_parser.set_defaults(handler=_cmd_approx)
+
+    table_parser = subparsers.add_parser(
+        "table1", help="print Table 1 evaluated at a given (n, D)"
+    )
+    table_parser.add_argument("--nodes", type=int, required=True)
+    table_parser.add_argument("--diameter", type=int, default=None)
+    table_parser.add_argument(
+        "--memory", type=int, default=None,
+        help="per-node memory (qubits) for the Theorem-3 row",
+    )
+    table_parser.set_defaults(handler=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""A round-synchronous CONGEST-model network simulator.
+
+The CONGEST model (Section 2.1 of the paper): the network is an undirected
+graph ``G = (V, E)``; execution proceeds in synchronous rounds; in every
+round each node may send one message of at most ``O(log n)`` bits to each of
+its neighbours; nodes know ``n`` and their own incident edges, and have
+distinct identifiers.
+
+The simulator enforces exactly that interface:
+
+* algorithms are written as per-node state machines
+  (:class:`repro.congest.node.NodeAlgorithm`) that receive, every round, the
+  messages their neighbours sent in the previous round and return the
+  messages to send in the current round;
+* the network (:class:`repro.congest.network.Network`) delivers messages,
+  counts rounds, measures message sizes in bits and enforces (or records
+  violations of) the per-edge bandwidth budget;
+* :class:`repro.congest.metrics.ExecutionMetrics` aggregates rounds,
+  messages, bits and per-node memory so the benchmark harnesses can compare
+  measured round counts against the paper's formulas.
+"""
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    CongestSimulationError,
+    ProtocolError,
+    RoundLimitExceededError,
+)
+from repro.congest.message import message_size_bits
+from repro.congest.metrics import ExecutionMetrics
+from repro.congest.network import ExecutionResult, Network
+from repro.congest.node import NodeAlgorithm
+
+__all__ = [
+    "Network",
+    "NodeAlgorithm",
+    "ExecutionResult",
+    "ExecutionMetrics",
+    "message_size_bits",
+    "CongestSimulationError",
+    "BandwidthExceededError",
+    "RoundLimitExceededError",
+    "ProtocolError",
+]

@@ -1,0 +1,22 @@
+"""Exception types raised by the CONGEST simulator."""
+
+from __future__ import annotations
+
+
+class CongestSimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class BandwidthExceededError(CongestSimulationError):
+    """A node attempted to send more bits over one edge than the bandwidth
+    allows in a single round (only raised when the network runs in strict
+    mode)."""
+
+
+class RoundLimitExceededError(CongestSimulationError):
+    """The algorithm did not terminate within the allowed number of rounds."""
+
+
+class ProtocolError(CongestSimulationError):
+    """An algorithm violated the simulator's contract, e.g. sent a message
+    to a node that is not a neighbour."""

@@ -1,0 +1,104 @@
+"""Execution metrics collected by the CONGEST simulator.
+
+The benchmark harnesses compare *measured* metrics against the paper's
+round-complexity formulas, so the simulator records:
+
+* ``rounds`` -- the number of communication rounds used;
+* ``messages`` -- the total number of (directed) messages delivered;
+* ``total_bits`` -- the total number of bits sent over all edges and rounds;
+* ``max_edge_bits_per_round`` -- the largest message observed on any single
+  edge in any single round (to compare with the bandwidth budget);
+* ``bandwidth_limit_bits`` / ``bandwidth_violations`` -- the configured
+  budget and how many (edge, round) pairs exceeded it (when the network runs
+  in non-strict mode, e.g. for the congestion ablation);
+* ``max_node_memory_bits`` -- the largest per-node working-memory footprint
+  reported by the algorithms (when they implement ``memory_bits``).
+
+Metrics compose: multi-phase algorithms (leader election, then BFS, then the
+quantum optimization loop, ...) sum their phases with :meth:`ExecutionMetrics.merged`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+
+@dataclass
+class ExecutionMetrics:
+    """Aggregated cost of one (phase of a) distributed execution."""
+
+    rounds: int = 0
+    messages: int = 0
+    total_bits: int = 0
+    max_edge_bits_per_round: int = 0
+    bandwidth_limit_bits: Optional[int] = None
+    bandwidth_violations: int = 0
+    max_node_memory_bits: int = 0
+    phase_rounds: Dict[str, int] = field(default_factory=dict)
+
+    def record_phase(self, name: str, rounds: int) -> None:
+        """Remember how many rounds a named phase contributed."""
+        self.phase_rounds[name] = self.phase_rounds.get(name, 0) + rounds
+
+    def merged(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
+        """Return the metrics of running ``self`` then ``other`` sequentially."""
+        merged = ExecutionMetrics(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            total_bits=self.total_bits + other.total_bits,
+            max_edge_bits_per_round=max(
+                self.max_edge_bits_per_round, other.max_edge_bits_per_round
+            ),
+            bandwidth_limit_bits=_merge_limits(
+                self.bandwidth_limit_bits, other.bandwidth_limit_bits
+            ),
+            bandwidth_violations=self.bandwidth_violations
+            + other.bandwidth_violations,
+            max_node_memory_bits=max(
+                self.max_node_memory_bits, other.max_node_memory_bits
+            ),
+        )
+        merged.phase_rounds = dict(self.phase_rounds)
+        for name, rounds in other.phase_rounds.items():
+            merged.phase_rounds[name] = merged.phase_rounds.get(name, 0) + rounds
+        return merged
+
+    def scaled(self, repetitions: int) -> "ExecutionMetrics":
+        """Return the metrics of repeating this execution ``repetitions`` times.
+
+        Used by the quantum framework, where one amplitude-amplification
+        iteration repeats the Setup/Evaluation circuits a computed number of
+        times.
+        """
+        if repetitions < 0:
+            raise ValueError(f"repetitions must be >= 0, got {repetitions}")
+        scaled = ExecutionMetrics(
+            rounds=self.rounds * repetitions,
+            messages=self.messages * repetitions,
+            total_bits=self.total_bits * repetitions,
+            max_edge_bits_per_round=self.max_edge_bits_per_round,
+            bandwidth_limit_bits=self.bandwidth_limit_bits,
+            bandwidth_violations=self.bandwidth_violations * repetitions,
+            max_node_memory_bits=self.max_node_memory_bits,
+        )
+        scaled.phase_rounds = {
+            name: rounds * repetitions for name, rounds in self.phase_rounds.items()
+        }
+        return scaled
+
+    @staticmethod
+    def total(metrics: Iterable["ExecutionMetrics"]) -> "ExecutionMetrics":
+        """Sum a sequence of metrics (sequential composition)."""
+        result = ExecutionMetrics()
+        for item in metrics:
+            result = result.merged(item)
+        return result
+
+
+def _merge_limits(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)

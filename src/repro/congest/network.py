@@ -1,0 +1,225 @@
+"""The round-synchronous CONGEST network simulator.
+
+:class:`Network` wraps a :class:`repro.graphs.graph.Graph` and executes
+per-node :class:`repro.congest.node.NodeAlgorithm` state machines in
+synchronous rounds, delivering messages with a one-round latency and
+accounting for rounds, messages, bits, per-edge bandwidth and per-node
+memory (see :mod:`repro.congest.metrics`).
+
+Bandwidth.  The CONGEST model allows ``bw = O(log n)`` bits per edge per
+round.  By default the simulator uses ``bw = BANDWIDTH_LOG_FACTOR *
+ceil(log2(n + 1))`` bits, which is enough for a constant number of node
+identifiers and counters per message -- exactly the granularity at which the
+paper's algorithms communicate.  In *strict* mode exceeding the budget
+raises :class:`repro.congest.errors.BandwidthExceededError`; in non-strict
+mode violations are only counted, which the congestion-ablation benchmark
+uses to show why the naive (non-pipelined) multi-source BFS breaks the
+model.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    ProtocolError,
+    RoundLimitExceededError,
+)
+from repro.congest.message import message_size_bits
+from repro.congest.metrics import ExecutionMetrics
+from repro.congest.node import Inbox, NodeAlgorithm
+from repro.graphs.graph import Graph, NodeId
+
+#: Multiplier applied to ``ceil(log2(n+1))`` to obtain the default bandwidth.
+#: The paper allows any O(log n) bandwidth; the constant 16 accommodates a
+#: small constant number of identifiers/counters plus framing per message.
+BANDWIDTH_LOG_FACTOR = 16
+
+#: Default cap on the number of rounds, as a multiple of ``n + D`` is not
+#: computable up-front, so we use a generous multiple of ``n``.
+DEFAULT_MAX_ROUND_FACTOR = 64
+
+AlgorithmFactory = Callable[[NodeId, "Network"], NodeAlgorithm]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one distributed algorithm to completion."""
+
+    results: Dict[NodeId, Any]
+    metrics: ExecutionMetrics
+    traffic: Optional[list] = None
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds the execution used."""
+        return self.metrics.rounds
+
+
+class Network:
+    """A CONGEST network over a static topology.
+
+    Parameters
+    ----------
+    graph:
+        The (connected) communication topology.
+    bandwidth_bits:
+        Per-edge per-round bandwidth budget.  Defaults to
+        ``BANDWIDTH_LOG_FACTOR * ceil(log2(n + 1))``.
+    strict_bandwidth:
+        When true (the default), exceeding the budget raises
+        :class:`BandwidthExceededError`; otherwise violations are counted in
+        the metrics.
+    seed:
+        Seed for the per-node pseudo-random generators.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        bandwidth_bits: Optional[int] = None,
+        strict_bandwidth: bool = True,
+        seed: Optional[int] = None,
+    ) -> None:
+        if graph.num_nodes == 0:
+            raise ValueError("cannot build a network over an empty graph")
+        if not graph.is_connected():
+            raise ValueError("the CONGEST network topology must be connected")
+        self.graph = graph
+        self.num_nodes = graph.num_nodes
+        if bandwidth_bits is None:
+            bandwidth_bits = BANDWIDTH_LOG_FACTOR * max(
+                1, math.ceil(math.log2(self.num_nodes + 1))
+            )
+        if bandwidth_bits < 1:
+            raise ValueError(f"bandwidth must be >= 1 bit, got {bandwidth_bits}")
+        self.bandwidth_bits = bandwidth_bits
+        self.strict_bandwidth = strict_bandwidth
+        self._seed = seed if seed is not None else 0
+
+    # ------------------------------------------------------------------
+    def node_rng(self, node: NodeId) -> random.Random:
+        """Deterministic per-node random generator.
+
+        Seeded from a CRC of the network seed and the node identifier so
+        that executions are reproducible across processes (Python's built-in
+        ``hash`` of strings is randomised per process).
+        """
+        digest = zlib.crc32(f"{self._seed}|{node!r}".encode("utf-8"))
+        return random.Random(digest)
+
+    def default_max_rounds(self) -> int:
+        """A generous round cap used when the caller does not provide one."""
+        return DEFAULT_MAX_ROUND_FACTOR * (self.num_nodes + 2)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        factory: AlgorithmFactory,
+        max_rounds: Optional[int] = None,
+        exact_rounds: Optional[int] = None,
+        record_traffic: bool = False,
+    ) -> ExecutionResult:
+        """Run one distributed algorithm to completion.
+
+        Parameters
+        ----------
+        factory:
+            Called as ``factory(node_id, network)`` to create the per-node
+            state machine.
+        max_rounds:
+            Abort with :class:`RoundLimitExceededError` if the algorithm has
+            not finished after this many rounds.
+        exact_rounds:
+            When given, run exactly this many rounds regardless of the
+            nodes' ``finished`` flags (used for fixed-schedule procedures
+            such as the Figure-2 Evaluation, whose duration is known to all
+            nodes up-front).
+        record_traffic:
+            When true, the result carries a per-message traffic log of
+            ``(round, sender, receiver, bits)`` tuples.  The two-party
+            reduction of Theorem 10 uses it to measure how many bits cross
+            the cut of a gadget graph in each round.
+
+        Returns
+        -------
+        ExecutionResult
+            Per-node results (``algorithm.result()``) and execution metrics.
+        """
+        if max_rounds is None:
+            max_rounds = self.default_max_rounds()
+
+        algorithms: Dict[NodeId, NodeAlgorithm] = {
+            node: factory(node, self) for node in self.graph.nodes()
+        }
+        inboxes: Dict[NodeId, Inbox] = {node: {} for node in algorithms}
+        metrics = ExecutionMetrics(bandwidth_limit_bits=self.bandwidth_bits)
+        traffic_log: Optional[list] = [] if record_traffic else None
+
+        round_number = 0
+        while True:
+            if exact_rounds is not None and round_number >= exact_rounds:
+                break
+            if exact_rounds is None and round_number > 0:
+                all_finished = all(alg.finished for alg in algorithms.values())
+                in_flight = any(inbox for inbox in inboxes.values())
+                if all_finished and not in_flight:
+                    break
+            if round_number >= max_rounds:
+                raise RoundLimitExceededError(
+                    f"algorithm did not terminate within {max_rounds} rounds"
+                )
+
+            next_inboxes: Dict[NodeId, Inbox] = {node: {} for node in algorithms}
+            any_message = False
+            for node, algorithm in algorithms.items():
+                outbox = algorithm.on_round(round_number, inboxes[node]) or {}
+                for target, payload in outbox.items():
+                    if not self.graph.has_edge(node, target):
+                        raise ProtocolError(
+                            f"node {node!r} tried to send to non-neighbour {target!r}"
+                        )
+                    size = message_size_bits(payload)
+                    metrics.messages += 1
+                    metrics.total_bits += size
+                    metrics.max_edge_bits_per_round = max(
+                        metrics.max_edge_bits_per_round, size
+                    )
+                    if size > self.bandwidth_bits:
+                        metrics.bandwidth_violations += 1
+                        if self.strict_bandwidth:
+                            raise BandwidthExceededError(
+                                f"round {round_number}: node {node!r} sent "
+                                f"{size} bits to {target!r} "
+                                f"(budget {self.bandwidth_bits} bits)"
+                            )
+                    if traffic_log is not None:
+                        traffic_log.append((round_number, node, target, size))
+                    next_inboxes[target][node] = payload
+                    any_message = True
+                memory = algorithm.memory_bits()
+                if memory is not None:
+                    metrics.max_node_memory_bits = max(
+                        metrics.max_node_memory_bits, memory
+                    )
+
+            round_number += 1
+            inboxes = next_inboxes
+
+            if exact_rounds is None and not any_message:
+                # No message in flight: if everyone is finished we stop at
+                # the top of the next iteration; if nobody will ever send
+                # again but some node forgot to finish, the max_rounds guard
+                # catches it.  We additionally stop early when every node is
+                # finished to avoid spinning.
+                if all(alg.finished for alg in algorithms.values()):
+                    break
+
+        metrics.rounds = round_number
+        results = {node: algorithm.result() for node, algorithm in algorithms.items()}
+        return ExecutionResult(results=results, metrics=metrics, traffic=traffic_log)

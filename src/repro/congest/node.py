@@ -1,0 +1,103 @@
+"""Per-node algorithm interface for the CONGEST simulator.
+
+A distributed algorithm is written as a subclass of :class:`NodeAlgorithm`.
+The network instantiates one object per node (via a factory), then drives
+all of them in lock-step rounds:
+
+* at round 0 every node's :meth:`NodeAlgorithm.on_round` is called with an
+  empty inbox -- this is where initiators send their first messages;
+* at round ``t >= 1`` it is called with the messages that the neighbours
+  sent at round ``t - 1``;
+* the return value is a mapping ``{neighbour_id: payload}`` of messages to
+  send this round (an empty mapping or ``None`` sends nothing);
+* a node signals completion by setting ``self.finished = True``; the network
+  stops once every node has finished and no message is in flight.
+
+Only *local* information is available to a node: its identifier, the
+identifiers of its neighbours, the number of nodes ``n``, and whatever it
+learns from messages.  This mirrors the knowledge assumption of Section 2.1
+of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.graphs.graph import NodeId
+
+Outbox = Dict[NodeId, Any]
+Inbox = Dict[NodeId, Any]
+
+
+class NodeAlgorithm:
+    """Base class for the per-node state machine of a distributed algorithm.
+
+    Subclasses implement :meth:`on_round` and usually :meth:`result`;
+    long-lived local variables are ordinary instance attributes.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identifier.
+    neighbors:
+        Identifiers of adjacent nodes (the node's local view of the graph).
+    num_nodes:
+        The number ``n`` of nodes in the network, known to every node.
+    rng:
+        A node-local pseudo-random generator (seeded deterministically by the
+        network so executions are reproducible).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        neighbors: Sequence[NodeId],
+        num_nodes: int,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.neighbors: List[NodeId] = list(neighbors)
+        self.num_nodes = num_nodes
+        self.rng = rng if rng is not None else random.Random(0)
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by concrete algorithms
+    # ------------------------------------------------------------------
+    def on_round(self, round_number: int, inbox: Inbox) -> Optional[Outbox]:
+        """Process the inbox of this round and return messages to send.
+
+        ``round_number`` starts at 0.  ``inbox`` maps a neighbour identifier
+        to the payload it sent in the previous round (absent if it sent
+        nothing).  Return a mapping ``{neighbour: payload}`` or ``None``.
+        """
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        """The node's local output once the algorithm has finished."""
+        return None
+
+    def memory_bits(self) -> Optional[int]:
+        """Optional estimate of the node's current working memory in bits.
+
+        Algorithms that care about the paper's memory bounds (e.g. the
+        Figure-2 Evaluation procedure, which must run in ``O(log n)`` bits
+        per node) override this; returning ``None`` opts out of accounting.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Conveniences for subclasses
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: Any) -> Outbox:
+        """An outbox that sends ``payload`` to every neighbour."""
+        return {neighbor: payload for neighbor in self.neighbors}
+
+    def send_to(self, neighbor: NodeId, payload: Any) -> Outbox:
+        """An outbox that sends ``payload`` to a single neighbour."""
+        if neighbor not in self.neighbors:
+            raise ValueError(
+                f"node {self.node_id!r} has no neighbour {neighbor!r}"
+            )
+        return {neighbor: payload}

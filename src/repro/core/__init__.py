@@ -1,0 +1,42 @@
+"""The paper's algorithms: quantum exact and approximate diameter computation.
+
+* :mod:`repro.core.exact_diameter` -- Theorem 1: an ``O~(sqrt(n D))``-round
+  quantum distributed algorithm computing the exact diameter (plus the
+  simpler ``O~(sqrt(n) * D)`` variant of Section 3.1);
+* :mod:`repro.core.approx_diameter` -- Theorem 4: an
+  ``O~((n D)^(1/3) + D)``-round quantum 3/2-approximation;
+* :mod:`repro.core.coverage` -- the window sets ``S(u)`` of Definition 2 and
+  the coverage bound of Lemma 1 that drives ``P_opt >= d / 2n``;
+* :mod:`repro.core.complexity` -- the round-complexity formulas of every
+  entry of Table 1, used by the benchmark harnesses for the
+  paper-versus-measured comparison.
+"""
+
+from repro.core.approx_diameter import (
+    QuantumApproxDiameterResult,
+    quantum_three_halves_diameter,
+)
+from repro.core.complexity import Table1Row, table1_rows
+from repro.core.coverage import (
+    coverage_probability,
+    empirical_optimum_mass,
+    popt_lower_bound,
+    window_set,
+)
+from repro.core.exact_diameter import (
+    QuantumDiameterResult,
+    quantum_exact_diameter,
+)
+
+__all__ = [
+    "quantum_exact_diameter",
+    "QuantumDiameterResult",
+    "quantum_three_halves_diameter",
+    "QuantumApproxDiameterResult",
+    "window_set",
+    "coverage_probability",
+    "popt_lower_bound",
+    "empirical_optimum_mass",
+    "table1_rows",
+    "Table1Row",
+]

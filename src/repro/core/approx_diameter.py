@@ -1,0 +1,226 @@
+"""Theorem 4: quantum 3/2-approximation in ``O~((n D)^(1/3) + D)`` rounds.
+
+The algorithm (Figure 3) runs the classical preparation of [HPRW14]
+(Steps 1-3: sample ``S``, find the node ``w`` farthest from ``S``, select
+the ball ``R`` of the ``s`` nodes closest to ``w``) and then replaces the
+classical "BFS from every node of R" by a quantum optimization over ``R``:
+the same Figure-2 Evaluation machinery, restricted to the subtree of
+``BFS(w)`` induced by ``R``, gives ``P_opt >= d / (2 s)`` and therefore an
+``O~(sqrt(s D) + D)``-round quantum phase.  Balancing the ``O~(n / s + D)``
+preparation against the quantum phase with ``s = Theta(n^{2/3} D^{-1/3})``
+yields the ``O~((n D)^{1/3} + D)`` bound of Theorem 4.
+
+The estimate returned is ``max(ecc over S, ecc(w), quantum max ecc over R)``
+and satisfies ``floor(2D/3) <= D_hat <= D`` with high probability (the
+correctness analysis is inherited from [HPRW14]; only the last phase
+changes).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.algorithms.diameter_approx import (
+    HPRWPreparationResult,
+    run_hprw_preparation,
+)
+from repro.algorithms.eccentricity import run_eccentricity
+from repro.algorithms.evaluation import run_evaluation_procedure
+from repro.algorithms.leader_election import run_leader_election
+from repro.congest.metrics import ExecutionMetrics
+from repro.congest.network import Network
+from repro.core.coverage import popt_lower_bound, window_set
+from repro.graphs.graph import Graph, NodeId
+from repro.qcongest.framework import (
+    DistributedOptimizationResult,
+    DistributedSearchProblem,
+    run_distributed_quantum_optimization,
+)
+from repro.qcongest.setup import run_setup_broadcast
+from repro.quantum.cost_model import QuantumResourceCount, leader_memory_bits
+
+from repro.core.exact_diameter import ORACLE_CONGEST, ORACLE_REFERENCE
+
+
+@dataclass
+class QuantumApproxDiameterResult:
+    """Outcome of the quantum 3/2-approximation (Theorem 4)."""
+
+    estimate: int
+    ball_size: int
+    s_parameter: int
+    w: NodeId
+    counts: QuantumResourceCount
+    metrics: ExecutionMetrics
+    preparation: HPRWPreparationResult
+    optimization: DistributedOptimizationResult
+
+    @property
+    def rounds(self) -> int:
+        """Total CONGEST rounds used (preparation + quantum phase)."""
+        return self.metrics.rounds
+
+
+class BallEccentricityProblem(DistributedSearchProblem):
+    """Quantum optimization of ``max_{v in S_R(u0)} ecc(v)`` over the ball ``R``."""
+
+    def __init__(
+        self,
+        network: Network,
+        preparation: HPRWPreparationResult,
+        oracle_mode: str = ORACLE_CONGEST,
+    ) -> None:
+        if oracle_mode not in (ORACLE_CONGEST, ORACLE_REFERENCE):
+            raise ValueError(f"unknown oracle mode {oracle_mode!r}")
+        self.network = network
+        self.preparation = preparation
+        self.oracle_mode = oracle_mode
+        self.window_parameter = max(1, preparation.d_w)
+        self._setup_cost: Optional[ExecutionMetrics] = None
+        self._reference_cost: Optional[ExecutionMetrics] = None
+        self._reference_eccentricities: Optional[Dict[NodeId, int]] = None
+
+    # ------------------------------------------------------------------
+    def initialization(self) -> ExecutionMetrics:
+        # The preparation phase (already executed) is the initialization of
+        # this problem; its cost is accounted by the caller, so the quantum
+        # optimization itself starts from zero additional initialization.
+        return ExecutionMetrics()
+
+    def search_space(self) -> List[NodeId]:
+        return sorted(self.preparation.ball, key=repr)
+
+    def setup_amplitudes(self) -> Dict[NodeId, float]:
+        ball = self.search_space()
+        weight = 1.0 / math.sqrt(len(ball))
+        return {node: weight for node in ball}
+
+    def setup_cost(self) -> ExecutionMetrics:
+        if self._setup_cost is None:
+            metrics, _ = run_setup_broadcast(
+                self.network, self.preparation.w_tree, self.preparation.w
+            )
+            self._setup_cost = metrics
+        return self._setup_cost
+
+    # ------------------------------------------------------------------
+    def evaluate(self, item: NodeId) -> Tuple[float, ExecutionMetrics]:
+        if self.oracle_mode == ORACLE_CONGEST:
+            evaluation = run_evaluation_procedure(
+                self.network,
+                self.preparation.w_tree,
+                self.window_parameter,
+                item,
+                members=self.preparation.ball,
+            )
+            return float(evaluation.value), evaluation.metrics
+        eccentricities = self._eccentricities()
+        window = window_set(
+            self.preparation.w_tree,
+            item,
+            2 * self.window_parameter,
+            members=self.preparation.ball,
+        )
+        value = float(max(eccentricities[node] for node in window))
+        return value, self._representative_cost()
+
+    def optimum_mass_lower_bound(self) -> float:
+        return popt_lower_bound(len(self.preparation.ball), self.window_parameter)
+
+    def internal_register_bits(self) -> int:
+        return leader_memory_bits(
+            self.network.num_nodes, self.optimum_mass_lower_bound()
+        )
+
+    # ------------------------------------------------------------------
+    def _eccentricities(self) -> Dict[NodeId, int]:
+        if self._reference_eccentricities is None:
+            self._reference_eccentricities = self.network.graph.all_eccentricities()
+        return self._reference_eccentricities
+
+    def _representative_cost(self) -> ExecutionMetrics:
+        if self._reference_cost is None:
+            sample = run_evaluation_procedure(
+                self.network,
+                self.preparation.w_tree,
+                self.window_parameter,
+                self.preparation.w,
+                members=self.preparation.ball,
+            )
+            self._reference_cost = sample.metrics
+        return self._reference_cost
+
+
+def default_s_parameter(n: int, d: int) -> int:
+    """The balancing choice ``s = Theta(n^{2/3} D^{-1/3})`` of Theorem 4.
+
+    ``d`` is any 2-approximation of the diameter (the paper uses
+    ``ecc(leader)``).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    d = max(1, d)
+    return max(1, min(n, math.ceil(n ** (2.0 / 3.0) / d ** (1.0 / 3.0))))
+
+
+def quantum_three_halves_diameter(
+    network: Union[Network, Graph],
+    s: Optional[int] = None,
+    oracle_mode: str = ORACLE_CONGEST,
+    delta: float = 0.1,
+    seed: int = 0,
+    budget_constant: float = 4.0,
+) -> QuantumApproxDiameterResult:
+    """Compute a 3/2-approximation of the diameter (Theorem 4 / Figure 3).
+
+    When ``s`` is not given it is set to the balancing value
+    ``Theta(n^{2/3} / d^{1/3})`` with ``d = ecc(leader)``.
+    """
+    if isinstance(network, Graph):
+        network = Network(network)
+    rng = random.Random(seed)
+    n = network.num_nodes
+    metrics = ExecutionMetrics()
+
+    # A leader and its eccentricity give the 2-approximation of D needed to
+    # pick s; this is part of the preparation cost.
+    election = run_leader_election(network)
+    metrics = metrics.merged(election.metrics)
+    leader_ecc = run_eccentricity(network, election.leader)
+    metrics = metrics.merged(leader_ecc.metrics)
+    if s is None:
+        s = default_s_parameter(n, leader_ecc.eccentricity)
+
+    preparation = run_hprw_preparation(
+        network, s=s, seed=seed, leader=election.leader
+    )
+    metrics = metrics.merged(preparation.metrics)
+
+    ecc_w = run_eccentricity(network, preparation.w, tree=preparation.w_tree)
+    metrics = metrics.merged(ecc_w.metrics)
+
+    problem = BallEccentricityProblem(network, preparation, oracle_mode=oracle_mode)
+    optimization = run_distributed_quantum_optimization(
+        problem, delta=delta, rng=rng, budget_constant=budget_constant
+    )
+    metrics = metrics.merged(optimization.metrics)
+
+    estimate = max(
+        preparation.max_ecc_over_samples,
+        ecc_w.eccentricity,
+        int(optimization.best_value),
+    )
+    counts = optimization.counts
+    return QuantumApproxDiameterResult(
+        estimate=estimate,
+        ball_size=len(preparation.ball),
+        s_parameter=s,
+        w=preparation.w,
+        counts=counts,
+        metrics=metrics,
+        preparation=preparation,
+        optimization=optimization,
+    )

@@ -1,0 +1,30 @@
+"""Graph substrate: data structure, generators and lower-bound gadget graphs.
+
+This subpackage provides everything the rest of the library needs to talk
+about *static network topologies*:
+
+* :class:`repro.graphs.graph.Graph` -- a small, dependency-free undirected
+  graph with exact BFS-based distance / eccentricity / diameter oracles.
+  These oracles are the ground truth against which every distributed
+  algorithm in the library is validated.
+* :mod:`repro.graphs.generators` -- workload generators (paths, cycles,
+  trees, grids, random graphs, and families with controlled diameter) used
+  by the benchmark harnesses.
+* :mod:`repro.graphs.gadgets_hw12`, :mod:`repro.graphs.gadgets_achk`,
+  :mod:`repro.graphs.gadgets_path` -- the graph constructions used by the
+  paper's lower bounds (Theorems 8 and 9, and Section 6.2).
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs import generators
+from repro.graphs.gadgets_hw12 import HW12Gadget
+from repro.graphs.gadgets_achk import ACHKGadget
+from repro.graphs.gadgets_path import PathSubdividedGadget
+
+__all__ = [
+    "Graph",
+    "generators",
+    "HW12Gadget",
+    "ACHKGadget",
+    "PathSubdividedGadget",
+]

@@ -1,0 +1,194 @@
+"""A sparse-cut disjointness gadget in the style of Abboud et al. (ACHK16).
+
+Theorem 9 of the paper cites [ACHK16] for the existence of a
+``(Theta(log n), Theta(n), 4, 5)``-reduction from set disjointness to
+diameter computation: a family of graphs with only ``Theta(log n)`` edges
+crossing between Alice's side and Bob's side, input length ``k = Theta(n)``,
+and the property that the graph has diameter at most 4 when the inputs are
+disjoint and at least 5 when they intersect.
+
+The paper uses that reduction purely as a black box (only the four
+parameters matter for Theorems 3 and 10), and does not reproduce the
+construction.  We therefore implement a self-contained *bit-gadget*
+construction with exactly those parameters and verify its correctness by
+brute force in the test-suite.  The construction follows the standard
+ACHK16/orthogonal-vectors recipe:
+
+* Alice's side holds one node ``l_i`` per input index ``i``, a pair of
+  bit-nodes ``f_{p,0}, f_{p,1}`` per bit position ``p`` of the index, and a
+  hub ``u*``.  Node ``l_i`` is wired to ``f_{p, bit_p(i)}`` for every ``p``,
+  and the hub ``u*`` is wired to every bit-node.
+* Bob's side mirrors this with nodes ``r_i``, bit-nodes ``h_{p,c}`` and a
+  hub ``v*``.
+* The only edges crossing the cut are ``f_{p,c} -- h_{p,1-c}`` (complementary
+  bit values) and ``u* -- v*``: that is ``2 * ceil(log2 k) + 1`` cut edges.
+* Alice's input ``x`` adds the edge ``{l_i, u*}`` whenever ``x_i = 0``;
+  Bob's input adds ``{r_i, v*}`` whenever ``y_i = 0``.
+
+For two distinct indices ``i != j`` the nodes ``l_i`` and ``r_j`` disagree on
+some bit position and are therefore at distance 3 through the complementary
+bit-nodes.  For ``i = j`` the only short routes go through a hub, which
+requires ``x_i = 0`` or ``y_i = 0``; when ``x_i = y_i = 1`` the distance
+``d(l_i, r_i)`` rises to 5.  All remaining pairs are within distance 4
+regardless of the inputs, so the diameter is 4 when ``DISJ(x, y) = 1`` and
+5 when ``DISJ(x, y) = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.graphs.graph import Graph, NodeId
+
+
+def _num_bits(k: int) -> int:
+    """Number of bits used to index ``k`` items (at least 1)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    bits = 1
+    while (1 << bits) < k:
+        bits += 1
+    return bits
+
+
+class ACHKGadget:
+    """Factory for the sparse-cut (``Theta(log n)`` cut edges) gadget.
+
+    Parameters
+    ----------
+    k:
+        Input length for each player.  The graph has ``2k + 4B + 2`` nodes
+        where ``B = ceil(log2 k)`` (with ``B >= 1``), i.e. ``n = Theta(k)``.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.num_index_bits = _num_bits(k)
+
+    # ------------------------------------------------------------------
+    # Reduction parameters (Definition 3)
+    # ------------------------------------------------------------------
+    @property
+    def input_length(self) -> int:
+        """Each player's input length ``k``."""
+        return self.k
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ``2k + 4B + 2``."""
+        return 2 * self.k + 4 * self.num_index_bits + 2
+
+    @property
+    def cut_size(self) -> int:
+        """Number of cut edges ``b = 2B + 1 = Theta(log n)``."""
+        return 2 * self.num_index_bits + 1
+
+    @property
+    def diameter_if_disjoint(self) -> int:
+        """``d1 = 4`` in Definition 3."""
+        return 4
+
+    @property
+    def diameter_if_intersecting(self) -> int:
+        """``d2 = 5`` in Definition 3."""
+        return 5
+
+    # ------------------------------------------------------------------
+    # Node sets
+    # ------------------------------------------------------------------
+    def left_nodes(self) -> List[NodeId]:
+        """Alice's side: ``l_i`` nodes, ``f`` bit-nodes and the hub ``u*``."""
+        side: List[NodeId] = [("l", i) for i in range(self.k)]
+        for p in range(self.num_index_bits):
+            side.append(("f", p, 0))
+            side.append(("f", p, 1))
+        side.append(("ustar",))
+        return side
+
+    def right_nodes(self) -> List[NodeId]:
+        """Bob's side: ``r_i`` nodes, ``h`` bit-nodes and the hub ``v*``."""
+        side: List[NodeId] = [("r", i) for i in range(self.k)]
+        for p in range(self.num_index_bits):
+            side.append(("h", p, 0))
+            side.append(("h", p, 1))
+        side.append(("vstar",))
+        return side
+
+    def cut_edges(self) -> List[Tuple[NodeId, NodeId]]:
+        """The ``2B + 1`` edges crossing between the two sides."""
+        edges: List[Tuple[NodeId, NodeId]] = []
+        for p in range(self.num_index_bits):
+            edges.append((("f", p, 0), ("h", p, 1)))
+            edges.append((("f", p, 1), ("h", p, 0)))
+        edges.append((("ustar",), ("vstar",)))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def base_graph(self) -> Graph:
+        """The input-independent part of the gadget."""
+        graph = Graph(nodes=self.left_nodes() + self.right_nodes())
+        for i in range(self.k):
+            for p in range(self.num_index_bits):
+                bit = (i >> p) & 1
+                graph.add_edge(("l", i), ("f", p, bit))
+                graph.add_edge(("r", i), ("h", p, bit))
+        for p in range(self.num_index_bits):
+            for value in (0, 1):
+                graph.add_edge(("ustar",), ("f", p, value))
+                graph.add_edge(("vstar",), ("h", p, value))
+        graph.add_edges_from(self.cut_edges())
+        return graph
+
+    def alice_edges(self, x: Sequence[int]) -> List[Tuple[NodeId, NodeId]]:
+        """Edges added on Alice's side: ``{l_i, u*}`` whenever ``x_i = 0``."""
+        self._check_input(x)
+        return [(("l", i), ("ustar",)) for i in range(self.k) if x[i] == 0]
+
+    def bob_edges(self, y: Sequence[int]) -> List[Tuple[NodeId, NodeId]]:
+        """Edges added on Bob's side: ``{r_i, v*}`` whenever ``y_i = 0``."""
+        self._check_input(y)
+        return [(("r", i), ("vstar",)) for i in range(self.k) if y[i] == 0]
+
+    def graph_for_inputs(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        """The graph ``G_n(x, y)`` of Definition 3."""
+        graph = self.base_graph()
+        graph.add_edges_from(self.alice_edges(x))
+        graph.add_edges_from(self.bob_edges(y))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Reference predictions
+    # ------------------------------------------------------------------
+    def predicted_diameter(self, x: Sequence[int], y: Sequence[int]) -> int:
+        """Diameter predicted by the reduction (4 if disjoint, 5 otherwise)."""
+        self._check_input(x)
+        self._check_input(y)
+        intersects = any(a == 1 and b == 1 for a, b in zip(x, y))
+        return (
+            self.diameter_if_intersecting
+            if intersects
+            else self.diameter_if_disjoint
+        )
+
+    def witness_pair(self, x: Sequence[int], y: Sequence[int]) -> Tuple[NodeId, NodeId]:
+        """A cross pair witnessing distance >= 5 when the inputs intersect.
+
+        Raises ``ValueError`` when the inputs are disjoint (no witness
+        exists).
+        """
+        self._check_input(x)
+        self._check_input(y)
+        for i in range(self.k):
+            if x[i] == 1 and y[i] == 1:
+                return (("l", i), ("r", i))
+        raise ValueError("inputs are disjoint: no witness pair exists")
+
+    def _check_input(self, bits: Sequence[int]) -> None:
+        if len(bits) != self.k:
+            raise ValueError(f"input must have length {self.k}, got {len(bits)}")
+        if any(bit not in (0, 1) for bit in bits):
+            raise ValueError("input must be a 0/1 sequence")

@@ -1,0 +1,177 @@
+"""The Holzer-Wattenhofer gadget (Theorem 8 / Figure 4 of the paper).
+
+This module builds, for a size parameter ``s``, the bipartite-cut graph
+``G_n`` of the proof of Theorem 8 and the input-dependent graphs
+``G_n(x, y)``.  The construction realises a
+``(Theta(n), Theta(n^2), 2, 3)``-reduction from two-party set disjointness to
+diameter computation (Definition 3 of the paper):
+
+* the two sides are ``U = L + L' + {a}`` and ``V = R + R' + {b}``, with
+  ``|L| = |L'| = |R| = |R'| = s``;
+* each of ``L``, ``L'``, ``R``, ``R'`` is an ``s``-clique, ``a`` is adjacent
+  to all of ``L + L'``, ``b`` to all of ``R + R'``;
+* the cut edges are ``{l_i, r_i}``, ``{l'_i, r'_i}`` for every ``i`` and the
+  edge ``{a, b}`` -- ``2s + 1`` cut edges in total;
+* Alice's input ``x in {0,1}^(s*s)`` adds the edge ``{l_i, l'_j}`` whenever
+  ``x[i, j] = 0``; Bob's input ``y`` adds ``{r_i, r'_j}`` whenever
+  ``y[i, j] = 0``.
+
+Then ``d(l_i, r'_j) = 3`` exactly when ``x[i, j] = y[i, j] = 1`` and 2
+otherwise, so the graph has diameter 3 when the inputs intersect
+(``DISJ = 0``) and diameter 2 when they are disjoint (``DISJ = 1``).
+
+Node labels are tuples such as ``("l", 3)``, ``("lp", 0)``, ``("a",)`` so
+that tests and benchmarks can address the two sides symbolically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graphs.graph import Graph, NodeId
+
+
+class HW12Gadget:
+    """Factory for the Theorem-8 gadget graphs.
+
+    Parameters
+    ----------
+    s:
+        Size parameter: each of the four cliques has ``s`` nodes, the input
+        length is ``k = s * s`` bits and the total number of nodes is
+        ``n = 4 s + 2``.
+    """
+
+    def __init__(self, s: int) -> None:
+        if s < 1:
+            raise ValueError(f"s must be >= 1, got {s}")
+        self.s = s
+
+    # ------------------------------------------------------------------
+    # Reduction parameters (Definition 3)
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ``n = 4s + 2``."""
+        return 4 * self.s + 2
+
+    @property
+    def input_length(self) -> int:
+        """Length ``k = s^2`` of each player's input."""
+        return self.s * self.s
+
+    @property
+    def cut_size(self) -> int:
+        """Number of edges crossing the cut: ``b = 2s + 1``."""
+        return 2 * self.s + 1
+
+    @property
+    def diameter_if_disjoint(self) -> int:
+        """``d1 = 2`` in Definition 3."""
+        return 2
+
+    @property
+    def diameter_if_intersecting(self) -> int:
+        """``d2 = 3`` in Definition 3."""
+        return 3
+
+    # ------------------------------------------------------------------
+    # Node sets
+    # ------------------------------------------------------------------
+    def left_nodes(self) -> List[NodeId]:
+        """The side ``U = L + L' + {a}`` (Alice's side)."""
+        side: List[NodeId] = [("l", i) for i in range(self.s)]
+        side += [("lp", i) for i in range(self.s)]
+        side.append(("a",))
+        return side
+
+    def right_nodes(self) -> List[NodeId]:
+        """The side ``V = R + R' + {b}`` (Bob's side)."""
+        side: List[NodeId] = [("r", i) for i in range(self.s)]
+        side += [("rp", i) for i in range(self.s)]
+        side.append(("b",))
+        return side
+
+    def cut_edges(self) -> List[Tuple[NodeId, NodeId]]:
+        """The ``2s + 1`` edges crossing between the two sides."""
+        edges: List[Tuple[NodeId, NodeId]] = []
+        for i in range(self.s):
+            edges.append((("l", i), ("r", i)))
+            edges.append((("lp", i), ("rp", i)))
+        edges.append((("a",), ("b",)))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def base_graph(self) -> Graph:
+        """The input-independent part of the gadget."""
+        graph = Graph(nodes=self.left_nodes() + self.right_nodes())
+        # The four cliques.
+        for prefix in ("l", "lp", "r", "rp"):
+            for i in range(self.s):
+                for j in range(i + 1, self.s):
+                    graph.add_edge((prefix, i), (prefix, j))
+        # Hubs a and b.
+        for i in range(self.s):
+            graph.add_edge(("a",), ("l", i))
+            graph.add_edge(("a",), ("lp", i))
+            graph.add_edge(("b",), ("r", i))
+            graph.add_edge(("b",), ("rp", i))
+        graph.add_edges_from(self.cut_edges())
+        return graph
+
+    def alice_edges(self, x: Sequence[int]) -> List[Tuple[NodeId, NodeId]]:
+        """Edges added on Alice's side for input ``x`` (length ``s^2``)."""
+        self._check_input(x)
+        edges = []
+        for i in range(self.s):
+            for j in range(self.s):
+                if x[i * self.s + j] == 0:
+                    edges.append((("l", i), ("lp", j)))
+        return edges
+
+    def bob_edges(self, y: Sequence[int]) -> List[Tuple[NodeId, NodeId]]:
+        """Edges added on Bob's side for input ``y`` (length ``s^2``)."""
+        self._check_input(y)
+        edges = []
+        for i in range(self.s):
+            for j in range(self.s):
+                if y[i * self.s + j] == 0:
+                    edges.append((("r", i), ("rp", j)))
+        return edges
+
+    def graph_for_inputs(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        """The graph ``G_n(x, y)`` of Definition 3."""
+        graph = self.base_graph()
+        graph.add_edges_from(self.alice_edges(x))
+        graph.add_edges_from(self.bob_edges(y))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Reference predictions
+    # ------------------------------------------------------------------
+    def predicted_diameter(self, x: Sequence[int], y: Sequence[int]) -> int:
+        """Diameter predicted by the reduction for inputs ``x`` and ``y``.
+
+        It is 3 when the inputs intersect (``DISJ = 0``) and 2 otherwise,
+        except in the degenerate single-clique corner where ``s = 1`` and the
+        inputs are disjoint: there the prediction is still 2 as long as at
+        least two distinct nodes exist, which always holds.
+        """
+        self._check_input(x)
+        self._check_input(y)
+        intersects = any(a == 1 and b == 1 for a, b in zip(x, y))
+        return (
+            self.diameter_if_intersecting
+            if intersects
+            else self.diameter_if_disjoint
+        )
+
+    def _check_input(self, bits: Sequence[int]) -> None:
+        if len(bits) != self.input_length:
+            raise ValueError(
+                f"input must have length {self.input_length}, got {len(bits)}"
+            )
+        if any(bit not in (0, 1) for bit in bits):
+            raise ValueError("input must be a 0/1 sequence")

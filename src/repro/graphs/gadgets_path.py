@@ -1,0 +1,153 @@
+"""Path-subdivided gadgets: the graphs ``G'_n(x, y)`` of Section 6.2 (Figure 8).
+
+To make the diameter appear in the lower bound of Theorem 3, the paper takes
+the sparse-cut reduction of Theorem 9 and replaces every edge crossing the
+cut by a path of ``d`` intermediate ("dummy") nodes.  The resulting graph
+``G'_n(x, y)`` has ``n' = n + b * d`` nodes, its left and right parts are now
+``d + 1`` hops apart, and deciding whether its diameter is ``d + 4`` or
+``d + 5`` is exactly as hard as the original ``4`` versus ``5`` question --
+but any algorithm now needs ``d`` rounds to move a single (qu)bit across,
+which is what drives the ``Omega~(sqrt(n D) / s)`` bound.
+
+:class:`PathSubdividedGadget` wraps any of the base gadgets
+(:class:`repro.graphs.gadgets_achk.ACHKGadget` by default, or
+:class:`repro.graphs.gadgets_hw12.HW12Gadget`) and performs the subdivision.
+The intermediate nodes on the path replacing the cut edge ``(u, v)`` are
+labelled ``("path", u, v, t)`` for ``t = 1 .. d``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.graphs.gadgets_achk import ACHKGadget
+from repro.graphs.gadgets_hw12 import HW12Gadget
+from repro.graphs.graph import Graph, NodeId
+
+BaseGadget = Union[ACHKGadget, HW12Gadget]
+
+
+class PathSubdividedGadget:
+    """Subdivide the cut edges of a disjointness gadget into length-(d+1) paths.
+
+    Parameters
+    ----------
+    base:
+        The underlying gadget providing ``base_graph``, ``cut_edges``,
+        ``alice_edges``, ``bob_edges`` and the Definition-3 parameters.
+    path_length:
+        The number ``d >= 1`` of intermediate nodes inserted on every cut
+        edge.  The diameter guarantees (``d + d1`` versus ``d + d2``) hold
+        for ``d >= 3``; smaller values are accepted but the caller should
+        check diameters explicitly (the test-suite does).
+    """
+
+    def __init__(self, base: BaseGadget, path_length: int) -> None:
+        if path_length < 1:
+            raise ValueError(f"path_length must be >= 1, got {path_length}")
+        self.base = base
+        self.path_length = path_length
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    @property
+    def input_length(self) -> int:
+        """Input length inherited from the base gadget."""
+        return self.base.input_length
+
+    @property
+    def cut_size(self) -> int:
+        """Number of subdivided cut edges (``b`` of the base gadget)."""
+        return self.base.cut_size
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ``n' = n + b * d``."""
+        return self.base.num_nodes + self.base.cut_size * self.path_length
+
+    @property
+    def diameter_if_disjoint(self) -> int:
+        """``d + d1``: the diameter threshold when the inputs are disjoint."""
+        return self.path_length + self.base.diameter_if_disjoint
+
+    @property
+    def diameter_if_intersecting(self) -> int:
+        """``d + d2``: the diameter threshold when the inputs intersect."""
+        return self.path_length + self.base.diameter_if_intersecting
+
+    # ------------------------------------------------------------------
+    # Node ownership: which of the d+2 simulated parties owns which node.
+    # ------------------------------------------------------------------
+    def left_nodes(self) -> List[NodeId]:
+        """Nodes owned by the left extremity (Alice / node ``A`` of ``G_d``)."""
+        return list(self.base.left_nodes())
+
+    def right_nodes(self) -> List[NodeId]:
+        """Nodes owned by the right extremity (Bob / node ``B`` of ``G_d``)."""
+        return list(self.base.right_nodes())
+
+    def layer_nodes(self, layer: int) -> List[NodeId]:
+        """Intermediate nodes in vertical layer ``layer`` (1-based, up to d).
+
+        Layer ``t`` contains, for every subdivided cut edge, the ``t``-th
+        dummy node counted from the left side.  This is the partition used by
+        the players ``P_1 .. P_d`` in the proof of Theorem 3 (Figure 8).
+        """
+        if not 1 <= layer <= self.path_length:
+            raise ValueError(
+                f"layer must be in [1, {self.path_length}], got {layer}"
+            )
+        return [
+            ("path", u, v, layer) for u, v in self.base.cut_edges()
+        ]
+
+    def ownership(self) -> Dict[NodeId, int]:
+        """Map each node to its owner: 0 for Alice, d+1 for Bob, t for layer t."""
+        owner: Dict[NodeId, int] = {}
+        for node in self.left_nodes():
+            owner[node] = 0
+        for node in self.right_nodes():
+            owner[node] = self.path_length + 1
+        for layer in range(1, self.path_length + 1):
+            for node in self.layer_nodes(layer):
+                owner[node] = layer
+        return owner
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def graph_for_inputs(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        """The subdivided graph ``G'_n(x, y)``."""
+        original = self.base.graph_for_inputs(x, y)
+        graph = Graph(nodes=original.nodes())
+        cut = {frozenset(edge) for edge in self.base.cut_edges()}
+        for u, v in original.edges():
+            if frozenset((u, v)) in cut:
+                continue
+            graph.add_edge(u, v)
+        for u, v in self.base.cut_edges():
+            previous = u
+            for t in range(1, self.path_length + 1):
+                dummy = ("path", u, v, t)
+                graph.add_edge(previous, dummy)
+                previous = dummy
+            graph.add_edge(previous, v)
+        return graph
+
+    def predicted_diameter(self, x: Sequence[int], y: Sequence[int]) -> int:
+        """Diameter threshold predicted by the reduction.
+
+        Returns ``d + d2`` when the inputs intersect and ``d + d1``
+        otherwise.  For intersecting inputs the actual diameter equals the
+        returned value (for ``d >= 3``); for disjoint inputs the actual
+        diameter is at most the returned value.
+        """
+        intersects = any(
+            a == 1 and b == 1 for a, b in zip(x, y)
+        )
+        return (
+            self.diameter_if_intersecting
+            if intersects
+            else self.diameter_if_disjoint
+        )

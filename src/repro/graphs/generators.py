@@ -1,0 +1,286 @@
+"""Workload generators: graph families with controllable size and diameter.
+
+The benchmark harnesses (``benchmarks/``) sweep the number of nodes ``n`` and
+the diameter ``D`` independently, because the paper's round complexities
+(Table 1) depend on both: the quantum exact algorithm runs in
+``O~(sqrt(n * D))`` rounds, the classical baseline in ``O(n)`` rounds, the
+quantum 3/2-approximation in ``O~((n * D)**(1/3) + D)`` rounds, and so on.
+The families below make it possible to hold one parameter fixed while
+sweeping the other.
+
+All generators take a ``seed`` (or none when deterministic) and return a
+:class:`repro.graphs.graph.Graph` with integer node labels ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` nodes; diameter ``n - 1``."""
+    _require_positive(n)
+    graph = Graph(nodes=range(n))
+    graph.add_edges_from((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` nodes; diameter ``floor(n / 2)``."""
+    if n < 3:
+        raise ValueError(f"a cycle needs at least 3 nodes, got {n}")
+    graph = Graph(nodes=range(n))
+    graph.add_edges_from((i, (i + 1) % n) for i in range(n))
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """Star with one hub and ``n - 1`` leaves; diameter 2 (for ``n >= 3``)."""
+    _require_positive(n)
+    graph = Graph(nodes=range(n))
+    graph.add_edges_from((0, i) for i in range(1, n))
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph on ``n`` nodes; diameter 1 (for ``n >= 2``)."""
+    _require_positive(n)
+    graph = Graph(nodes=range(n))
+    graph.add_edges_from((i, j) for i in range(n) for j in range(i + 1, n))
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """``rows x cols`` grid; diameter ``rows + cols - 2``."""
+    _require_positive(rows)
+    _require_positive(cols)
+    graph = Graph(nodes=range(rows * cols))
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(node(r, c), node(r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge(node(r, c), node(r + 1, c))
+    return graph
+
+
+def balanced_tree(branching: int, depth: int) -> Graph:
+    """Complete ``branching``-ary tree of the given ``depth``.
+
+    Diameter is ``2 * depth`` and the number of nodes is
+    ``(branching**(depth+1) - 1) / (branching - 1)`` for ``branching > 1``.
+    """
+    if branching < 1:
+        raise ValueError(f"branching factor must be >= 1, got {branching}")
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    graph = Graph(nodes=[0])
+    frontier = [0]
+    next_label = 1
+    for _ in range(depth):
+        new_frontier: List[int] = []
+        for parent in frontier:
+            for _ in range(branching):
+                graph.add_edge(parent, next_label)
+                new_frontier.append(next_label)
+                next_label += 1
+        frontier = new_frontier
+    return graph
+
+
+def random_connected_gnp(n: int, p: float, seed: Optional[int] = None) -> Graph:
+    """Erdos-Renyi ``G(n, p)`` conditioned on connectivity.
+
+    Connectivity is guaranteed by first laying down a uniformly random
+    spanning tree (random-permutation attachment) and then adding each of the
+    remaining pairs independently with probability ``p``.  The resulting
+    distribution is not exactly ``G(n, p) | connected`` but is a standard,
+    well-behaved stand-in with the same density regime; it is used purely as
+    a benchmark workload.
+    """
+    _require_positive(n)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    graph = Graph(nodes=range(n))
+    for index in range(1, n):
+        attach_to = order[rng.randrange(index)]
+        graph.add_edge(order[index], attach_to)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v) and rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def clique_chain(num_cliques: int, clique_size: int) -> Graph:
+    """A chain of cliques: ``num_cliques`` cliques of ``clique_size`` nodes.
+
+    Consecutive cliques are joined by a single bridge edge.  This family has
+    ``n = num_cliques * clique_size`` nodes and diameter
+    ``2 * num_cliques - 1`` (for ``clique_size >= 2``), which makes it ideal
+    for sweeping ``n`` while keeping ``D`` proportional to a chosen value --
+    exactly the regime where the quantum algorithm's ``sqrt(n * D)`` round
+    count separates from the classical ``n``.
+    """
+    _require_positive(num_cliques)
+    _require_positive(clique_size)
+    graph = Graph(nodes=range(num_cliques * clique_size))
+    for block in range(num_cliques):
+        base = block * clique_size
+        members = range(base, base + clique_size)
+        for i in members:
+            for j in members:
+                if i < j:
+                    graph.add_edge(i, j)
+        if block + 1 < num_cliques:
+            graph.add_edge(base + clique_size - 1, base + clique_size)
+    return graph
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """A clique of ``clique_size`` nodes with a path of ``path_length`` nodes
+    attached; diameter ``path_length + 1``.
+    """
+    _require_positive(clique_size)
+    if path_length < 0:
+        raise ValueError(f"path_length must be >= 0, got {path_length}")
+    graph = complete_graph(clique_size)
+    previous = 0
+    for i in range(path_length):
+        new_node = clique_size + i
+        graph.add_edge(previous, new_node)
+        previous = new_node
+    return graph
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Two cliques of ``clique_size`` nodes joined by a path of
+    ``path_length`` intermediate nodes; diameter ``path_length + 3`` for
+    ``clique_size >= 2``.
+    """
+    _require_positive(clique_size)
+    if path_length < 0:
+        raise ValueError(f"path_length must be >= 0, got {path_length}")
+    graph = complete_graph(clique_size)
+    offset = clique_size + path_length
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            graph.add_edge(offset + i, offset + j)
+    previous = 0
+    for i in range(path_length):
+        new_node = clique_size + i
+        graph.add_edge(previous, new_node)
+        previous = new_node
+    graph.add_edge(previous, offset)
+    return graph
+
+
+def diameter_controlled_graph(
+    n: int, target_diameter: int, seed: Optional[int] = None
+) -> Graph:
+    """A connected graph on ``n`` nodes with diameter exactly
+    ``target_diameter`` (when feasible).
+
+    Construction: a backbone path of ``target_diameter + 1`` nodes fixes a
+    lower bound on the diameter; the remaining nodes are attached to backbone
+    node 0 (forming a dense cluster around it) so that no eccentricity
+    exceeds the backbone's.  Extra random chords are added inside the cluster
+    to keep it from being a trivial star.
+
+    Raises ``ValueError`` when ``target_diameter`` is infeasible for ``n``
+    (needs ``2 <= target_diameter + 1 <= n``, or ``n == 1`` and diameter 0).
+    """
+    _require_positive(n)
+    if n == 1:
+        if target_diameter != 0:
+            raise ValueError("a single-node graph has diameter 0")
+        return Graph(nodes=[0])
+    if target_diameter < 1 or target_diameter + 1 > n:
+        raise ValueError(
+            f"cannot build an n={n} graph with diameter {target_diameter}"
+        )
+    if target_diameter == 1:
+        return complete_graph(n)
+    rng = random.Random(seed)
+    graph = path_graph(target_diameter + 1)
+    cluster = list(range(target_diameter + 1, n))
+    for node in cluster:
+        graph.add_node(node)
+        graph.add_edge(node, 0)
+        # Also connect to backbone node 1 (if any) so cluster nodes do not
+        # increase eccentricities beyond the backbone endpoints.
+        if target_diameter >= 1:
+            graph.add_edge(node, 1)
+    for _ in range(len(cluster)):
+        if len(cluster) >= 2:
+            u, v = rng.sample(cluster, 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_tree(n: int, seed: Optional[int] = None) -> Graph:
+    """Uniform-attachment random tree on ``n`` nodes."""
+    _require_positive(n)
+    rng = random.Random(seed)
+    graph = Graph(nodes=range(n))
+    for node in range(1, n):
+        graph.add_edge(node, rng.randrange(node))
+    return graph
+
+
+def family_for_sweep(
+    kind: str, n: int, seed: Optional[int] = None
+) -> Graph:
+    """Dispatch helper used by the benchmark harnesses.
+
+    ``kind`` is one of ``"path"``, ``"cycle"``, ``"star"``, ``"clique_chain"``,
+    ``"lollipop"``, ``"random_sparse"``, ``"random_dense"``, ``"tree"``.
+    """
+    if kind == "path":
+        return path_graph(n)
+    if kind == "cycle":
+        return cycle_graph(n)
+    if kind == "star":
+        return star_graph(n)
+    if kind == "clique_chain":
+        clique_size = max(2, int(round(n ** 0.5)))
+        num_cliques = max(1, n // clique_size)
+        return clique_chain(num_cliques, clique_size)
+    if kind == "lollipop":
+        clique_size = max(2, n // 2)
+        return lollipop_graph(clique_size, n - clique_size)
+    if kind == "random_sparse":
+        return random_connected_gnp(n, p=2.0 / max(n, 2), seed=seed)
+    if kind == "random_dense":
+        return random_connected_gnp(n, p=0.3, seed=seed)
+    if kind == "tree":
+        return random_tree(n, seed=seed)
+    raise ValueError(f"unknown graph family {kind!r}")
+
+
+SWEEP_FAMILIES: Tuple[str, ...] = (
+    "path",
+    "cycle",
+    "star",
+    "clique_chain",
+    "lollipop",
+    "random_sparse",
+    "random_dense",
+    "tree",
+)
+
+
+def _require_positive(value: int) -> None:
+    if value < 1:
+        raise ValueError(f"expected a positive integer, got {value}")

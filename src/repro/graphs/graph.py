@@ -1,0 +1,281 @@
+"""A small undirected graph type with exact distance oracles.
+
+The distributed algorithms in this library run on a
+:class:`repro.congest.network.Network`, which wraps a :class:`Graph`.  The
+:class:`Graph` itself also serves as the *sequential reference oracle*: its
+BFS-based ``distances`` / ``eccentricity`` / ``diameter`` methods are the
+ground truth used by the test-suite and by the benchmark harnesses to check
+the answers produced by the distributed (classical and quantum) algorithms.
+
+Nodes are identified by arbitrary hashable labels.  Most generators use
+consecutive integers, while the lower-bound gadgets use descriptive tuples
+such as ``("l", 3)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+NodeId = Hashable
+Edge = Tuple[NodeId, NodeId]
+
+
+class Graph:
+    """An undirected, unweighted graph stored as an adjacency map.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of node identifiers to pre-populate.
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Endpoints are added
+        automatically if missing.
+    """
+
+    def __init__(
+        self,
+        nodes: Optional[Iterable[NodeId]] = None,
+        edges: Optional[Iterable[Edge]] = None,
+    ) -> None:
+        self._adj: Dict[NodeId, Set[NodeId]] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        """Add ``node`` if not already present."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_edge(self, u: NodeId, v: NodeId) -> None:
+        """Add the undirected edge ``{u, v}``.  Self-loops are rejected."""
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (node {u!r})")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Add every edge from ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove the undirected edge ``{u, v}``.
+
+        Raises ``KeyError`` if the edge is not present.
+        """
+        if v not in self._adj.get(u, ()):  # pragma: no branch - symmetric
+            raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of the graph."""
+        other = Graph()
+        other._adj = {node: set(neigh) for node, neigh in self._adj.items()}
+        return other
+
+    def relabelled(self) -> Tuple["Graph", Dict[NodeId, int]]:
+        """Return a copy with nodes relabelled ``0..n-1`` plus the mapping.
+
+        The mapping sends original labels to the new integer labels.  Labels
+        are assigned in the (deterministic) insertion order of the nodes.
+        """
+        mapping = {node: index for index, node in enumerate(self._adj)}
+        relabelled = Graph(nodes=range(len(mapping)))
+        for u, neighbours in self._adj.items():
+            for v in neighbours:
+                if mapping[u] < mapping[v]:
+                    relabelled.add_edge(mapping[u], mapping[v])
+        return relabelled, mapping
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neigh) for neigh in self._adj.values()) // 2
+
+    def nodes(self) -> List[NodeId]:
+        """List of node identifiers, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> List[Edge]:
+        """List of edges, each reported once."""
+        seen: Set[frozenset] = set()
+        result: List[Edge] = []
+        for u, neighbours in self._adj.items():
+            for v in neighbours:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    result.append((u, v))
+        return result
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Neighbours of ``node`` (raises ``KeyError`` if absent)."""
+        return list(self._adj[node])
+
+    def degree(self, node: NodeId) -> int:
+        """Degree of ``node``."""
+        return len(self._adj[node])
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(neigh) for neigh in self._adj.values())
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Whether the undirected edge ``{u, v}`` is in the graph."""
+        return v in self._adj.get(u, ())
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.num_nodes}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Distance oracles (sequential reference implementations)
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: NodeId) -> Dict[NodeId, int]:
+        """Return the map ``{v: d(source, v)}`` for all reachable ``v``."""
+        if source not in self._adj:
+            raise KeyError(f"node {source!r} not in graph")
+        dist: Dict[NodeId, int] = {source: 0}
+        queue: deque = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def bfs_tree(self, source: NodeId) -> Dict[NodeId, Optional[NodeId]]:
+        """Return a BFS tree rooted at ``source`` as a parent map.
+
+        The root maps to ``None``.  Ties between potential parents are
+        broken by insertion order of the adjacency sets, which makes the
+        output deterministic for a deterministically-built graph.
+        """
+        if source not in self._adj:
+            raise KeyError(f"node {source!r} not in graph")
+        parent: Dict[NodeId, Optional[NodeId]] = {source: None}
+        queue: deque = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in sorted(self._adj[u], key=repr):
+                if v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        return parent
+
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        """Exact distance between ``u`` and ``v``.
+
+        Raises ``ValueError`` if ``v`` is unreachable from ``u``.
+        """
+        dist = self.bfs_distances(u)
+        if v not in dist:
+            raise ValueError(f"node {v!r} is not reachable from {u!r}")
+        return dist[v]
+
+    def eccentricity(self, node: NodeId) -> int:
+        """Eccentricity of ``node`` (max distance to any other node).
+
+        Raises ``ValueError`` if the graph is disconnected.
+        """
+        dist = self.bfs_distances(node)
+        if len(dist) != self.num_nodes:
+            raise ValueError("eccentricity is undefined on a disconnected graph")
+        return max(dist.values())
+
+    def all_eccentricities(self) -> Dict[NodeId, int]:
+        """Eccentricity of every node (requires a connected graph)."""
+        return {node: self.eccentricity(node) for node in self._adj}
+
+    def diameter(self) -> int:
+        """Exact diameter (max eccentricity).  Requires a connected graph."""
+        if self.num_nodes == 0:
+            raise ValueError("diameter is undefined on the empty graph")
+        return max(self.all_eccentricities().values())
+
+    def radius(self) -> int:
+        """Exact radius (min eccentricity).  Requires a connected graph."""
+        if self.num_nodes == 0:
+            raise ValueError("radius is undefined on the empty graph")
+        return min(self.all_eccentricities().values())
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (the empty graph is connected)."""
+        if self.num_nodes == 0:
+            return True
+        first = next(iter(self._adj))
+        return len(self.bfs_distances(first)) == self.num_nodes
+
+    def connected_components(self) -> List[Set[NodeId]]:
+        """List of connected components, each as a set of nodes."""
+        remaining = set(self._adj)
+        components: List[Set[NodeId]] = []
+        while remaining:
+            source = next(iter(remaining))
+            component = set(self.bfs_distances(source))
+            components.append(component)
+            remaining -= component
+        return components
+
+    def max_cross_distance(
+        self, left: Sequence[NodeId], right: Sequence[NodeId]
+    ) -> int:
+        """Maximum distance between a node of ``left`` and a node of ``right``.
+
+        This is the quantity written ``Delta(G)`` in Section 5 of the paper
+        (used by the lower-bound reductions of Definition 3).
+        """
+        best = 0
+        right_set = set(right)
+        for u in left:
+            dist = self.bfs_distances(u)
+            for v in right_set:
+                if v not in dist:
+                    raise ValueError(f"node {v!r} unreachable from {u!r}")
+                if dist[v] > best:
+                    best = dist[v]
+        return best
+
+    def induced_subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
+        """Return the subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        sub = Graph(nodes=keep)
+        for u in keep:
+            for v in self._adj[u]:
+                if v in keep:
+                    sub.add_edge(u, v)
+        return sub

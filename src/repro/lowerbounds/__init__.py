@@ -1,0 +1,78 @@
+"""Lower-bound machinery: reductions, two-party simulations and bounds.
+
+The paper's lower bounds (Theorems 2 and 3) follow the classical recipe --
+reduce two-party set disjointness to diameter computation over a carefully
+constructed network -- with two quantum twists: the bounded-round quantum
+communication lower bound for disjointness of [BGK+15] (Theorem 5), and the
+register-level simulation argument (Theorem 11) needed to handle quantum
+information that cannot be copied.
+
+This subpackage implements the machinery concretely:
+
+* :mod:`repro.lowerbounds.disjointness` -- the ``DISJ_k`` function and
+  instance generators;
+* :mod:`repro.lowerbounds.reductions` -- the ``(b, k, d1, d2)``-reduction
+  framework of Definition 3, with verifiers for the HW12 and ACHK-style
+  gadget constructions (Theorems 8 and 9);
+* :mod:`repro.lowerbounds.two_party` -- two-party protocols with message /
+  communication accounting;
+* :mod:`repro.lowerbounds.congest_to_two_party` -- Theorem 10: converting a
+  CONGEST diameter algorithm run on a gadget graph into a two-party
+  protocol for disjointness, with measured message and qubit counts;
+* :mod:`repro.lowerbounds.simulation` -- Theorem 11: the path network
+  ``G_d`` and the block-staircase simulation turning an ``r``-round
+  distributed protocol into an ``O(r/d)``-message two-party protocol of
+  ``O(r (bw + s))`` qubits;
+* :mod:`repro.lowerbounds.bounds` -- numeric evaluation of the implied
+  round lower bounds.
+"""
+
+from repro.lowerbounds.bounds import (
+    theorem2_lower_bound,
+    theorem3_lower_bound,
+    theorem5_communication_lower_bound,
+    theorem10_lower_bound,
+)
+from repro.lowerbounds.congest_to_two_party import (
+    TwoPartyReductionOutcome,
+    simulate_congest_algorithm_as_two_party_protocol,
+)
+from repro.lowerbounds.disjointness import (
+    disjointness,
+    random_disjoint_instance,
+    random_instance,
+    random_intersecting_instance,
+)
+from repro.lowerbounds.reductions import (
+    DisjointnessReduction,
+    achk_reduction,
+    hw12_reduction,
+    verify_reduction_on_instance,
+)
+from repro.lowerbounds.simulation import (
+    PathNetworkProtocol,
+    PathSimulationResult,
+    simulate_path_protocol_as_two_party,
+)
+from repro.lowerbounds.two_party import TwoPartyTranscript
+
+__all__ = [
+    "disjointness",
+    "random_instance",
+    "random_disjoint_instance",
+    "random_intersecting_instance",
+    "DisjointnessReduction",
+    "hw12_reduction",
+    "achk_reduction",
+    "verify_reduction_on_instance",
+    "TwoPartyTranscript",
+    "simulate_congest_algorithm_as_two_party_protocol",
+    "TwoPartyReductionOutcome",
+    "PathNetworkProtocol",
+    "PathSimulationResult",
+    "simulate_path_protocol_as_two_party",
+    "theorem2_lower_bound",
+    "theorem3_lower_bound",
+    "theorem5_communication_lower_bound",
+    "theorem10_lower_bound",
+]

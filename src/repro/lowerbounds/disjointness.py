@@ -1,0 +1,100 @@
+"""The set-disjointness function ``DISJ_k`` and instance generators.
+
+``DISJ_k(x, y) = 0`` iff there is an index ``i`` with ``x_i = y_i = 1``
+(Section 2.2 of the paper).  Its randomized classical two-party
+communication complexity is ``Theta(k)`` bits and its quantum communication
+complexity is ``Theta(sqrt(k))`` qubits; the bounded-round bound of
+Theorem 5 ([BGK+15]) -- ``Omega~(k / r + r)`` for ``r``-message protocols --
+is what powers the paper's quantum round lower bounds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+BitString = Tuple[int, ...]
+
+
+def disjointness(x: Sequence[int], y: Sequence[int]) -> int:
+    """``DISJ_k``: 1 when the supports are disjoint, 0 when they intersect."""
+    if len(x) != len(y):
+        raise ValueError(
+            f"inputs must have the same length, got {len(x)} and {len(y)}"
+        )
+    _check_bits(x)
+    _check_bits(y)
+    return 0 if any(a == 1 and b == 1 for a, b in zip(x, y)) else 1
+
+
+def intersection_witness(x: Sequence[int], y: Sequence[int]) -> Optional[int]:
+    """The smallest intersecting index, or ``None`` if the supports are disjoint."""
+    if len(x) != len(y):
+        raise ValueError("inputs must have the same length")
+    for index, (a, b) in enumerate(zip(x, y)):
+        if a == 1 and b == 1:
+            return index
+    return None
+
+
+def random_instance(
+    k: int, density: float = 0.5, seed: Optional[int] = None
+) -> Tuple[BitString, BitString]:
+    """A random pair of ``k``-bit inputs with i.i.d. Bernoulli(density) bits."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must lie in [0, 1], got {density}")
+    rng = random.Random(seed)
+    x = tuple(1 if rng.random() < density else 0 for _ in range(k))
+    y = tuple(1 if rng.random() < density else 0 for _ in range(k))
+    return x, y
+
+
+def random_disjoint_instance(
+    k: int, density: float = 0.5, seed: Optional[int] = None
+) -> Tuple[BitString, BitString]:
+    """A random pair of inputs guaranteed to be disjoint (``DISJ = 1``).
+
+    Every index independently receives one of the patterns ``00``, ``01`` or
+    ``10`` (never ``11``), with the 1-patterns appearing with probability
+    ``density`` each.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rng = random.Random(seed)
+    x: List[int] = []
+    y: List[int] = []
+    for _ in range(k):
+        roll = rng.random()
+        if roll < density / 2:
+            x.append(1)
+            y.append(0)
+        elif roll < density:
+            x.append(0)
+            y.append(1)
+        else:
+            x.append(0)
+            y.append(0)
+    return tuple(x), tuple(y)
+
+
+def random_intersecting_instance(
+    k: int, density: float = 0.5, seed: Optional[int] = None
+) -> Tuple[BitString, BitString]:
+    """A random pair of inputs guaranteed to intersect (``DISJ = 0``).
+
+    A random disjoint instance is drawn and a single uniformly random index
+    is planted with ``x_i = y_i = 1``.
+    """
+    rng = random.Random(seed)
+    x, y = random_disjoint_instance(k, density=density, seed=rng.randrange(2 ** 30))
+    planted = rng.randrange(k)
+    x = x[:planted] + (1,) + x[planted + 1:]
+    y = y[:planted] + (1,) + y[planted + 1:]
+    return x, y
+
+
+def _check_bits(bits: Sequence[int]) -> None:
+    if any(bit not in (0, 1) for bit in bits):
+        raise ValueError("inputs must be 0/1 sequences")

@@ -1,0 +1,154 @@
+"""The ``(b, k, d1, d2)``-reduction framework of Definition 3.
+
+A reduction from disjointness to diameter computation is a family of
+bipartite-cut graphs ``G_n`` together with input maps ``g_n`` (Alice) and
+``h_n`` (Bob) such that the graph ``G_n(x, y)`` has diameter at most ``d1``
+when ``DISJ_k(x, y) = 1`` and at least ``d2`` when ``DISJ_k(x, y) = 0``.
+The four parameters that matter downstream are ``b`` (cut edges), ``k``
+(input length) and the thresholds ``d1 < d2``.
+
+This module wraps the concrete gadget constructions of
+:mod:`repro.graphs.gadgets_hw12` (Theorem 8) and
+:mod:`repro.graphs.gadgets_achk` (Theorem 9) behind a common
+:class:`DisjointnessReduction` interface, and provides the brute-force
+verifier used by the tests and by the gadget benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.graphs.gadgets_achk import ACHKGadget
+from repro.graphs.gadgets_hw12 import HW12Gadget
+from repro.graphs.gadgets_path import PathSubdividedGadget
+from repro.graphs.graph import Graph, NodeId
+from repro.lowerbounds.disjointness import disjointness
+
+GadgetLike = Union[HW12Gadget, ACHKGadget, PathSubdividedGadget]
+
+
+@dataclass
+class DisjointnessReduction:
+    """A concrete ``(b, k, d1, d2)``-reduction (Definition 3)."""
+
+    name: str
+    gadget: GadgetLike
+    cut_edges: int          # b
+    input_length: int       # k
+    diameter_if_disjoint: int      # d1
+    diameter_if_intersecting: int  # d2
+    num_nodes: int
+
+    def graph_for_inputs(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        """The graph ``G_n(x, y)``."""
+        return self.gadget.graph_for_inputs(x, y)
+
+    def left_nodes(self) -> List[NodeId]:
+        """Alice's side ``U_n``."""
+        return self.gadget.left_nodes()
+
+    def right_nodes(self) -> List[NodeId]:
+        """Bob's side ``V_n``."""
+        return self.gadget.right_nodes()
+
+    def decide_disjointness_from_diameter(self, diameter: int) -> int:
+        """Translate a diameter value back into a DISJ answer.
+
+        Diameters at most ``d1`` mean "disjoint" (1), at least ``d2`` mean
+        "intersecting" (0).  Values strictly between the thresholds violate
+        the reduction's promise and raise ``ValueError``.
+        """
+        if diameter <= self.diameter_if_disjoint:
+            return 1
+        if diameter >= self.diameter_if_intersecting:
+            return 0
+        raise ValueError(
+            f"diameter {diameter} falls between the thresholds "
+            f"{self.diameter_if_disjoint} and {self.diameter_if_intersecting}"
+        )
+
+
+def hw12_reduction(s: int) -> DisjointnessReduction:
+    """The Theorem-8 reduction: ``(Theta(n), Theta(n^2), 2, 3)``."""
+    gadget = HW12Gadget(s)
+    return DisjointnessReduction(
+        name="HW12",
+        gadget=gadget,
+        cut_edges=gadget.cut_size,
+        input_length=gadget.input_length,
+        diameter_if_disjoint=gadget.diameter_if_disjoint,
+        diameter_if_intersecting=gadget.diameter_if_intersecting,
+        num_nodes=gadget.num_nodes,
+    )
+
+
+def achk_reduction(k: int) -> DisjointnessReduction:
+    """The Theorem-9-style reduction: ``(Theta(log n), Theta(n), 4, 5)``."""
+    gadget = ACHKGadget(k)
+    return DisjointnessReduction(
+        name="ACHK",
+        gadget=gadget,
+        cut_edges=gadget.cut_size,
+        input_length=gadget.input_length,
+        diameter_if_disjoint=gadget.diameter_if_disjoint,
+        diameter_if_intersecting=gadget.diameter_if_intersecting,
+        num_nodes=gadget.num_nodes,
+    )
+
+
+def path_subdivided_reduction(k: int, d: int) -> DisjointnessReduction:
+    """The Section-6.2 reduction: ACHK with every cut edge subdivided into a
+    path of ``d`` dummy nodes (thresholds ``d + 4`` / ``d + 5``)."""
+    gadget = PathSubdividedGadget(ACHKGadget(k), d)
+    return DisjointnessReduction(
+        name=f"ACHK-path-{d}",
+        gadget=gadget,
+        cut_edges=gadget.cut_size,
+        input_length=gadget.input_length,
+        diameter_if_disjoint=gadget.diameter_if_disjoint,
+        diameter_if_intersecting=gadget.diameter_if_intersecting,
+        num_nodes=gadget.num_nodes,
+    )
+
+
+@dataclass
+class ReductionCheck:
+    """Outcome of verifying Definition 3 on one input pair."""
+
+    disjoint: bool
+    diameter: int
+    cross_distance: int
+    satisfied: bool
+
+
+def verify_reduction_on_instance(
+    reduction: DisjointnessReduction,
+    x: Sequence[int],
+    y: Sequence[int],
+) -> ReductionCheck:
+    """Brute-force check of conditions (i)/(ii) of Definition 3.
+
+    Builds ``G_n(x, y)``, computes its diameter and the largest cross
+    distance ``Delta`` exactly, and checks them against the thresholds.
+    """
+    graph = reduction.graph_for_inputs(x, y)
+    diameter = graph.diameter()
+    cross = graph.max_cross_distance(reduction.left_nodes(), reduction.right_nodes())
+    disjoint = disjointness(x, y) == 1
+    if disjoint:
+        satisfied = (
+            cross <= reduction.diameter_if_disjoint
+            and diameter <= reduction.diameter_if_disjoint
+        )
+    else:
+        satisfied = (
+            cross >= reduction.diameter_if_intersecting
+            and diameter >= reduction.diameter_if_intersecting
+        )
+    return ReductionCheck(
+        disjoint=disjoint,
+        diameter=diameter,
+        cross_distance=cross,
+        satisfied=satisfied,
+    )

@@ -1,0 +1,75 @@
+"""Two-party communication transcripts with message and qubit accounting.
+
+The paper's lower bounds reason about two-party protocols only through two
+resources: the *number of messages* exchanged (the ``r`` of Theorem 5) and
+the *total communication* in (qu)bits.  :class:`TwoPartyTranscript` records
+exactly those, plus the per-message breakdown, for the protocols produced by
+the reduction of Theorem 10 and the simulation of Theorem 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional, Tuple
+
+Direction = str
+
+ALICE_TO_BOB = "alice->bob"
+BOB_TO_ALICE = "bob->alice"
+
+
+@dataclass
+class TranscriptMessage:
+    """One message of a two-party protocol."""
+
+    direction: Direction
+    bits: int
+    label: str = ""
+
+
+@dataclass
+class TwoPartyTranscript:
+    """Message-by-message record of a two-party protocol execution."""
+
+    messages: List[TranscriptMessage] = field(default_factory=list)
+    output: Optional[int] = None
+
+    def send(self, direction: Direction, bits: int, label: str = "") -> None:
+        """Record one message of the given size."""
+        if direction not in (ALICE_TO_BOB, BOB_TO_ALICE):
+            raise ValueError(f"unknown direction {direction!r}")
+        if bits < 0:
+            raise ValueError(f"message size must be >= 0 bits, got {bits}")
+        self.messages.append(TranscriptMessage(direction=direction, bits=bits, label=label))
+
+    @property
+    def num_messages(self) -> int:
+        """Number of messages exchanged (the ``r`` of Theorem 5)."""
+        return len(self.messages)
+
+    @property
+    def total_bits(self) -> int:
+        """Total communication in (qu)bits."""
+        return sum(message.bits for message in self.messages)
+
+    @property
+    def max_message_bits(self) -> int:
+        """Size of the largest single message."""
+        if not self.messages:
+            return 0
+        return max(message.bits for message in self.messages)
+
+    def rounds_of_interaction(self) -> int:
+        """Number of direction alternations plus one (maximal turns).
+
+        Consecutive messages in the same direction can be concatenated into
+        a single message, so this is the effective message count used when
+        comparing against Theorem 5.
+        """
+        if not self.messages:
+            return 0
+        turns = 1
+        for previous, current in zip(self.messages, self.messages[1:]):
+            if current.direction != previous.direction:
+                turns += 1
+        return turns

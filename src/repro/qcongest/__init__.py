@@ -1,0 +1,41 @@
+"""The quantum CONGEST layer: distributed quantum optimization (Section 2.4).
+
+The paper's quantum algorithms all follow the same template (Theorem 7):
+
+1. a classical **Initialization** phase elects a leader and precomputes
+   shared structure (a BFS tree, its depth ``d``, ...);
+2. a **Setup** unitary spreads the leader's internal register over the
+   network, creating ``(1/sqrt(|X|)) sum_x |x>_leader (tensor)_v |x>_v``;
+3. an **Evaluation** unitary lets the leader learn ``f(x)`` for the value
+   ``x`` carried by the data registers;
+4. the leader drives amplitude amplification / maximum finding locally,
+   paying ``T_setup + T_evaluation`` rounds per iteration.
+
+Because the global state is always of the form
+``sum_x alpha_x |x>_I (tensor) |data(x)>`` with *classical* per-branch data,
+the whole computation can be simulated exactly by tracking one classical
+data assignment per branch
+(:class:`repro.qcongest.branch_state.DistributedSuperposition`) and the
+amplitude vector over branches.  The framework
+(:mod:`repro.qcongest.framework`) measures the CONGEST round cost of the
+Initialization / Setup / Evaluation procedures by actually running them on
+the simulator, simulates the amplitude-amplification schedule exactly
+(including its failure probability), and reports total rounds, messages and
+per-node memory.
+"""
+
+from repro.qcongest.branch_state import DistributedSuperposition
+from repro.qcongest.framework import (
+    DistributedOptimizationResult,
+    DistributedSearchProblem,
+    run_distributed_quantum_optimization,
+)
+from repro.qcongest.setup import run_setup_broadcast
+
+__all__ = [
+    "DistributedSuperposition",
+    "DistributedSearchProblem",
+    "DistributedOptimizationResult",
+    "run_distributed_quantum_optimization",
+    "run_setup_broadcast",
+]

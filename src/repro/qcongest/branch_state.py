@@ -1,0 +1,168 @@
+"""Structured (branch-wise) simulation of the distributed quantum state.
+
+Throughout the paper's algorithms the global quantum state has the special
+form
+
+    ``sum_{x in X} beta_x |x>_I  (tensor)  |data(x)>_network``
+
+where the internal register ``I`` lives at the leader and, *for each branch
+``x``*, every node's registers hold classical strings determined by ``x``
+(Proposition 2 creates exactly this shape, and the Evaluation procedure of
+Figure 2 computes-then-uncomputes classical data per branch).  Such a state
+is completely described by
+
+* the amplitude vector ``beta`` over the labels ``x``, and
+* one classical per-node register assignment per label.
+
+:class:`DistributedSuperposition` stores exactly that and implements the
+operations the algorithms need -- Setup (CNOT-copy broadcast of the internal
+register), per-branch reversible classical computation, the phase oracle,
+the reflection about the Setup state (which is what one Grover iteration
+applies to the amplitude vector), and measurement of the internal register.
+The result is an *exact* simulation of the algorithm's quantum behaviour
+whose cost is ``O(|X|)`` times the cost of the classical procedures, instead
+of being exponential in the total number of qubits.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.graphs.graph import NodeId
+
+Label = Hashable
+BranchData = Dict[NodeId, Hashable]
+
+
+class DistributedSuperposition:
+    """A superposition over labels, each carrying classical per-node data."""
+
+    def __init__(self, amplitudes: Mapping[Label, float]) -> None:
+        if not amplitudes:
+            raise ValueError("a superposition needs at least one branch")
+        total = sum(abs(a) ** 2 for a in amplitudes.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"amplitudes must be normalised, got mass {total}")
+        self._amplitudes: Dict[Label, float] = dict(amplitudes)
+        self._data: Dict[Label, BranchData] = {label: {} for label in amplitudes}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, labels) -> "DistributedSuperposition":
+        """The uniform superposition produced by the paper's Setup."""
+        labels = list(labels)
+        if not labels:
+            raise ValueError("need at least one label")
+        weight = 1.0 / math.sqrt(len(labels))
+        return cls({label: weight for label in labels})
+
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> List[Label]:
+        """The branch labels."""
+        return list(self._amplitudes)
+
+    def amplitude(self, label: Label) -> float:
+        """Amplitude of a branch."""
+        return self._amplitudes[label]
+
+    def probability(self, label: Label) -> float:
+        """Born probability of measuring ``label`` on the internal register."""
+        return abs(self._amplitudes[label]) ** 2
+
+    def branch_data(self, label: Label) -> BranchData:
+        """The classical per-node register contents of a branch."""
+        return dict(self._data[label])
+
+    def total_mass(self, predicate: Callable[[Label], bool]) -> float:
+        """Probability mass of the branches satisfying ``predicate``."""
+        return sum(
+            abs(amplitude) ** 2
+            for label, amplitude in self._amplitudes.items()
+            if predicate(label)
+        )
+
+    def is_normalised(self, tolerance: float = 1e-6) -> bool:
+        """Whether the branch amplitudes are normalised."""
+        total = sum(abs(a) ** 2 for a in self._amplitudes.values())
+        return abs(total - 1.0) < tolerance
+
+    # ------------------------------------------------------------------
+    # Distributed operations (applied branch-wise)
+    # ------------------------------------------------------------------
+    def apply_setup_copy(self, nodes) -> None:
+        """CNOT-copy the internal register into every node's data register.
+
+        After Proposition 2's Setup, in branch ``x`` every node of the
+        network holds ``|x>``; this sets the per-branch data accordingly
+        (the communication cost is accounted separately by the framework).
+        """
+        node_list = list(nodes)
+        for label in self._amplitudes:
+            self._data[label] = {node: label for node in node_list}
+
+    def apply_branch_computation(
+        self, computation: Callable[[Label, BranchData], BranchData]
+    ) -> None:
+        """Apply a reversible classical computation to every branch's data."""
+        for label in self._amplitudes:
+            self._data[label] = dict(computation(label, self._data[label]))
+
+    def uncompute_data(self) -> None:
+        """Revert all data registers to |0> (Step 5 of Figure 2)."""
+        for label in self._amplitudes:
+            self._data[label] = {}
+
+    def apply_phase_oracle(self, predicate: Callable[[Label], bool]) -> None:
+        """Flip the sign of every branch whose label satisfies ``predicate``."""
+        for label in self._amplitudes:
+            if predicate(label):
+                self._amplitudes[label] = -self._amplitudes[label]
+
+    def reflect_about(self, reference: Mapping[Label, float]) -> None:
+        """Apply ``2 |psi><psi| - I`` where ``psi`` has the given amplitudes.
+
+        Together with :meth:`apply_phase_oracle` this is one Grover iterate
+        of the amplitude-amplification procedure run by the leader.  It is
+        only valid while the data registers are disentangled from the
+        internal register (i.e. after Setup has been inverted / the garbage
+        uncomputed), which is exactly when the paper applies it.
+        """
+        if set(reference) != set(self._amplitudes):
+            raise ValueError("the reference state must span the same labels")
+        overlap = sum(
+            reference[label] * self._amplitudes[label] for label in self._amplitudes
+        )
+        for label in self._amplitudes:
+            self._amplitudes[label] = (
+                2.0 * overlap * reference[label] - self._amplitudes[label]
+            )
+
+    def grover_iteration(
+        self,
+        marked: Callable[[Label], bool],
+        reference: Optional[Mapping[Label, float]] = None,
+    ) -> None:
+        """One Grover iterate: phase oracle then reflection about ``reference``.
+
+        ``reference`` defaults to the uniform superposition over the branch
+        labels (the paper's Setup state).
+        """
+        if reference is None:
+            weight = 1.0 / math.sqrt(len(self._amplitudes))
+            reference = {label: weight for label in self._amplitudes}
+        self.apply_phase_oracle(marked)
+        self.reflect_about(reference)
+
+    # ------------------------------------------------------------------
+    def measure_internal_register(self, rng: random.Random) -> Label:
+        """Measure the internal register and collapse the state."""
+        labels = list(self._amplitudes)
+        weights = [abs(self._amplitudes[label]) ** 2 for label in labels]
+        outcome = rng.choices(labels, weights=weights)[0]
+        data = self._data[outcome]
+        self._amplitudes = {outcome: 1.0}
+        self._data = {outcome: data}
+        return outcome

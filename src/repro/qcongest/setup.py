@@ -1,0 +1,41 @@
+"""The Setup procedure (Proposition 2): spreading the internal register.
+
+Proposition 2: the leader prepares ``(1/sqrt(n)) sum_{u0} |u0>_leader`` and
+broadcasts it along ``BFS(leader)`` using CNOT copies, producing
+
+    ``(1/sqrt(n)) sum_{u0} |u0>_leader (tensor)_v |u0>_v``
+
+in ``d = depth(BFS(leader))`` rounds and ``O(log n)`` memory per node.
+
+In the branch-wise simulation the quantum content of Setup is trivial (in
+branch ``u0`` every node ends up holding ``u0``); what needs to be measured
+is its CONGEST *cost*.  :func:`run_setup_broadcast` runs the corresponding
+classical broadcast on the simulator -- the quantum version sends exactly
+the same number of messages of the same size, only carrying halves of CNOT
+copies instead of classical bits -- and returns the metrics, which the
+framework charges once per Setup application.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from repro.algorithms.bfs import BFSTreeResult
+from repro.algorithms.broadcast import run_tree_broadcast
+from repro.congest.metrics import ExecutionMetrics
+from repro.congest.network import Network
+
+
+def run_setup_broadcast(
+    network: Network, tree: BFSTreeResult, item: Hashable
+) -> Tuple[ExecutionMetrics, dict]:
+    """Broadcast ``item`` (a search-space label) along the given BFS tree.
+
+    Returns the execution metrics of the broadcast and the per-node received
+    values (all equal to ``item``), i.e. the classical content of
+    ``|data(item)>``.
+    """
+    broadcast = run_tree_broadcast(network, tree, item)
+    metrics = broadcast.metrics
+    metrics.record_phase("setup_broadcast", metrics.rounds)
+    return metrics, broadcast.values

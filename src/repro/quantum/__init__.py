@@ -1,0 +1,55 @@
+"""Centralized quantum primitives: amplitude amplification and optimization.
+
+The paper's distributed algorithms are built on "quantum generic search"
+(Section 2.3) and its optimization variant (Section 2.4).  This subpackage
+provides those primitives in the *centralized* setting, with two faces:
+
+* **exact analytics** -- the Grover rotation algebra
+  (:mod:`repro.quantum.amplitude_amplification`): success probability after
+  ``k`` iterations, optimal iteration counts, and the query budgets of
+  Theorem 6 and Corollary 1;
+* **exact sampling simulation** -- because the states appearing in the
+  paper's algorithms always live in the two-dimensional span of the
+  "marked" and "unmarked" components of the initial superposition, the
+  measurement statistics after any number of Grover iterations can be
+  sampled exactly without building exponential state vectors.  The search
+  (:mod:`repro.quantum.grover`) and maximum-finding
+  (:mod:`repro.quantum.maximum_finding`) routines use this to reproduce the
+  paper's algorithms faithfully, including their failure probabilities,
+  while counting every oracle (Setup / Evaluation) application so that the
+  distributed layer can convert query counts into CONGEST rounds
+  (:mod:`repro.quantum.cost_model`).
+
+A small dense state-vector simulator (:mod:`repro.quantum.state`) is also
+provided for register-level unit checks such as the CNOT-copy operation of
+Section 2 (``|u>|v> -> |u>|u xor v>``), which is how the Setup procedure
+broadcasts the search register over the network.
+"""
+
+from repro.quantum.amplitude_amplification import (
+    AmplificationOutcome,
+    amplitude_amplification_search,
+    grover_success_probability,
+    optimal_grover_iterations,
+    theorem6_query_budget,
+)
+from repro.quantum.cost_model import QuantumCostModel, QuantumResourceCount
+from repro.quantum.grover import GroverSearchResult, grover_search
+from repro.quantum.maximum_finding import MaximumFindingResult, find_maximum
+from repro.quantum.state import StateVector, cnot_copy_register
+
+__all__ = [
+    "grover_success_probability",
+    "optimal_grover_iterations",
+    "theorem6_query_budget",
+    "amplitude_amplification_search",
+    "AmplificationOutcome",
+    "grover_search",
+    "GroverSearchResult",
+    "find_maximum",
+    "MaximumFindingResult",
+    "QuantumCostModel",
+    "QuantumResourceCount",
+    "StateVector",
+    "cnot_copy_register",
+]

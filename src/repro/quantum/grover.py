@@ -1,0 +1,71 @@
+"""Grover search over an explicit item collection.
+
+A thin convenience layer over
+:func:`repro.quantum.amplitude_amplification.amplitude_amplification_search`
+for the common case of a uniform superposition over a finite collection and
+a boolean oracle.  It exists mostly for the unit tests and the quickstart
+example; the distributed algorithms use the maximum-finding routine of
+:mod:`repro.quantum.maximum_finding` directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.quantum.amplitude_amplification import (
+    AmplificationOutcome,
+    amplitude_amplification_search,
+)
+
+Item = Hashable
+
+
+@dataclass
+class GroverSearchResult:
+    """Result of one Grover search."""
+
+    found: Optional[Item]
+    setup_calls: int
+    oracle_calls: int
+    measurements: int
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether a marked item was found."""
+        return self.found is not None
+
+
+def grover_search(
+    items: Sequence[Item],
+    oracle: Callable[[Item], bool],
+    rng: Optional[random.Random] = None,
+    delta: float = 0.05,
+) -> GroverSearchResult:
+    """Search ``items`` for an element satisfying ``oracle``.
+
+    Uses a uniform initial superposition, so the promise parameter of
+    Theorem 6 is ``eps = 1 / len(items)`` (a single marked item).  With
+    ``m`` marked items the expected number of oracle calls is
+    ``O(sqrt(len(items) / m))``.
+    """
+    if not items:
+        raise ValueError("the item collection must be non-empty")
+    rng = rng if rng is not None else random.Random(0)
+    amplitude = 1.0 / math.sqrt(len(items))
+    amplitudes = {item: amplitude for item in items}
+    outcome: AmplificationOutcome = amplitude_amplification_search(
+        amplitudes,
+        is_marked=oracle,
+        rng=rng,
+        eps=1.0 / len(items),
+        delta=delta,
+    )
+    return GroverSearchResult(
+        found=outcome.found,
+        setup_calls=outcome.setup_calls,
+        oracle_calls=outcome.oracle_calls,
+        measurements=outcome.measurements,
+    )

@@ -1,0 +1,133 @@
+"""Tests for the analysis helpers (fits, sweeps, table rendering)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import (
+    crossover_point,
+    fit_power_law,
+    fit_power_law_two_predictors,
+    geometric_mean_ratio,
+)
+from repro.analysis.sweep import SweepRecord, run_sweep, sweep_table
+from repro.analysis.tables import render_table, render_table1
+from repro.graphs import generators
+
+
+class TestPowerLawFits:
+    def test_exact_power_law_recovered(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [3 * x ** 0.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.constant == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_linear_data(self):
+        xs = [5, 10, 50, 100]
+        fit = fit_power_law(xs, [2 * x for x in xs])
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_prediction(self):
+        fit = fit_power_law([1, 2, 4, 8], [1, 4, 16, 64])
+        assert fit.predict(16) == pytest.approx(256, rel=1e-6)
+
+    def test_noise_tolerance(self):
+        xs = list(range(10, 200, 10))
+        ys = [5 * x ** 0.7 * (1.0 + 0.02 * ((i % 3) - 1)) for i, x in enumerate(xs)]
+        fit = fit_power_law(xs, ys)
+        assert 0.6 <= fit.exponent <= 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+
+    def test_two_predictor_fit(self):
+        data = []
+        for u in (10, 20, 40):
+            for v in (3, 9, 27):
+                data.append((u, v, 2.0 * u ** 0.5 * v ** 1.0))
+        us, vs, ys = zip(*data)
+        fit = fit_power_law_two_predictors(us, vs, ys)
+        assert fit.exponent_u == pytest.approx(0.5, abs=1e-6)
+        assert fit.exponent_v == pytest.approx(1.0, abs=1e-6)
+        assert fit.predict(100, 5) == pytest.approx(2.0 * 10 * 5, rel=1e-6)
+
+    def test_two_predictor_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law_two_predictors([1, 2], [1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            fit_power_law_two_predictors([1, 2], [1, 2], [1, 2])
+
+
+class TestCrossoverAndRatios:
+    def test_crossover_found(self):
+        xs = [1, 2, 3, 4, 5]
+        quantum = [10, 8, 6, 4, 2]
+        classical = [3, 4, 5, 6, 7]
+        assert crossover_point(xs, quantum, classical) == 4
+
+    def test_crossover_absent(self):
+        xs = [1, 2, 3]
+        assert crossover_point(xs, [5, 5, 5], [1, 1, 1]) is None
+
+    def test_crossover_validation(self):
+        with pytest.raises(ValueError):
+            crossover_point([1, 2], [1], [1, 2])
+
+    def test_geometric_mean_ratio(self):
+        assert geometric_mean_ratio([2, 8], [1, 2]) == pytest.approx(math.sqrt(8))
+        with pytest.raises(ValueError):
+            geometric_mean_ratio([], [])
+        with pytest.raises(ValueError):
+            geometric_mean_ratio([1, 2], [1])
+
+
+class TestSweepAndTables:
+    def test_run_sweep_checks_correctness(self):
+        graphs = [("cycle", generators.cycle_graph(8)), ("path", generators.path_graph(6))]
+        algorithms = {
+            "oracle_exact": lambda g: (g.num_nodes, float(g.diameter())),
+            "always_zero_exact": lambda g: (1, 0.0),
+            "estimate": lambda g: (2, 1.0),
+        }
+        records = run_sweep(graphs, algorithms)
+        assert len(records) == 6
+        oracle_records = [r for r in records if r.algorithm == "oracle_exact"]
+        assert all(r.correct for r in oracle_records)
+        zero_records = [r for r in records if r.algorithm == "always_zero_exact"]
+        assert not any(r.correct for r in zero_records)
+        estimate_records = [r for r in records if r.algorithm == "estimate"]
+        assert all(r.correct is None for r in estimate_records)
+
+    def test_sweep_table_rendering(self):
+        records = [
+            SweepRecord("cycle", "classical", 10, 5, 40, 5.0, True),
+            SweepRecord("cycle", "quantum", 10, 5, 90, 5.0, True),
+        ]
+        text = sweep_table(records)
+        assert "classical" in text and "quantum" in text
+        assert text.splitlines()[0].startswith("family")
+
+    def test_sweep_table_empty(self):
+        assert sweep_table([]) == "(no records)"
+
+    def test_render_table_alignment(self):
+        text = render_table([["a", "1"], ["bb", "22"]], header=["col", "val"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_render_table1_contains_all_rows(self):
+        text = render_table1(n=10 ** 4, diameter=16)
+        assert "Exact computation" in text
+        assert "3/2-approximation" in text
+        assert "Theorem 1" in text
+        assert "Theorem 4" in text

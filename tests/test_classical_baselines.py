@@ -1,0 +1,183 @@
+"""Tests for the classical baselines: exact diameter, multi-source BFS,
+2-approximation and the HPRW14-style 3/2-approximation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.diameter_approx import (
+    run_classical_two_approximation,
+    run_hprw_preparation,
+    run_hprw_three_halves_approximation,
+)
+from repro.algorithms.diameter_exact import run_classical_exact_diameter
+from repro.algorithms.multi_source_bfs import run_multi_source_bfs
+from repro.congest.network import Network
+from repro.graphs import generators
+
+
+class TestClassicalExactDiameter:
+    def test_correct_on_small_graphs(self, small_graph, network_factory):
+        network = network_factory(small_graph)
+        result = run_classical_exact_diameter(network)
+        assert result.diameter == small_graph.diameter()
+
+    def test_correct_with_given_leader(self, network_factory):
+        graph = generators.cycle_graph(11)
+        network = network_factory(graph)
+        result = run_classical_exact_diameter(network, leader=4)
+        assert result.diameter == 5
+        assert result.leader == 4
+
+    def test_round_complexity_linear_in_n(self, network_factory):
+        """The classical baseline runs in O(n) rounds (Table 1, row 1)."""
+        for n in (15, 30, 45):
+            graph = generators.cycle_graph(n)
+            network = network_factory(graph)
+            result = run_classical_exact_diameter(network)
+            assert result.rounds <= 8 * n + 40
+
+    def test_rounds_grow_roughly_linearly(self, network_factory):
+        small = run_classical_exact_diameter(network_factory(generators.cycle_graph(12)))
+        large = run_classical_exact_diameter(network_factory(generators.cycle_graph(48)))
+        ratio = large.rounds / small.rounds
+        assert 2.0 <= ratio <= 8.0
+
+    def test_single_node(self, network_factory):
+        network = network_factory(generators.path_graph(1))
+        assert run_classical_exact_diameter(network).diameter == 0
+
+    def test_two_nodes(self, network_factory):
+        network = network_factory(generators.path_graph(2))
+        assert run_classical_exact_diameter(network).diameter == 1
+
+
+class TestMultiSourceBFS:
+    def test_distances_match_oracle(self, small_graph, network_factory):
+        network = network_factory(small_graph)
+        sources = list(small_graph.nodes())[:3]
+        result = run_multi_source_bfs(network, sources)
+        for node in small_graph.nodes():
+            for source in sources:
+                assert result.distances[node][source] == small_graph.distance(source, node)
+
+    def test_distance_to_set_and_nearest(self, network_factory):
+        graph = generators.path_graph(10)
+        network = network_factory(graph)
+        result = run_multi_source_bfs(network, [0, 9])
+        assert result.distance_to_set(4) == 4
+        assert result.distance_to_set(7) == 2
+        assert result.nearest_source(2) == 0
+        assert result.nearest_source(8) == 9
+
+    def test_eccentricity_of_source(self, network_factory):
+        graph = generators.cycle_graph(8)
+        network = network_factory(graph)
+        result = run_multi_source_bfs(network, [0, 3])
+        assert result.eccentricity_of_source(0) == 4
+        assert result.eccentricity_of_source(3) == 4
+
+    def test_empty_sources_rejected(self, network_factory):
+        network = network_factory(generators.path_graph(4))
+        with pytest.raises(ValueError):
+            run_multi_source_bfs(network, [])
+
+    def test_unknown_source_rejected(self, network_factory):
+        network = network_factory(generators.path_graph(4))
+        with pytest.raises(ValueError):
+            run_multi_source_bfs(network, [17])
+
+    def test_round_complexity_pipelined(self, network_factory):
+        """k sources cost O(k + D) rounds, not O(k * D)."""
+        graph = generators.path_graph(30)
+        network = network_factory(graph)
+        sources = list(range(0, 30, 3))
+        result = run_multi_source_bfs(network, sources)
+        k, diameter = len(sources), graph.diameter()
+        assert result.metrics.rounds <= 4 * (k + diameter)
+        assert result.metrics.rounds < k * diameter
+
+
+class TestTwoApproximation:
+    def test_estimate_within_factor_two(self, small_graph, network_factory):
+        network = network_factory(small_graph)
+        result = run_classical_two_approximation(network)
+        diameter = small_graph.diameter()
+        assert result.estimate <= diameter
+        assert 2 * result.estimate >= diameter
+
+    def test_round_complexity(self, network_factory):
+        graph = generators.path_graph(40)
+        network = network_factory(graph)
+        result = run_classical_two_approximation(network)
+        assert result.metrics.rounds <= 6 * graph.diameter() + 20
+
+
+class TestHPRWPreparation:
+    def test_ball_is_a_tree_ball_of_requested_size(self, network_factory):
+        graph = generators.random_connected_gnp(24, 0.12, seed=3)
+        network = network_factory(graph)
+        preparation = run_hprw_preparation(network, s=6, seed=1)
+        assert len(preparation.ball) >= min(6, graph.num_nodes)
+        assert preparation.w in preparation.ball
+        for node in preparation.ball:
+            assert preparation.w_tree.distance[node] <= preparation.ball_radius
+
+    def test_ball_is_parent_closed(self, network_factory):
+        graph = generators.random_connected_gnp(20, 0.15, seed=4)
+        network = network_factory(graph)
+        preparation = run_hprw_preparation(network, s=5, seed=2)
+        for node in preparation.ball:
+            parent = preparation.w_tree.parent[node]
+            assert parent is None or parent in preparation.ball
+
+    def test_max_ecc_over_samples_is_correct(self, network_factory):
+        graph = generators.cycle_graph(12)
+        network = network_factory(graph)
+        preparation = run_hprw_preparation(network, s=3, seed=7)
+        expected = max(graph.eccentricity(v) for v in preparation.sampled_set)
+        assert preparation.max_ecc_over_samples == expected
+
+    def test_w_maximises_distance_to_samples(self, network_factory):
+        graph = generators.path_graph(16)
+        network = network_factory(graph)
+        preparation = run_hprw_preparation(network, s=4, seed=5)
+        distance_to_set = {
+            node: min(graph.distance(node, s) for s in preparation.sampled_set)
+            for node in graph.nodes()
+        }
+        assert distance_to_set[preparation.w] == max(distance_to_set.values())
+
+    def test_invalid_s(self, network_factory):
+        network = network_factory(generators.path_graph(6))
+        with pytest.raises(ValueError):
+            run_hprw_preparation(network, s=0)
+
+
+class TestThreeHalvesApproximation:
+    def test_estimate_bounds(self, small_graph, network_factory):
+        network = network_factory(small_graph)
+        result = run_hprw_three_halves_approximation(network, seed=11)
+        diameter = small_graph.diameter()
+        assert result.estimate <= diameter
+        assert result.estimate >= math.floor(2 * diameter / 3)
+
+    def test_estimate_bounds_multiple_seeds(self, network_factory):
+        graph = generators.random_connected_gnp(26, 0.1, seed=9)
+        diameter = graph.diameter()
+        for seed in range(4):
+            network = network_factory(graph)
+            result = run_hprw_three_halves_approximation(network, seed=seed)
+            assert math.floor(2 * diameter / 3) <= result.estimate <= diameter
+
+    def test_sublinear_shape_on_star_like_graphs(self, network_factory):
+        """On a small-diameter graph the 3/2-approx uses far fewer rounds
+        than the exact O(n) baseline once n is moderately large."""
+        graph = generators.star_graph(120)
+        network = network_factory(graph)
+        approx = run_hprw_three_halves_approximation(network, seed=2)
+        exact = run_classical_exact_diameter(network_factory(generators.star_graph(120)))
+        assert approx.estimate == 2
+        assert approx.rounds < exact.rounds

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_diameter_defaults(self):
+        args = build_parser().parse_args(["diameter"])
+        assert args.family == "clique_chain"
+        assert args.nodes == 24
+        assert args.oracle_mode == "reference"
+
+    def test_table1_requires_nodes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1"])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["diameter", "--family", "bogus"])
+
+
+class TestCommands:
+    def test_diameter_command_runs_and_agrees(self, capsys):
+        exit_code = main(["diameter", "--family", "clique_chain", "--nodes", "12",
+                          "--seed", "1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "classical exact" in output
+        assert "quantum exact" in output
+        assert "true diameter" in output
+
+    def test_diameter_command_controlled_family(self, capsys):
+        exit_code = main(["diameter", "--family", "controlled", "--nodes", "16",
+                          "--diameter", "4", "--seed", "2"])
+        assert exit_code == 0
+        assert "true diameter=4" in capsys.readouterr().out
+
+    def test_approx_command_classical_only(self, capsys):
+        exit_code = main(["approx", "--family", "cycle", "--nodes", "14", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2-approximation" in output
+        assert "3/2-approx" in output
+        assert "Theorem 4" not in output
+
+    def test_approx_command_with_quantum(self, capsys):
+        exit_code = main(["approx", "--family", "star", "--nodes", "15",
+                          "--quantum", "--seed", "4"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Theorem 4" in output
+
+    def test_table1_command(self, capsys):
+        exit_code = main(["table1", "--nodes", "10000", "--diameter", "20"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Exact computation" in output
+        assert "3/2-approximation" in output
+
+    def test_table1_default_diameter_and_memory(self, capsys):
+        exit_code = main(["table1", "--nodes", "4096", "--memory", "8"])
+        assert exit_code == 0
+        assert "Theorem 1" in capsys.readouterr().out

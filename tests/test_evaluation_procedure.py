@@ -1,0 +1,105 @@
+"""Tests for the Figure-2 Evaluation procedure (Proposition 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.bfs import run_bfs_tree
+from repro.algorithms.broadcast import run_tree_aggregate_max
+from repro.algorithms.evaluation import run_evaluation_procedure
+from repro.congest.network import Network
+from repro.core.coverage import window_set
+from repro.graphs import generators
+
+
+def _initialise(network, graph, root=None):
+    root = graph.nodes()[0] if root is None else root
+    tree = run_bfs_tree(network, root)
+    d = run_tree_aggregate_max(network, tree, tree.distance).value
+    return tree, max(1, d)
+
+
+class TestEvaluationValue:
+    def test_value_is_max_ecc_over_window(self, small_graph, network_factory):
+        network = network_factory(small_graph)
+        tree, d = _initialise(network, small_graph)
+        eccentricities = small_graph.all_eccentricities()
+        for u0 in list(small_graph.nodes())[:5]:
+            result = run_evaluation_procedure(network, tree, d, u0)
+            expected_window = window_set(tree, u0, 2 * d)
+            expected_value = max(eccentricities[v] for v in expected_window)
+            assert result.window_nodes == expected_window
+            assert result.value == expected_value
+
+    def test_window_contains_u0(self, small_graph, network_factory):
+        network = network_factory(small_graph)
+        tree, d = _initialise(network, small_graph)
+        u0 = list(small_graph.nodes())[-1]
+        result = run_evaluation_procedure(network, tree, d, u0)
+        assert u0 in result.window_nodes
+
+    def test_value_never_exceeds_diameter(self, small_graph, network_factory):
+        network = network_factory(small_graph)
+        tree, d = _initialise(network, small_graph)
+        diameter = small_graph.diameter()
+        for u0 in list(small_graph.nodes())[:5]:
+            result = run_evaluation_procedure(network, tree, d, u0)
+            assert result.value <= diameter
+            assert result.value >= max(1, diameter // 2) - 1 or diameter == 0
+
+    def test_some_u0_achieves_diameter(self, small_graph, network_factory):
+        """Maximising f over u0 gives exactly the diameter (Section 3.2)."""
+        network = network_factory(small_graph)
+        tree, d = _initialise(network, small_graph)
+        values = [
+            run_evaluation_procedure(network, tree, d, u0).value
+            for u0 in small_graph.nodes()
+        ]
+        assert max(values) == small_graph.diameter()
+
+    def test_restricted_to_ball(self, network_factory):
+        graph = generators.path_graph(12)
+        network = network_factory(graph)
+        tree, d = _initialise(network, graph, root=0)
+        members = {0, 1, 2, 3, 4}
+        eccentricities = graph.all_eccentricities()
+        result = run_evaluation_procedure(network, tree, d, 2, members=members)
+        assert result.window_nodes <= members
+        expected = max(
+            eccentricities[v] for v in window_set(tree, 2, 2 * d, members=members)
+        )
+        assert result.value == expected
+
+
+class TestEvaluationCost:
+    def test_rounds_linear_in_d(self, network_factory):
+        graph = generators.clique_chain(5, 4)
+        network = network_factory(graph)
+        tree, d = _initialise(network, graph)
+        result = run_evaluation_procedure(network, tree, d, graph.nodes()[3])
+        # Steps 1-4 cost at most ~ 2d (tour) + 6d (waves) + 2d (convergecast),
+        # and the Step-5 revert doubles it.
+        assert result.metrics.rounds <= 2 * (12 * d + 20)
+
+    def test_uncompute_doubles_rounds(self, network_factory):
+        graph = generators.cycle_graph(10)
+        network = network_factory(graph)
+        tree, d = _initialise(network, graph)
+        with_revert = run_evaluation_procedure(network, tree, d, 3)
+        without = run_evaluation_procedure(network, tree, d, 3, include_uncompute=False)
+        assert with_revert.value == without.value
+        assert with_revert.metrics.rounds == 2 * without.metrics.rounds
+
+    def test_memory_stays_logarithmic(self, network_factory):
+        graph = generators.random_connected_gnp(30, 0.1, seed=5)
+        network = network_factory(graph)
+        tree, d = _initialise(network, graph)
+        result = run_evaluation_procedure(network, tree, d, graph.nodes()[7])
+        assert result.metrics.max_node_memory_bits <= 8 * 8
+
+    def test_invalid_d(self, network_factory):
+        graph = generators.path_graph(5)
+        network = network_factory(graph)
+        tree, _ = _initialise(network, graph)
+        with pytest.raises(ValueError):
+            run_evaluation_procedure(network, tree, 0, 2)

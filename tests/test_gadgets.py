@@ -1,0 +1,215 @@
+"""Tests for the lower-bound gadget graphs (Figures 4 and 8, Theorems 8-9)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.graphs.gadgets_achk import ACHKGadget
+from repro.graphs.gadgets_hw12 import HW12Gadget
+from repro.graphs.gadgets_path import PathSubdividedGadget
+from repro.lowerbounds.disjointness import (
+    disjointness,
+    random_disjoint_instance,
+    random_intersecting_instance,
+)
+
+
+class TestHW12Gadget:
+    def test_parameters(self):
+        gadget = HW12Gadget(4)
+        assert gadget.num_nodes == 18
+        assert gadget.input_length == 16
+        assert gadget.cut_size == 9
+        assert gadget.diameter_if_disjoint == 2
+        assert gadget.diameter_if_intersecting == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            HW12Gadget(0)
+
+    def test_base_graph_structure(self):
+        gadget = HW12Gadget(3)
+        graph = gadget.base_graph()
+        assert graph.num_nodes == gadget.num_nodes
+        assert graph.is_connected()
+        # Cut edges are present.
+        for u, v in gadget.cut_edges():
+            assert graph.has_edge(u, v)
+        # The four cliques are present.
+        assert graph.has_edge(("l", 0), ("l", 2))
+        assert graph.has_edge(("rp", 1), ("rp", 2))
+
+    def test_sides_partition_nodes(self):
+        gadget = HW12Gadget(3)
+        left = set(gadget.left_nodes())
+        right = set(gadget.right_nodes())
+        assert not left & right
+        assert len(left | right) == gadget.num_nodes
+
+    def test_cut_edges_cross_sides(self):
+        gadget = HW12Gadget(3)
+        left = set(gadget.left_nodes())
+        right = set(gadget.right_nodes())
+        for u, v in gadget.cut_edges():
+            assert (u in left) != (v in left)
+            assert (u in right) != (v in right)
+
+    def test_input_length_validation(self):
+        gadget = HW12Gadget(2)
+        with pytest.raises(ValueError):
+            gadget.graph_for_inputs([0, 1], [0] * 4)
+        with pytest.raises(ValueError):
+            gadget.graph_for_inputs([0, 2, 0, 0], [0] * 4)
+
+    def test_diameter_two_when_disjoint_exhaustive(self):
+        gadget = HW12Gadget(2)
+        k = gadget.input_length
+        for x in itertools.product([0, 1], repeat=k):
+            for y in itertools.product([0, 1], repeat=k):
+                if disjointness(x, y) == 1:
+                    graph = gadget.graph_for_inputs(x, y)
+                    assert graph.diameter() == 2
+
+    def test_diameter_three_when_intersecting_sampled(self):
+        gadget = HW12Gadget(3)
+        for seed in range(10):
+            x, y = random_intersecting_instance(gadget.input_length, seed=seed)
+            graph = gadget.graph_for_inputs(x, y)
+            assert graph.diameter() == 3
+            assert gadget.predicted_diameter(x, y) == 3
+
+    def test_witness_pair_distance(self):
+        gadget = HW12Gadget(3)
+        x = [0] * 9
+        y = [0] * 9
+        x[4] = 1  # (i, j) = (1, 1)
+        y[4] = 1
+        graph = gadget.graph_for_inputs(x, y)
+        assert graph.distance(("l", 1), ("rp", 1)) == 3
+        assert graph.distance(("lp", 1), ("r", 1)) == 3
+
+    def test_all_zero_inputs_give_diameter_two(self):
+        gadget = HW12Gadget(4)
+        zeros = [0] * gadget.input_length
+        assert gadget.graph_for_inputs(zeros, zeros).diameter() == 2
+
+
+class TestACHKGadget:
+    def test_parameters_scale(self):
+        gadget = ACHKGadget(16)
+        assert gadget.num_index_bits == 4
+        assert gadget.cut_size == 9
+        assert gadget.num_nodes == 2 * 16 + 4 * 4 + 2
+
+    def test_cut_is_logarithmic(self):
+        small = ACHKGadget(8)
+        large = ACHKGadget(64)
+        assert large.cut_size - small.cut_size == 2 * (6 - 3)
+        assert large.cut_size <= 2 * 7 + 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ACHKGadget(0)
+
+    def test_base_graph_connected(self):
+        gadget = ACHKGadget(6)
+        graph = gadget.base_graph()
+        assert graph.is_connected()
+        assert graph.num_nodes == gadget.num_nodes
+
+    def test_exhaustive_small_instances(self):
+        gadget = ACHKGadget(3)
+        for x in itertools.product([0, 1], repeat=3):
+            for y in itertools.product([0, 1], repeat=3):
+                graph = gadget.graph_for_inputs(x, y)
+                diameter = graph.diameter()
+                if disjointness(x, y) == 1:
+                    assert diameter <= 4
+                else:
+                    assert diameter == 5
+
+    def test_sampled_medium_instances(self):
+        gadget = ACHKGadget(10)
+        for seed in range(6):
+            x, y = random_disjoint_instance(10, seed=seed)
+            assert gadget.graph_for_inputs(x, y).diameter() <= 4
+            x, y = random_intersecting_instance(10, seed=seed)
+            assert gadget.graph_for_inputs(x, y).diameter() == 5
+
+    def test_witness_pair(self):
+        gadget = ACHKGadget(5)
+        x, y = random_intersecting_instance(5, seed=3)
+        u, v = gadget.witness_pair(x, y)
+        graph = gadget.graph_for_inputs(x, y)
+        assert graph.distance(u, v) == 5
+
+    def test_witness_pair_raises_when_disjoint(self):
+        gadget = ACHKGadget(5)
+        x, y = random_disjoint_instance(5, seed=3)
+        with pytest.raises(ValueError):
+            gadget.witness_pair(x, y)
+
+    def test_single_index_gadget(self):
+        gadget = ACHKGadget(1)
+        assert gadget.graph_for_inputs([1], [1]).diameter() == 5
+        assert gadget.graph_for_inputs([1], [0]).diameter() <= 4
+        assert gadget.graph_for_inputs([0], [0]).diameter() <= 4
+
+
+class TestPathSubdividedGadget:
+    def test_node_count(self):
+        base = ACHKGadget(4)
+        gadget = PathSubdividedGadget(base, path_length=5)
+        assert gadget.num_nodes == base.num_nodes + base.cut_size * 5
+        x, y = random_disjoint_instance(4, seed=0)
+        graph = gadget.graph_for_inputs(x, y)
+        assert graph.num_nodes == gadget.num_nodes
+        assert graph.is_connected()
+
+    def test_invalid_path_length(self):
+        with pytest.raises(ValueError):
+            PathSubdividedGadget(ACHKGadget(4), 0)
+
+    def test_diameter_shift_intersecting(self):
+        base = ACHKGadget(4)
+        for d in (3, 4, 6):
+            gadget = PathSubdividedGadget(base, d)
+            x, y = random_intersecting_instance(4, seed=d)
+            graph = gadget.graph_for_inputs(x, y)
+            assert graph.diameter() == d + 5
+
+    def test_diameter_shift_disjoint(self):
+        base = ACHKGadget(4)
+        for d in (3, 5):
+            gadget = PathSubdividedGadget(base, d)
+            x, y = random_disjoint_instance(4, seed=d)
+            graph = gadget.graph_for_inputs(x, y)
+            assert graph.diameter() <= d + 4
+
+    def test_layers_partition_intermediate_nodes(self):
+        gadget = PathSubdividedGadget(ACHKGadget(3), 4)
+        ownership = gadget.ownership()
+        x, y = random_disjoint_instance(3, seed=1)
+        graph = gadget.graph_for_inputs(x, y)
+        assert set(ownership) == set(graph.nodes())
+        layer_sizes = {
+            layer: len(gadget.layer_nodes(layer)) for layer in range(1, 5)
+        }
+        assert all(size == gadget.cut_size for size in layer_sizes.values())
+
+    def test_layer_bounds_checked(self):
+        gadget = PathSubdividedGadget(ACHKGadget(3), 2)
+        with pytest.raises(ValueError):
+            gadget.layer_nodes(0)
+        with pytest.raises(ValueError):
+            gadget.layer_nodes(3)
+
+    def test_works_with_hw12_base(self):
+        gadget = PathSubdividedGadget(HW12Gadget(2), 3)
+        x, y = random_intersecting_instance(4, seed=2)
+        graph = gadget.graph_for_inputs(x, y)
+        assert graph.diameter() == 3 + 3
+        x, y = random_disjoint_instance(4, seed=2)
+        assert gadget.graph_for_inputs(x, y).diameter() <= 3 + 2

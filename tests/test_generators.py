@@ -1,0 +1,136 @@
+"""Unit tests for the workload graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+
+
+class TestBasicFamilies:
+    def test_path_graph(self):
+        graph = generators.path_graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 4
+        assert graph.diameter() == 4
+
+    def test_single_node_path(self):
+        graph = generators.path_graph(1)
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_cycle_graph(self):
+        graph = generators.cycle_graph(7)
+        assert graph.num_edges == 7
+        assert all(graph.degree(node) == 2 for node in graph)
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_star_graph(self):
+        graph = generators.star_graph(9)
+        assert graph.degree(0) == 8
+        assert graph.diameter() == 2
+
+    def test_complete_graph(self):
+        graph = generators.complete_graph(6)
+        assert graph.num_edges == 15
+        assert graph.diameter() == 1
+
+    def test_grid_graph(self):
+        graph = generators.grid_graph(4, 5)
+        assert graph.num_nodes == 20
+        assert graph.diameter() == 7
+
+    def test_balanced_tree(self):
+        graph = generators.balanced_tree(2, 3)
+        assert graph.num_nodes == 15
+        assert graph.diameter() == 6
+
+    def test_balanced_tree_depth_zero(self):
+        graph = generators.balanced_tree(3, 0)
+        assert graph.num_nodes == 1
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            generators.path_graph(0)
+        with pytest.raises(ValueError):
+            generators.balanced_tree(0, 2)
+        with pytest.raises(ValueError):
+            generators.balanced_tree(2, -1)
+
+
+class TestCompositeFamilies:
+    def test_clique_chain_size_and_diameter(self):
+        graph = generators.clique_chain(4, 5)
+        assert graph.num_nodes == 20
+        assert graph.is_connected()
+        assert graph.diameter() == 2 * 4 - 1
+
+    def test_clique_chain_single_block(self):
+        graph = generators.clique_chain(1, 4)
+        assert graph.diameter() == 1
+
+    def test_lollipop(self):
+        graph = generators.lollipop_graph(5, 4)
+        assert graph.num_nodes == 9
+        assert graph.diameter() == 5
+
+    def test_lollipop_no_tail(self):
+        graph = generators.lollipop_graph(4, 0)
+        assert graph.diameter() == 1
+
+    def test_barbell(self):
+        graph = generators.barbell_graph(4, 3)
+        assert graph.num_nodes == 11
+        assert graph.diameter() == 6
+
+    def test_diameter_controlled_graph(self):
+        for target in (1, 2, 5, 9):
+            graph = generators.diameter_controlled_graph(20, target, seed=1)
+            assert graph.num_nodes == 20
+            assert graph.is_connected()
+            assert graph.diameter() == target
+
+    def test_diameter_controlled_infeasible(self):
+        with pytest.raises(ValueError):
+            generators.diameter_controlled_graph(5, 10)
+        with pytest.raises(ValueError):
+            generators.diameter_controlled_graph(1, 3)
+
+    def test_diameter_controlled_single_node(self):
+        graph = generators.diameter_controlled_graph(1, 0)
+        assert graph.num_nodes == 1
+
+
+class TestRandomFamilies:
+    def test_random_connected_gnp_is_connected(self):
+        for seed in range(5):
+            graph = generators.random_connected_gnp(25, 0.05, seed=seed)
+            assert graph.num_nodes == 25
+            assert graph.is_connected()
+
+    def test_random_connected_gnp_deterministic_per_seed(self):
+        a = generators.random_connected_gnp(15, 0.2, seed=42)
+        b = generators.random_connected_gnp(15, 0.2, seed=42)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_random_connected_gnp_invalid_p(self):
+        with pytest.raises(ValueError):
+            generators.random_connected_gnp(10, 1.5)
+
+    def test_random_tree_is_tree(self):
+        graph = generators.random_tree(30, seed=2)
+        assert graph.num_edges == 29
+        assert graph.is_connected()
+
+    def test_family_dispatch_all_kinds(self):
+        for kind in generators.SWEEP_FAMILIES:
+            graph = generators.family_for_sweep(kind, 16, seed=1)
+            assert graph.is_connected()
+            assert graph.num_nodes >= 4
+
+    def test_family_dispatch_unknown(self):
+        with pytest.raises(ValueError):
+            generators.family_for_sweep("nonexistent", 10)

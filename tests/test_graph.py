@@ -1,0 +1,186 @@
+"""Unit tests for the core graph data structure and its distance oracles."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    other = nx.Graph()
+    other.add_nodes_from(graph.nodes())
+    other.add_edges_from(graph.edges())
+    return other
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert graph.is_connected()
+
+    def test_add_node_idempotent(self):
+        graph = Graph()
+        graph.add_node(1)
+        graph.add_node(1)
+        assert graph.num_nodes == 1
+
+    def test_add_edge_adds_endpoints(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        assert graph.has_node("a") and graph.has_node("b")
+        assert graph.has_edge("a", "b") and graph.has_edge("b", "a")
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_duplicate_edge_not_double_counted(self):
+        graph = Graph(edges=[(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_remove_edge(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(edges=[(0, 1)])
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 2)
+
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert not graph.has_node(2)
+
+    def test_relabelled_preserves_structure(self):
+        graph = Graph(edges=[("x", "y"), ("y", "z")])
+        relabelled, mapping = graph.relabelled()
+        assert set(mapping.values()) == {0, 1, 2}
+        assert relabelled.num_edges == 2
+        assert relabelled.distance(mapping["x"], mapping["z"]) == 2
+
+    def test_contains_and_iteration(self):
+        graph = Graph(nodes=[3, 1, 2])
+        assert 1 in graph
+        assert 5 not in graph
+        assert sorted(graph) == [1, 2, 3]
+        assert len(graph) == 3
+
+    def test_degree_and_max_degree(self):
+        graph = generators.star_graph(6)
+        assert graph.degree(0) == 5
+        assert graph.degree(3) == 1
+        assert graph.max_degree() == 5
+
+
+class TestDistances:
+    def test_bfs_distances_on_path(self):
+        graph = generators.path_graph(6)
+        distances = graph.bfs_distances(0)
+        assert distances == {i: i for i in range(6)}
+
+    def test_bfs_distances_unreachable_absent(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        distances = graph.bfs_distances(0)
+        assert 2 not in distances
+
+    def test_distance_raises_for_unreachable(self):
+        graph = Graph(nodes=[0, 1], edges=[])
+        with pytest.raises(ValueError):
+            graph.distance(0, 1)
+
+    def test_bfs_distance_matches_networkx(self, small_graph):
+        reference = to_networkx(small_graph)
+        source = small_graph.nodes()[0]
+        expected = nx.single_source_shortest_path_length(reference, source)
+        assert small_graph.bfs_distances(source) == dict(expected)
+
+    def test_bfs_tree_is_shortest_path_tree(self, small_graph):
+        source = small_graph.nodes()[0]
+        parent = small_graph.bfs_tree(source)
+        distances = small_graph.bfs_distances(source)
+        for node, par in parent.items():
+            if par is None:
+                assert node == source
+            else:
+                assert distances[node] == distances[par] + 1
+                assert small_graph.has_edge(node, par)
+
+    def test_missing_source_raises(self):
+        graph = generators.path_graph(3)
+        with pytest.raises(KeyError):
+            graph.bfs_distances(99)
+
+
+class TestDiameterAndEccentricity:
+    def test_path_diameter(self):
+        assert generators.path_graph(10).diameter() == 9
+
+    def test_cycle_diameter(self):
+        assert generators.cycle_graph(9).diameter() == 4
+        assert generators.cycle_graph(10).diameter() == 5
+
+    def test_star_diameter(self):
+        assert generators.star_graph(8).diameter() == 2
+
+    def test_complete_diameter(self):
+        assert generators.complete_graph(5).diameter() == 1
+
+    def test_grid_diameter(self):
+        assert generators.grid_graph(3, 4).diameter() == 5
+
+    def test_diameter_matches_networkx(self, small_graph):
+        assert small_graph.diameter() == nx.diameter(to_networkx(small_graph))
+
+    def test_radius_matches_networkx(self, small_graph):
+        assert small_graph.radius() == nx.radius(to_networkx(small_graph))
+
+    def test_eccentricities_match_networkx(self, small_graph):
+        expected = nx.eccentricity(to_networkx(small_graph))
+        assert small_graph.all_eccentricities() == expected
+
+    def test_eccentricity_on_disconnected_raises(self):
+        graph = Graph(nodes=[0, 1], edges=[])
+        with pytest.raises(ValueError):
+            graph.eccentricity(0)
+
+    def test_diameter_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            Graph().diameter()
+
+    def test_single_node_diameter(self):
+        assert Graph(nodes=[0]).diameter() == 0
+
+
+class TestConnectivity:
+    def test_connected_components(self):
+        graph = Graph(nodes=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+        components = graph.connected_components()
+        assert sorted(sorted(c) for c in components) == [[0, 1], [2, 3]]
+
+    def test_is_connected(self, small_graph):
+        assert small_graph.is_connected()
+
+    def test_disconnected_detection(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert not graph.is_connected()
+
+    def test_induced_subgraph(self):
+        graph = generators.cycle_graph(6)
+        sub = graph.induced_subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+
+    def test_max_cross_distance(self):
+        graph = generators.path_graph(6)
+        assert graph.max_cross_distance([0, 1], [4, 5]) == 5
+        assert graph.max_cross_distance([0], [0]) == 0

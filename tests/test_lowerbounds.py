@@ -1,0 +1,241 @@
+"""Tests for the lower-bound machinery: disjointness, reductions, Theorem 10
+and the bound formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lowerbounds.bounds import (
+    LowerBoundComparison,
+    theorem2_lower_bound,
+    theorem3_lower_bound,
+    theorem5_communication_lower_bound,
+    theorem10_lower_bound,
+)
+from repro.lowerbounds.congest_to_two_party import (
+    simulate_congest_algorithm_as_two_party_protocol,
+)
+from repro.lowerbounds.disjointness import (
+    disjointness,
+    intersection_witness,
+    random_disjoint_instance,
+    random_instance,
+    random_intersecting_instance,
+)
+from repro.lowerbounds.reductions import (
+    achk_reduction,
+    hw12_reduction,
+    path_subdivided_reduction,
+    verify_reduction_on_instance,
+)
+from repro.lowerbounds.two_party import (
+    ALICE_TO_BOB,
+    BOB_TO_ALICE,
+    TwoPartyTranscript,
+)
+
+
+class TestDisjointness:
+    def test_basic_values(self):
+        assert disjointness([1, 0, 1], [0, 1, 0]) == 1
+        assert disjointness([1, 0, 1], [0, 0, 1]) == 0
+        assert disjointness([0, 0], [0, 0]) == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            disjointness([1], [1, 0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            disjointness([2, 0], [0, 0])
+
+    def test_intersection_witness(self):
+        assert intersection_witness([0, 1, 1], [0, 0, 1]) == 2
+        assert intersection_witness([1, 0], [0, 1]) is None
+
+    def test_random_instance_shapes(self):
+        x, y = random_instance(50, seed=1)
+        assert len(x) == len(y) == 50
+        assert set(x) <= {0, 1} and set(y) <= {0, 1}
+
+    def test_random_disjoint_is_disjoint(self):
+        for seed in range(10):
+            x, y = random_disjoint_instance(40, seed=seed)
+            assert disjointness(x, y) == 1
+
+    def test_random_intersecting_intersects(self):
+        for seed in range(10):
+            x, y = random_intersecting_instance(40, seed=seed)
+            assert disjointness(x, y) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_instance(0)
+        with pytest.raises(ValueError):
+            random_instance(5, density=2.0)
+
+
+class TestTranscript:
+    def test_counting(self):
+        transcript = TwoPartyTranscript()
+        transcript.send(ALICE_TO_BOB, 10)
+        transcript.send(ALICE_TO_BOB, 20)
+        transcript.send(BOB_TO_ALICE, 5)
+        assert transcript.num_messages == 3
+        assert transcript.total_bits == 35
+        assert transcript.max_message_bits == 20
+        assert transcript.rounds_of_interaction() == 2
+
+    def test_empty(self):
+        transcript = TwoPartyTranscript()
+        assert transcript.num_messages == 0
+        assert transcript.total_bits == 0
+        assert transcript.max_message_bits == 0
+        assert transcript.rounds_of_interaction() == 0
+
+    def test_validation(self):
+        transcript = TwoPartyTranscript()
+        with pytest.raises(ValueError):
+            transcript.send("sideways", 1)
+        with pytest.raises(ValueError):
+            transcript.send(ALICE_TO_BOB, -1)
+
+
+class TestReductions:
+    def test_hw12_parameters(self):
+        reduction = hw12_reduction(5)
+        assert reduction.cut_edges == 11
+        assert reduction.input_length == 25
+        assert (reduction.diameter_if_disjoint, reduction.diameter_if_intersecting) == (2, 3)
+
+    def test_achk_parameters(self):
+        reduction = achk_reduction(12)
+        assert reduction.input_length == 12
+        assert reduction.cut_edges == 2 * 4 + 1
+        assert (reduction.diameter_if_disjoint, reduction.diameter_if_intersecting) == (4, 5)
+
+    def test_path_reduction_parameters(self):
+        reduction = path_subdivided_reduction(6, 4)
+        assert reduction.diameter_if_disjoint == 8
+        assert reduction.diameter_if_intersecting == 9
+        assert reduction.num_nodes > achk_reduction(6).num_nodes
+
+    def test_verify_on_sampled_instances(self):
+        for reduction in (hw12_reduction(3), achk_reduction(6), path_subdivided_reduction(4, 3)):
+            for seed in range(4):
+                x, y = random_disjoint_instance(reduction.input_length, seed=seed)
+                assert verify_reduction_on_instance(reduction, x, y).satisfied
+                x, y = random_intersecting_instance(reduction.input_length, seed=seed)
+                assert verify_reduction_on_instance(reduction, x, y).satisfied
+
+    def test_decide_from_diameter(self):
+        reduction = achk_reduction(5)
+        assert reduction.decide_disjointness_from_diameter(3) == 1
+        assert reduction.decide_disjointness_from_diameter(4) == 1
+        assert reduction.decide_disjointness_from_diameter(5) == 0
+        assert reduction.decide_disjointness_from_diameter(9) == 0
+
+    def test_decide_from_diameter_rejects_promise_violation(self):
+        from repro.lowerbounds.reductions import DisjointnessReduction
+        from repro.graphs.gadgets_hw12 import HW12Gadget
+
+        gapped = DisjointnessReduction(
+            name="synthetic-gap",
+            gadget=HW12Gadget(2),
+            cut_edges=5,
+            input_length=4,
+            diameter_if_disjoint=2,
+            diameter_if_intersecting=5,
+            num_nodes=10,
+        )
+        with pytest.raises(ValueError):
+            gapped.decide_disjointness_from_diameter(3)
+        assert gapped.decide_disjointness_from_diameter(2) == 1
+        assert gapped.decide_disjointness_from_diameter(7) == 0
+
+
+class TestTheorem10Reduction:
+    def test_computes_disjointness_correctly(self):
+        reduction = hw12_reduction(3)
+        for seed in range(3):
+            x, y = random_disjoint_instance(reduction.input_length, seed=seed)
+            outcome = simulate_congest_algorithm_as_two_party_protocol(reduction, x, y)
+            assert outcome.correct
+            x, y = random_intersecting_instance(reduction.input_length, seed=seed)
+            outcome = simulate_congest_algorithm_as_two_party_protocol(reduction, x, y)
+            assert outcome.correct
+
+    def test_message_count_is_linear_in_rounds(self):
+        reduction = hw12_reduction(3)
+        x, y = random_intersecting_instance(reduction.input_length, seed=5)
+        outcome = simulate_congest_algorithm_as_two_party_protocol(reduction, x, y)
+        # At most two messages per simulated round plus the final answer.
+        assert outcome.transcript.num_messages <= 2 * outcome.rounds + 1
+        assert outcome.transcript.num_messages >= 2
+
+    def test_communication_bounded_by_cut_times_rounds(self):
+        reduction = hw12_reduction(4)
+        x, y = random_disjoint_instance(reduction.input_length, seed=2)
+        outcome = simulate_congest_algorithm_as_two_party_protocol(reduction, x, y)
+        bandwidth = 16 * math.ceil(math.log2(reduction.num_nodes + 1))
+        upper = outcome.rounds * reduction.cut_edges * bandwidth + outcome.rounds * 2 + 1
+        assert outcome.transcript.total_bits <= upper
+
+    def test_works_with_achk_reduction(self):
+        reduction = achk_reduction(6)
+        x, y = random_intersecting_instance(6, seed=9)
+        outcome = simulate_congest_algorithm_as_two_party_protocol(reduction, x, y)
+        assert outcome.correct
+        assert outcome.diameter == 5
+
+
+class TestBoundFormulas:
+    def test_theorem5_shape(self):
+        assert theorem5_communication_lower_bound(100, 1) == 101
+        assert theorem5_communication_lower_bound(100, 10) == 20
+        # The bound is minimised around r = sqrt(k).
+        best = min(
+            theorem5_communication_lower_bound(10 ** 4, r) for r in range(1, 1000)
+        )
+        assert best == pytest.approx(2 * math.sqrt(10 ** 4), rel=0.05)
+
+    def test_theorem10_shape(self):
+        # HW12 parameters: k = Theta(n^2), b = Theta(n) gives Omega(sqrt(n)).
+        n = 10 ** 4
+        assert theorem10_lower_bound(n * n, n) == pytest.approx(math.sqrt(n))
+
+    def test_theorem2_monotone(self):
+        assert theorem2_lower_bound(10 ** 4) == pytest.approx(100.0)
+        assert theorem2_lower_bound(10 ** 4, diameter=50) == pytest.approx(150.0)
+
+    def test_theorem3_matches_upper_bound_shape(self):
+        n, diameter = 10 ** 6, 100
+        lower = theorem3_lower_bound(n, diameter, memory_qubits=1)
+        upper = math.sqrt(n * diameter)
+        assert lower <= upper * math.log2(n) ** 2
+        assert upper <= lower * math.log2(n) ** 2
+
+    def test_theorem3_decreases_with_memory(self):
+        weak = theorem3_lower_bound(10 ** 4, 100, memory_qubits=1000)
+        strong = theorem3_lower_bound(10 ** 4, 100, memory_qubits=4)
+        assert weak < strong
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            theorem5_communication_lower_bound(0, 1)
+        with pytest.raises(ValueError):
+            theorem10_lower_bound(10, 0)
+        with pytest.raises(ValueError):
+            theorem3_lower_bound(10, 5, 0)
+
+    def test_comparison_consistency(self):
+        comparison = LowerBoundComparison(
+            n=10 ** 4, diameter=16,
+            lower_bound=theorem2_lower_bound(10 ** 4, 16),
+            upper_bound=math.sqrt(10 ** 4 * 16),
+            label="exact",
+        )
+        assert comparison.consistent
+        assert comparison.ratio > 1.0

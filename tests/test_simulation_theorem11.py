@@ -1,0 +1,122 @@
+"""Tests for the Theorem-11 path network and block-staircase simulation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lowerbounds.disjointness import (
+    disjointness,
+    random_disjoint_instance,
+    random_instance,
+    random_intersecting_instance,
+)
+from repro.lowerbounds.simulation import (
+    PathNetworkProtocol,
+    PathNodeProcess,
+    make_disjointness_path_protocol,
+    run_path_protocol_directly,
+    simulate_path_protocol_as_two_party,
+)
+
+
+class TestDirectExecution:
+    def test_disjointness_protocol_computes_correctly(self):
+        for seed in range(5):
+            x, y = random_instance(25, seed=seed)
+            protocol = make_disjointness_path_protocol(x, y, path_length=3)
+            alice_out, bob_out = run_path_protocol_directly(protocol)
+            assert bob_out == disjointness(x, y)
+            assert alice_out == disjointness(x, y)
+
+    def test_works_for_single_relay(self):
+        x, y = random_intersecting_instance(10, seed=1)
+        protocol = make_disjointness_path_protocol(x, y, path_length=1)
+        alice_out, bob_out = run_path_protocol_directly(protocol)
+        assert alice_out == bob_out == 0
+
+    def test_rounds_scale_with_k_plus_d(self):
+        x, y = random_disjoint_instance(60, seed=0)
+        shallow = make_disjointness_path_protocol(x, y, path_length=2)
+        deep = make_disjointness_path_protocol(x, y, path_length=20)
+        assert deep.rounds > shallow.rounds
+        assert deep.rounds <= 2 * (60 + 4 * 22)
+
+    def test_input_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make_disjointness_path_protocol([1, 0], [1], path_length=2)
+
+    def test_bandwidth_too_small(self):
+        with pytest.raises(ValueError):
+            make_disjointness_path_protocol([1], [1], path_length=2, bandwidth_bits=8)
+
+
+class TestStaircaseSimulation:
+    def test_outputs_match_direct_execution(self):
+        for seed in range(4):
+            for d in (1, 2, 4):
+                x, y = random_instance(20, seed=seed)
+                protocol = make_disjointness_path_protocol(x, y, path_length=d)
+                direct = run_path_protocol_directly(protocol)
+                simulated = simulate_path_protocol_as_two_party(protocol)
+                assert (simulated.alice_output, simulated.bob_output) == direct
+                assert simulated.transcript.output == disjointness(x, y)
+
+    def test_message_count_scales_as_r_over_d(self):
+        """Theorem 11: the number of two-party messages is O(r / d)."""
+        x, y = random_disjoint_instance(40, seed=3)
+        for d in (2, 4, 8):
+            protocol = make_disjointness_path_protocol(x, y, path_length=d)
+            result = simulate_path_protocol_as_two_party(protocol)
+            assert result.num_messages <= 2 * math.ceil(result.distributed_rounds / d) + 3
+
+    def test_larger_d_means_fewer_messages_for_same_rounds(self):
+        x, y = random_disjoint_instance(80, seed=2)
+        small_d = simulate_path_protocol_as_two_party(
+            make_disjointness_path_protocol(x, y, path_length=2)
+        )
+        large_d = simulate_path_protocol_as_two_party(
+            make_disjointness_path_protocol(x, y, path_length=10)
+        )
+        assert large_d.num_messages < small_d.num_messages
+
+    def test_communication_bounded_by_r_times_bw_plus_s(self):
+        """Theorem 11: total communication is O(r (bw + s))."""
+        x, y = random_instance(50, seed=7)
+        for d in (2, 5):
+            protocol = make_disjointness_path_protocol(x, y, path_length=d)
+            result = simulate_path_protocol_as_two_party(protocol)
+            r = result.distributed_rounds
+            bw = protocol.bandwidth_bits
+            s = result.max_relay_memory_bits
+            assert result.total_communication_bits <= 4 * r * (bw + s) + 4 * (bw + s)
+
+    def test_handoff_size_is_linear_in_d(self):
+        x, y = random_instance(30, seed=4)
+        protocol = make_disjointness_path_protocol(x, y, path_length=6)
+        result = simulate_path_protocol_as_two_party(protocol)
+        bw = protocol.bandwidth_bits
+        s = result.max_relay_memory_bits
+        assert result.transcript.max_message_bits <= 3 * 6 * (bw + s)
+
+    def test_relay_memory_is_bounded_by_bandwidth(self):
+        x, y = random_instance(60, seed=5)
+        protocol = make_disjointness_path_protocol(x, y, path_length=4)
+        result = simulate_path_protocol_as_two_party(protocol)
+        assert result.max_relay_memory_bits <= 4 * protocol.bandwidth_bits
+
+    def test_invalid_protocol_parameters(self):
+        with pytest.raises(ValueError):
+            PathNetworkProtocol(
+                path_length=0, rounds=4,
+                alice=PathNodeProcess(), bob=PathNodeProcess(), relays=[],
+                bandwidth_bits=32,
+            )
+        with pytest.raises(ValueError):
+            PathNetworkProtocol(
+                path_length=2, rounds=4,
+                alice=PathNodeProcess(), bob=PathNodeProcess(),
+                relays=[PathNodeProcess()],
+                bandwidth_bits=32,
+            )
