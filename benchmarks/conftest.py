@@ -4,6 +4,40 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine import ENGINE_NAMES, set_default_engine
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        default=None,
+        choices=ENGINE_NAMES,
+        help=(
+            "execution engine for all CONGEST networks built by the "
+            "benchmarks: 'dense' (seed behaviour) or 'sparse' (event-driven; "
+            "identical metrics, idle nodes skipped)"
+        ),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _engine_selection(request):
+    """Honour ``--engine`` by switching the process-wide default engine.
+
+    The benchmarks build their networks deep inside workload helpers, so the
+    selection rides on the engine default rather than threading a parameter
+    through every call; the previous default is restored after each test.
+    """
+    name = request.config.getoption("--engine")
+    if name is None:
+        yield
+        return
+    previous = set_default_engine(name)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
 
 @pytest.fixture
 def run_once(benchmark):

@@ -83,6 +83,10 @@ class _MultiSourceBFSNode(NodeAlgorithm):
         # Forward the smallest-distance pending pair (ties by identifier).
         chosen = min(self.pending, key=lambda src: (self.known[src], repr(src)))
         self.pending.discard(chosen)
+        if self.pending:
+            # The queue is not drained: ask the (sparse) scheduler to run us
+            # again next round even if no new message arrives.
+            self.wake_next_round()
         return self.broadcast(("m", chosen, self.known[chosen]))
 
     def result(self):

@@ -84,6 +84,10 @@ class _WaveNode(NodeAlgorithm):
         self.last_tag = -1          # t_v in the paper
         self.max_distance = 0       # d_v in the paper
         self.finished = False
+        if schedule is not None and schedule.start_round > 0:
+            # A source must act at its prescribed start round even if no
+            # wave has reached it by then (event-driven scheduling).
+            self.wake_at(schedule.start_round)
 
     def on_round(self, round_number: int, inbox: Inbox) -> Optional[Outbox]:
         if round_number >= self.duration:

@@ -13,6 +13,11 @@ Run only the quantum 3/2-approximation::
 Print Table 1 evaluated at a given size::
 
     python -m repro table1 --nodes 100000 --diameter 50
+
+Run on the event-driven execution engine (idle nodes are skipped; same
+results, asymptotically faster for wave-style algorithms)::
+
+    python -m repro diameter --family clique_chain --nodes 24 --engine sparse
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.algorithms import (
 from repro.analysis.tables import render_table, render_table1
 from repro.congest import Network
 from repro.core import quantum_exact_diameter, quantum_three_halves_diameter
+from repro.engine import ENGINE_NAMES
 from repro.graphs import generators
 
 
@@ -45,11 +51,14 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
     truth = graph.diameter()
     rows = []
 
-    classical = run_classical_exact_diameter(Network(graph, seed=args.seed))
+    classical = run_classical_exact_diameter(
+        Network(graph, seed=args.seed, engine=args.engine)
+    )
     rows.append(["classical exact [PRT12/HW12]", classical.diameter, classical.rounds])
 
     quantum = quantum_exact_diameter(
-        graph, oracle_mode=args.oracle_mode, seed=args.seed
+        Network(graph, engine=args.engine),
+        oracle_mode=args.oracle_mode, seed=args.seed,
     )
     rows.append(["quantum exact (Theorem 1)", quantum.diameter, quantum.rounds])
 
@@ -63,15 +72,18 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     truth = graph.diameter()
     rows = []
 
-    two = run_classical_two_approximation(Network(graph, seed=args.seed))
+    two = run_classical_two_approximation(
+        Network(graph, seed=args.seed, engine=args.engine)
+    )
     rows.append(["2-approximation", two.estimate, two.rounds])
     classical = run_hprw_three_halves_approximation(
-        Network(graph, seed=args.seed), seed=args.seed
+        Network(graph, seed=args.seed, engine=args.engine), seed=args.seed
     )
     rows.append(["classical 3/2-approx [HPRW14]", classical.estimate, classical.rounds])
     if args.quantum:
         quantum = quantum_three_halves_diameter(
-            graph, oracle_mode=args.oracle_mode, seed=args.seed
+            Network(graph, engine=args.engine),
+            oracle_mode=args.oracle_mode, seed=args.seed,
         )
         rows.append(["quantum 3/2-approx (Theorem 4)", quantum.estimate, quantum.rounds])
 
@@ -114,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--oracle-mode", default="reference", choices=("reference", "congest"),
             help="how quantum branch values are evaluated (default: reference)",
+        )
+        sub.add_argument(
+            "--engine", default=None, choices=ENGINE_NAMES,
+            help=(
+                "execution engine for the CONGEST simulator: 'dense' runs "
+                "every node every round, 'sparse' skips idle nodes "
+                "(default: the process default, dense)"
+            ),
         )
 
     diameter_parser = subparsers.add_parser(

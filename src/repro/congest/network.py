@@ -6,6 +6,17 @@ synchronous rounds, delivering messages with a one-round latency and
 accounting for rounds, messages, bits, per-edge bandwidth and per-node
 memory (see :mod:`repro.congest.metrics`).
 
+Execution engines.  Since the ``repro.engine`` refactor, ``Network`` is a
+thin facade: the round loop itself lives in
+:class:`repro.engine.engine.ExecutionEngine`, which composes a *scheduler*
+(which nodes run each round), a *transport* (message delivery + bandwidth
+policy, with a payload-size memo cache) and a *metrics pipeline* (pluggable
+observers).  ``Network(graph, engine="dense")`` reproduces the historical
+behaviour bit-for-bit; ``engine="sparse"`` skips idle nodes entirely, which
+is asymptotically faster for the paper's BFS-wave algorithms and produces
+identical metrics for idle-quiescent algorithms (see
+:mod:`repro.engine.scheduler`).
+
 Bandwidth.  The CONGEST model allows ``bw = O(log n)`` bits per edge per
 round.  By default the simulator uses ``bw = BANDWIDTH_LOG_FACTOR *
 ceil(log2(n + 1))`` bits, which is enough for a constant number of node
@@ -25,14 +36,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
-from repro.congest.errors import (
-    BandwidthExceededError,
-    ProtocolError,
-    RoundLimitExceededError,
-)
-from repro.congest.message import message_size_bits
 from repro.congest.metrics import ExecutionMetrics
-from repro.congest.node import Inbox, NodeAlgorithm
+from repro.congest.node import NodeAlgorithm
 from repro.graphs.graph import Graph, NodeId
 
 #: Multiplier applied to ``ceil(log2(n+1))`` to obtain the default bandwidth.
@@ -40,8 +45,14 @@ from repro.graphs.graph import Graph, NodeId
 #: small constant number of identifiers/counters plus framing per message.
 BANDWIDTH_LOG_FACTOR = 16
 
-#: Default cap on the number of rounds, as a multiple of ``n + D`` is not
-#: computable up-front, so we use a generous multiple of ``n``.
+#: Multiplier of ``n + 2`` used for the default round cap.  The natural
+#: budget for the paper's algorithms would be ``O(n + D)``, but the diameter
+#: ``D`` is not computable up-front (it is exactly what the algorithms set
+#: out to measure), so the simulator falls back to a generous multiple of
+#: ``n`` -- which dominates ``D`` on a connected graph.  An algorithm that
+#: has not terminated after ``DEFAULT_MAX_ROUND_FACTOR * (n + 2)`` rounds is
+#: assumed to be stuck and aborted with
+#: :class:`repro.congest.errors.RoundLimitExceededError`.
 DEFAULT_MAX_ROUND_FACTOR = 64
 
 AlgorithmFactory = Callable[[NodeId, "Network"], NodeAlgorithm]
@@ -77,6 +88,11 @@ class Network:
         the metrics.
     seed:
         Seed for the per-node pseudo-random generators.
+    engine:
+        Execution-engine name: ``"dense"`` (the historical every-node-every-
+        round loop) or ``"sparse"`` (event-driven, idle nodes are skipped).
+        ``None`` uses the process-wide default
+        (:func:`repro.engine.set_default_engine`).
     """
 
     def __init__(
@@ -85,6 +101,7 @@ class Network:
         bandwidth_bits: Optional[int] = None,
         strict_bandwidth: bool = True,
         seed: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if graph.num_nodes == 0:
             raise ValueError("cannot build a network over an empty graph")
@@ -101,6 +118,38 @@ class Network:
         self.bandwidth_bits = bandwidth_bits
         self.strict_bandwidth = strict_bandwidth
         self._seed = seed if seed is not None else 0
+
+        # Imported lazily: repro.engine depends on the sibling congest
+        # modules, so a module-level import here would be circular.
+        from repro.engine import build_engine
+
+        self._engine = build_engine(engine, self)
+
+    # ------------------------------------------------------------------
+    @property
+    def engine_name(self) -> str:
+        """Name of the execution engine driving this network's runs."""
+        return self._engine.name
+
+    @property
+    def engine(self):
+        """The underlying :class:`repro.engine.engine.ExecutionEngine`."""
+        return self._engine
+
+    def add_observer(self, observer) -> None:
+        """Attach a persistent :class:`repro.engine.MetricsObserver`.
+
+        The observer is notified on every subsequent *top-level* ``run``
+        of this network (in addition to the per-run accounting), e.g. the
+        stitched traffic recorder of the Theorem-10 two-party reduction.
+        Nested (re-entrant) runs are not reported, so cross-run accounting
+        like the stitched transcript stays sequential.
+        """
+        self._engine.observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Detach an observer previously added with :meth:`add_observer`."""
+        self._engine.observers.remove(observer)
 
     # ------------------------------------------------------------------
     def node_rng(self, node: NodeId) -> random.Random:
@@ -127,6 +176,9 @@ class Network:
     ) -> ExecutionResult:
         """Run one distributed algorithm to completion.
 
+        Delegates to the configured execution engine; the signature and
+        semantics are unchanged from the pre-engine simulator.
+
         Parameters
         ----------
         factory:
@@ -151,75 +203,9 @@ class Network:
         ExecutionResult
             Per-node results (``algorithm.result()``) and execution metrics.
         """
-        if max_rounds is None:
-            max_rounds = self.default_max_rounds()
-
-        algorithms: Dict[NodeId, NodeAlgorithm] = {
-            node: factory(node, self) for node in self.graph.nodes()
-        }
-        inboxes: Dict[NodeId, Inbox] = {node: {} for node in algorithms}
-        metrics = ExecutionMetrics(bandwidth_limit_bits=self.bandwidth_bits)
-        traffic_log: Optional[list] = [] if record_traffic else None
-
-        round_number = 0
-        while True:
-            if exact_rounds is not None and round_number >= exact_rounds:
-                break
-            if exact_rounds is None and round_number > 0:
-                all_finished = all(alg.finished for alg in algorithms.values())
-                in_flight = any(inbox for inbox in inboxes.values())
-                if all_finished and not in_flight:
-                    break
-            if round_number >= max_rounds:
-                raise RoundLimitExceededError(
-                    f"algorithm did not terminate within {max_rounds} rounds"
-                )
-
-            next_inboxes: Dict[NodeId, Inbox] = {node: {} for node in algorithms}
-            any_message = False
-            for node, algorithm in algorithms.items():
-                outbox = algorithm.on_round(round_number, inboxes[node]) or {}
-                for target, payload in outbox.items():
-                    if not self.graph.has_edge(node, target):
-                        raise ProtocolError(
-                            f"node {node!r} tried to send to non-neighbour {target!r}"
-                        )
-                    size = message_size_bits(payload)
-                    metrics.messages += 1
-                    metrics.total_bits += size
-                    metrics.max_edge_bits_per_round = max(
-                        metrics.max_edge_bits_per_round, size
-                    )
-                    if size > self.bandwidth_bits:
-                        metrics.bandwidth_violations += 1
-                        if self.strict_bandwidth:
-                            raise BandwidthExceededError(
-                                f"round {round_number}: node {node!r} sent "
-                                f"{size} bits to {target!r} "
-                                f"(budget {self.bandwidth_bits} bits)"
-                            )
-                    if traffic_log is not None:
-                        traffic_log.append((round_number, node, target, size))
-                    next_inboxes[target][node] = payload
-                    any_message = True
-                memory = algorithm.memory_bits()
-                if memory is not None:
-                    metrics.max_node_memory_bits = max(
-                        metrics.max_node_memory_bits, memory
-                    )
-
-            round_number += 1
-            inboxes = next_inboxes
-
-            if exact_rounds is None and not any_message:
-                # No message in flight: if everyone is finished we stop at
-                # the top of the next iteration; if nobody will ever send
-                # again but some node forgot to finish, the max_rounds guard
-                # catches it.  We additionally stop early when every node is
-                # finished to avoid spinning.
-                if all(alg.finished for alg in algorithms.values()):
-                    break
-
-        metrics.rounds = round_number
-        results = {node: algorithm.result() for node, algorithm in algorithms.items()}
-        return ExecutionResult(results=results, metrics=metrics, traffic=traffic_log)
+        return self._engine.run(
+            factory,
+            max_rounds=max_rounds,
+            exact_rounds=exact_rounds,
+            record_traffic=record_traffic,
+        )

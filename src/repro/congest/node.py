@@ -17,6 +17,14 @@ Only *local* information is available to a node: its identifier, the
 identifiers of its neighbours, the number of nodes ``n``, and whatever it
 learns from messages.  This mirrors the knowledge assumption of Section 2.1
 of the paper.
+
+Self-wakes.  Under the event-driven :class:`repro.engine.SparseScheduler`
+a node's ``on_round`` is only called when its inbox is non-empty (plus once
+at round 0).  Algorithms that need to act in a round *without* having
+received anything -- draining an internal queue, starting a wave at a
+prescribed round -- declare it with :meth:`NodeAlgorithm.wake_next_round`
+or :meth:`NodeAlgorithm.wake_at`.  Under the dense scheduler both are
+no-ops, so calling them is always safe.
 """
 
 from __future__ import annotations
@@ -61,6 +69,7 @@ class NodeAlgorithm:
         self.num_nodes = num_nodes
         self.rng = rng if rng is not None else random.Random(0)
         self.finished = False
+        self._wake_requests: List[Optional[int]] = []
 
     # ------------------------------------------------------------------
     # Hooks implemented by concrete algorithms
@@ -86,6 +95,56 @@ class NodeAlgorithm:
         per node) override this; returning ``None`` opts out of accounting.
         """
         return None
+
+    # ------------------------------------------------------------------
+    # Self-wake API (event-driven scheduling)
+    # ------------------------------------------------------------------
+    def wake_next_round(self) -> None:
+        """Request that ``on_round`` be called next round even if the inbox
+        is empty.
+
+        The event-driven :class:`repro.engine.SparseScheduler` only runs
+        nodes with a non-empty inbox, so an algorithm that keeps internal
+        work queued between rounds must declare it.  Under the dense
+        scheduler (every node runs every round) this is a no-op, so the
+        call is always safe.
+
+        Example -- a node draining a local queue one message per round::
+
+            def on_round(self, round_number, inbox):
+                self.queue.extend(inbox.values())
+                if not self.queue:
+                    return {}
+                item = self.queue.pop(0)
+                if self.queue:            # more to drain next round, with or
+                    self.wake_next_round()  # without new incoming messages
+                return self.broadcast(item)
+        """
+        self._wake_requests.append(None)
+
+    def wake_at(self, round_number: int) -> None:
+        """Request that ``on_round`` be called at the absolute round
+        ``round_number`` even if the inbox is empty then.
+
+        Used by timer-driven algorithms whose schedule is known up-front,
+        e.g. a Figure-2 wave source that must start its wave at round
+        ``2 * tau'``; may be called from ``__init__`` (before round 0).
+        Requests for rounds that have already passed are clamped to the
+        next round.  A no-op under the dense scheduler.
+        """
+        self._wake_requests.append(int(round_number))
+
+    def consume_wake_requests(self) -> List[Optional[int]]:
+        """Drain and return pending wake requests (called by the engine).
+
+        Entries are ``None`` for :meth:`wake_next_round` or an absolute
+        round number for :meth:`wake_at`.
+        """
+        requests = getattr(self, "_wake_requests", None)
+        if not requests:
+            return []
+        self._wake_requests = []
+        return requests
 
     # ------------------------------------------------------------------
     # Conveniences for subclasses

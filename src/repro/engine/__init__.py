@@ -1,0 +1,67 @@
+"""Pluggable execution engines for the CONGEST simulator.
+
+The simulation core is decomposed into three composable components, wired
+together by :class:`repro.engine.engine.ExecutionEngine`:
+
+* **Scheduler** (:mod:`repro.engine.scheduler`) -- which nodes run in each
+  round.  ``DenseScheduler`` reproduces the seed behaviour bit-for-bit;
+  ``SparseScheduler`` is event-driven and skips idle nodes entirely, which
+  turns Theta(n * rounds) scheduling work into Theta(activations) for the
+  BFS-wave algorithms at the heart of the paper.
+* **Transport** (:mod:`repro.engine.transport`) -- message validation,
+  memoised size measurement and the bandwidth policy.
+* **MetricsPipeline** (:mod:`repro.engine.observers`) -- pluggable
+  observers replacing the inlined accounting and traffic-log code.
+
+``repro.congest.network.Network`` remains the public facade: it builds an
+engine at construction (``Network(graph, engine="sparse")``) and delegates
+``run`` to it.  The process-wide default engine is controlled by
+:func:`set_default_engine` (used by the CLI and benchmark flags).
+"""
+
+from repro.engine.engine import (
+    ExecutionEngine,
+    build_engine,
+    get_default_engine,
+    resolve_engine_name,
+    set_default_engine,
+)
+from repro.engine.observers import (
+    CoreMetricsObserver,
+    MetricsObserver,
+    MetricsPipeline,
+    RunLogObserver,
+    StitchedTrafficObserver,
+    TrafficLogObserver,
+)
+from repro.engine.scheduler import (
+    SCHEDULERS,
+    DenseScheduler,
+    Scheduler,
+    SparseScheduler,
+    make_scheduler,
+)
+from repro.engine.transport import Transport
+
+ENGINE_NAMES = tuple(sorted(SCHEDULERS))
+
+__all__ = [
+    "ExecutionEngine",
+    "build_engine",
+    "set_default_engine",
+    "get_default_engine",
+    "resolve_engine_name",
+    "ENGINE_NAMES",
+    "Scheduler",
+    "DenseScheduler",
+    "SparseScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+    "Transport",
+    "MetricsObserver",
+    "MetricsPipeline",
+    "CoreMetricsObserver",
+    "TrafficLogObserver",
+    "StitchedTrafficObserver",
+    "RunLogObserver",
+]

@@ -1,0 +1,281 @@
+"""The execution engine: scheduler + transport + metrics pipeline.
+
+:class:`ExecutionEngine` is the round loop that used to live inline in
+``Network.run``, decomposed into three composable components:
+
+* a :class:`repro.engine.scheduler.Scheduler` decides *which* nodes run in
+  each round (dense = all, sparse = only nodes with messages or self-wakes);
+* a :class:`repro.engine.transport.Transport` moves messages -- neighbour
+  validation, memoised size measurement, bandwidth policy, delivery;
+* a :class:`repro.engine.observers.MetricsPipeline` receives every
+  measurable event (core accounting, traffic logs, custom observers).
+
+``Network`` keeps its public ``run`` signature and delegates here; new
+execution policies (async rounds, faulty links, dynamic topologies) are
+additional schedulers/transports, not rewrites of the loop.
+
+Internally the engine represents inboxes *sparsely*: the inbox mapping of a
+round contains exactly the nodes that received at least one message, so the
+per-round cost is O(active + messages) rather than O(n) when paired with
+the sparse scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.congest.errors import RoundLimitExceededError
+from repro.congest.node import Inbox, NodeAlgorithm
+from repro.engine.observers import (
+    CoreMetricsObserver,
+    MetricsObserver,
+    MetricsPipeline,
+    TrafficLogObserver,
+)
+from repro.engine.scheduler import (
+    Scheduler,
+    make_scheduler,
+    validate_engine_name,
+)
+from repro.engine.transport import Transport
+from repro.graphs.graph import NodeId
+
+#: The engine used when neither the ``Network`` constructor nor the caller
+#: picks one explicitly.  Toggled process-wide by :func:`set_default_engine`
+#: (the CLI ``--engine`` flag and the benchmark ``--engine`` option use it).
+_DEFAULT_ENGINE = "dense"
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default engine; returns the previous default."""
+    global _DEFAULT_ENGINE
+    validate_engine_name(name)
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = name
+    return previous
+
+
+def get_default_engine() -> str:
+    """The current process-wide default engine name."""
+    return _DEFAULT_ENGINE
+
+
+def resolve_engine_name(name: Optional[str]) -> str:
+    """Map ``None`` to the process default and validate the name."""
+    if name is None:
+        return _DEFAULT_ENGINE
+    return validate_engine_name(name)
+
+
+class ExecutionEngine:
+    """Drives per-node state machines in synchronous rounds.
+
+    Parameters
+    ----------
+    network:
+        The owning :class:`repro.congest.network.Network` (supplies the
+        topology, bandwidth configuration and per-node RNGs to factories).
+    scheduler:
+        The scheduling policy.
+    transport:
+        Message delivery; built from the network's configuration when not
+        given.  The transport's payload-size memo cache persists across the
+        runs of one network.
+    observers:
+        Persistent extra observers notified on every run of this engine
+        (in addition to the per-run core accounting / traffic observers).
+    """
+
+    def __init__(
+        self,
+        network: Any,
+        scheduler: Scheduler,
+        transport: Optional[Transport] = None,
+        observers: Sequence[MetricsObserver] = (),
+    ) -> None:
+        self.network = network
+        self.scheduler = scheduler
+        if transport is None:
+            transport = Transport(
+                network.graph, network.bandwidth_bits, network.strict_bandwidth
+            )
+        self.transport = transport
+        self.observers: list = list(observers)
+        self._run_depth = 0
+
+    @property
+    def name(self) -> str:
+        """The registry name of the scheduling policy."""
+        return self.scheduler.name
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        factory: Callable[[NodeId, Any], NodeAlgorithm],
+        max_rounds: Optional[int] = None,
+        exact_rounds: Optional[int] = None,
+        record_traffic: bool = False,
+    ):
+        """Run one distributed algorithm to completion.
+
+        Semantics match the seed ``Network.run`` exactly under the dense
+        scheduler; see :meth:`repro.congest.network.Network.run` for the
+        parameter documentation.  Re-entrant: a nested ``run`` on the same
+        network (e.g. a factory or callback simulating a sub-protocol) gets
+        its own scheduler instance so the outer run's state survives.
+        """
+        from repro.congest.network import ExecutionResult
+
+        network = self.network
+        if max_rounds is None:
+            max_rounds = network.default_max_rounds()
+
+        algorithms: Dict[NodeId, NodeAlgorithm] = {
+            node: factory(node, network) for node in network.graph.nodes()
+        }
+
+        if self._run_depth == 0:
+            scheduler = self.scheduler
+        else:
+            scheduler = make_scheduler(self.scheduler.name)
+        self._run_depth += 1
+        try:
+            return self._run_loop(
+                network, algorithms, scheduler, ExecutionResult,
+                max_rounds, exact_rounds, record_traffic,
+            )
+        finally:
+            self._run_depth -= 1
+
+    def _run_loop(
+        self,
+        network,
+        algorithms: Dict[NodeId, NodeAlgorithm],
+        scheduler: Scheduler,
+        result_type,
+        max_rounds: int,
+        exact_rounds: Optional[int],
+        record_traffic: bool,
+    ):
+
+        core = CoreMetricsObserver(bandwidth_limit_bits=network.bandwidth_bits)
+        traffic_observer = TrafficLogObserver() if record_traffic else None
+        observers = [core]
+        if traffic_observer is not None:
+            observers.append(traffic_observer)
+        if self._run_depth == 1:
+            # Persistent observers see only top-level runs: interleaving a
+            # nested run's events would corrupt cross-run accounting such as
+            # the stitched traffic transcript's sequential round re-basing.
+            observers.extend(self.observers)
+        pipeline = MetricsPipeline(observers)
+
+        # The bandwidth policy is re-read from the network on every run so
+        # that post-construction mutations of ``bandwidth_bits`` /
+        # ``strict_bandwidth`` are honoured, as in the pre-engine simulator.
+        transport = self.transport
+        transport.bandwidth_bits = network.bandwidth_bits
+        transport.strict_bandwidth = network.strict_bandwidth
+
+        scheduler.begin_run(algorithms)
+        uses_wakes = scheduler.uses_wakes
+
+        finished_state: Dict[NodeId, bool] = {}
+        unfinished = 0
+        for node, algorithm in algorithms.items():
+            finished = algorithm.finished
+            finished_state[node] = finished
+            if not finished:
+                unfinished += 1
+            # Wakes requested during construction (e.g. a wave source that
+            # knows its start round up-front).
+            requests = algorithm.consume_wake_requests()
+            if uses_wakes and requests:
+                for request in requests:
+                    scheduler.request_wake(
+                        node, 0 if request is None else max(0, request)
+                    )
+
+        pipeline.on_run_start(network)
+
+        inboxes: Dict[NodeId, Inbox] = {}
+        round_number = 0
+        while True:
+            if exact_rounds is not None and round_number >= exact_rounds:
+                break
+            if exact_rounds is None and round_number > 0:
+                pending_wakes = scheduler.has_scheduled_wakes()
+                if not inboxes and not pending_wakes:
+                    if unfinished == 0:
+                        break
+                    scheduler.check_quiescent(round_number, unfinished)
+            if round_number >= max_rounds:
+                raise RoundLimitExceededError(
+                    f"algorithm did not terminate within {max_rounds} rounds"
+                )
+
+            active = scheduler.active_nodes(round_number, inboxes)
+            next_inboxes: Dict[NodeId, Inbox] = {}
+            any_message = False
+            for node in active:
+                algorithm = algorithms[node]
+                inbox = inboxes.get(node)
+                if inbox is None:
+                    inbox = {}
+                outbox = algorithm.on_round(round_number, inbox)
+                if outbox:
+                    any_message = True
+                    transport.deliver(
+                        round_number, node, outbox, next_inboxes, pipeline
+                    )
+                memory = algorithm.memory_bits()
+                if memory is not None:
+                    pipeline.on_memory_sample(node, memory)
+                finished = algorithm.finished
+                if finished != finished_state[node]:
+                    finished_state[node] = finished
+                    unfinished += -1 if finished else 1
+                # Drain wake requests on every engine so they cannot pile up
+                # across the run; only wake-aware schedulers act on them.
+                if getattr(algorithm, "_wake_requests", None):
+                    requests = algorithm.consume_wake_requests()
+                    if uses_wakes:
+                        for request in requests:
+                            scheduler.request_wake(
+                                node,
+                                round_number + 1
+                                if request is None
+                                else max(request, round_number + 1),
+                            )
+            pipeline.on_round_end(round_number)
+
+            round_number += 1
+            inboxes = next_inboxes
+
+            if exact_rounds is None and not any_message:
+                if unfinished == 0 and not scheduler.has_scheduled_wakes():
+                    break
+
+        metrics = core.metrics
+        metrics.rounds = round_number
+        pipeline.on_run_end(metrics)
+        results = {node: algorithm.result() for node, algorithm in algorithms.items()}
+        return result_type(
+            results=results,
+            metrics=metrics,
+            traffic=traffic_observer.traffic if traffic_observer is not None else None,
+        )
+
+
+def build_engine(
+    name: Optional[str],
+    network: Any,
+    observers: Sequence[MetricsObserver] = (),
+) -> ExecutionEngine:
+    """Build the engine registered under ``name`` for ``network``.
+
+    ``name=None`` uses the process-wide default (see
+    :func:`set_default_engine`).
+    """
+    resolved = resolve_engine_name(name)
+    return ExecutionEngine(network, make_scheduler(resolved), observers=observers)

@@ -1,0 +1,204 @@
+"""Pluggable metrics pipeline: observers of a CONGEST execution.
+
+The execution engine (:mod:`repro.engine.engine`) no longer hard-codes its
+accounting: every measurable event -- a message crossing an edge, a memory
+sample, the end of a round or of a whole run -- is fanned out to a list of
+:class:`MetricsObserver` instances.  The core accounting that the seed
+simulator performed inline (rounds, messages, bits, bandwidth violations,
+per-node memory) now lives in :class:`CoreMetricsObserver`; the per-message
+traffic log that the Theorem-10 two-party reduction consumes lives in
+:class:`TrafficLogObserver` and :class:`StitchedTrafficObserver`.
+
+Observers are cheap to compose and are the seam where future concerns plug
+in (per-edge congestion heat maps, latency histograms, live dashboards, ...)
+without touching the engine's hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.congest.metrics import ExecutionMetrics
+from repro.graphs.graph import NodeId
+
+#: One traffic-log entry: ``(round, sender, receiver, bits)``.
+TrafficEntry = Tuple[int, NodeId, NodeId, int]
+
+
+class MetricsObserver:
+    """Base class for execution observers.
+
+    All hooks default to no-ops so observers only override what they need.
+    Hooks are called from the engine's hot loop; implementations should be
+    O(1) per event.
+    """
+
+    def on_run_start(self, network: Any) -> None:
+        """Called once before round 0 of a run."""
+
+    def on_message(
+        self,
+        round_number: int,
+        sender: NodeId,
+        receiver: NodeId,
+        payload: Any,
+        size_bits: int,
+        violation: bool,
+    ) -> None:
+        """Called for every message accepted by the transport.
+
+        ``violation`` is true when ``size_bits`` exceeds the bandwidth
+        budget (in strict mode the transport raises immediately after the
+        observers have seen the message).
+        """
+
+    def on_memory_sample(self, node: NodeId, memory_bits: int) -> None:
+        """Called with each non-``None`` ``memory_bits()`` sample."""
+
+    def on_round_end(self, round_number: int) -> None:
+        """Called after all nodes scheduled in ``round_number`` have run."""
+
+    def on_run_end(self, metrics: ExecutionMetrics) -> None:
+        """Called once when a run completes normally (not on error)."""
+
+
+class MetricsPipeline:
+    """An ordered fan-out of observers.
+
+    The engine drives a pipeline per run; the pipeline owns no accounting
+    state of its own.
+    """
+
+    __slots__ = ("observers",)
+
+    def __init__(self, observers) -> None:
+        self.observers: List[MetricsObserver] = list(observers)
+
+    def on_run_start(self, network: Any) -> None:
+        for observer in self.observers:
+            observer.on_run_start(network)
+
+    def on_message(
+        self,
+        round_number: int,
+        sender: NodeId,
+        receiver: NodeId,
+        payload: Any,
+        size_bits: int,
+        violation: bool,
+    ) -> None:
+        for observer in self.observers:
+            observer.on_message(
+                round_number, sender, receiver, payload, size_bits, violation
+            )
+
+    def on_memory_sample(self, node: NodeId, memory_bits: int) -> None:
+        for observer in self.observers:
+            observer.on_memory_sample(node, memory_bits)
+
+    def on_round_end(self, round_number: int) -> None:
+        for observer in self.observers:
+            observer.on_round_end(round_number)
+
+    def on_run_end(self, metrics: ExecutionMetrics) -> None:
+        for observer in self.observers:
+            observer.on_run_end(metrics)
+
+
+class CoreMetricsObserver(MetricsObserver):
+    """The accounting the seed simulator performed inline.
+
+    Collects messages, total bits, the largest single-edge-per-round
+    message, bandwidth violations and the per-node memory high-water mark
+    into an :class:`repro.congest.metrics.ExecutionMetrics`.  The engine
+    stamps ``metrics.rounds`` itself when the run terminates.
+    """
+
+    def __init__(self, bandwidth_limit_bits: Optional[int]) -> None:
+        self.metrics = ExecutionMetrics(bandwidth_limit_bits=bandwidth_limit_bits)
+
+    def on_message(
+        self, round_number, sender, receiver, payload, size_bits, violation
+    ) -> None:
+        metrics = self.metrics
+        metrics.messages += 1
+        metrics.total_bits += size_bits
+        if size_bits > metrics.max_edge_bits_per_round:
+            metrics.max_edge_bits_per_round = size_bits
+        if violation:
+            metrics.bandwidth_violations += 1
+
+    def on_memory_sample(self, node, memory_bits) -> None:
+        if memory_bits > self.metrics.max_node_memory_bits:
+            self.metrics.max_node_memory_bits = memory_bits
+
+
+class TrafficLogObserver(MetricsObserver):
+    """Record every message of one run as ``(round, sender, receiver, bits)``.
+
+    This implements ``Network.run(record_traffic=True)``: the Theorem-10
+    reduction uses the log to measure how many bits cross the cut of a
+    gadget graph in each round.
+    """
+
+    def __init__(self) -> None:
+        self.traffic: List[TrafficEntry] = []
+
+    def on_message(
+        self, round_number, sender, receiver, payload, size_bits, violation
+    ) -> None:
+        self.traffic.append((round_number, sender, receiver, size_bits))
+
+
+class StitchedTrafficObserver(MetricsObserver):
+    """Record traffic across *several* runs with sequential round numbering.
+
+    Multi-phase algorithms (leader election, then BFS, then convergecast,
+    ...) issue one ``Network.run`` per phase, each restarting its round
+    counter at 0.  Attached as a persistent network observer, this re-bases
+    every phase so that phase ``i`` starts right after the last round of
+    phase ``i - 1`` in which a message was sent -- exactly the flattening the
+    two-party reduction of Theorem 10 needs to reconstruct a single
+    transcript from a composed algorithm.
+    """
+
+    def __init__(self) -> None:
+        self.traffic: List[TrafficEntry] = []
+        self._offset = 0
+        self._phase_last_round = -1
+
+    def on_run_start(self, network) -> None:
+        self._phase_last_round = -1
+
+    def on_message(
+        self, round_number, sender, receiver, payload, size_bits, violation
+    ) -> None:
+        self.traffic.append(
+            (self._offset + round_number, sender, receiver, size_bits)
+        )
+        if round_number > self._phase_last_round:
+            self._phase_last_round = round_number
+
+    def on_run_end(self, metrics) -> None:
+        self._offset += self._phase_last_round + 1
+        self._phase_last_round = -1
+
+
+class RunLogObserver(MetricsObserver):
+    """Count how many simulator runs (and rounds) actually executed.
+
+    The quantum framework (:mod:`repro.qcongest.framework`) distinguishes
+    *modelled* rounds (Theorem 7's ``T0 + #calls * T`` accounting) from the
+    CONGEST executions it really simulated; attaching this observer for the
+    duration of an optimization reports the latter.
+    """
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.rounds = 0
+        self.messages = 0
+
+    def on_run_end(self, metrics) -> None:
+        self.runs += 1
+        self.rounds += metrics.rounds
+        self.messages += metrics.messages

@@ -1,0 +1,172 @@
+"""Schedulers: which nodes run in which round.
+
+The seed simulator woke **every** node **every** round.  For the BFS-wave
+style algorithms at the heart of the paper (single- and multi-source BFS,
+the Figure-2 Evaluation procedure) almost all nodes are idle in almost all
+rounds -- a wavefront of O(1) nodes does the work -- so the dense policy
+spends Theta(n * rounds) scheduler time where Theta(activations) suffices.
+
+Two policies ship:
+
+* :class:`DenseScheduler` -- the seed behaviour, bit-for-bit: every node
+  runs every round, wake requests are no-ops (a node that wants to act at a
+  given round can simply look at ``round_number``).
+* :class:`SparseScheduler` -- event-driven: after round 0 (where every node
+  runs, so initiators can start the algorithm) a node runs only when its
+  inbox is non-empty or it explicitly asked to be woken via the
+  :meth:`repro.congest.node.NodeAlgorithm.wake_next_round` /
+  :meth:`~repro.congest.node.NodeAlgorithm.wake_at` API.  Idle nodes are
+  never touched.
+
+The sparse policy requires algorithms to be *idle-quiescent*: a node whose
+``on_round`` is called with an empty inbox and no pending self-wake must
+neither send messages nor change state.  All algorithms in this repository
+satisfy the contract (the pipelined multi-source BFS and the scheduled
+distance waves use self-wakes); an algorithm that deadlocks under the
+sparse policy -- unfinished nodes but no messages in flight and no wakes --
+fails fast with :class:`repro.congest.errors.RoundLimitExceededError`
+instead of silently spinning to the round cap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Set
+
+from repro.congest.errors import RoundLimitExceededError
+from repro.graphs.graph import NodeId
+
+
+class Scheduler:
+    """Base class of the scheduling policies.
+
+    A scheduler is owned by one engine and recycled across runs;
+    :meth:`begin_run` resets its per-run state.
+    """
+
+    #: Registry name, also surfaced as ``Network.engine_name``.
+    name: str = "abstract"
+
+    #: Whether the engine should drain self-wake requests after each
+    #: ``on_round`` call.  Dense scheduling ignores wakes, so the engine
+    #: skips the drain entirely in its hot loop.
+    uses_wakes: bool = False
+
+    def begin_run(self, algorithms: Mapping[NodeId, Any]) -> None:
+        """Reset per-run state; ``algorithms`` fixes the node universe."""
+        raise NotImplementedError
+
+    def active_nodes(
+        self, round_number: int, inboxes: Mapping[NodeId, Any]
+    ) -> Sequence[NodeId]:
+        """The nodes to run in ``round_number``, in a deterministic order.
+
+        ``inboxes`` is the sparse inbox map: it contains exactly the nodes
+        that received at least one message in the previous round.
+        """
+        raise NotImplementedError
+
+    def request_wake(self, node: NodeId, round_number: int) -> None:
+        """Schedule ``node`` to run in ``round_number`` (absolute)."""
+
+    def has_scheduled_wakes(self) -> bool:
+        """Whether any future self-wake is pending (termination input)."""
+        return False
+
+    def check_quiescent(self, round_number: int, unfinished: int) -> None:
+        """Called when no messages are in flight, no wakes are scheduled and
+        ``unfinished`` nodes have not finished.  Dense scheduling keeps
+        spinning (a node may act on a later ``round_number``); sparse
+        scheduling would never run another node, so it fails fast."""
+
+
+class DenseScheduler(Scheduler):
+    """The seed policy: every node runs every round."""
+
+    name = "dense"
+    uses_wakes = False
+
+    def __init__(self) -> None:
+        self._nodes: List[NodeId] = []
+
+    def begin_run(self, algorithms: Mapping[NodeId, Any]) -> None:
+        self._nodes = list(algorithms)
+
+    def active_nodes(
+        self, round_number: int, inboxes: Mapping[NodeId, Any]
+    ) -> Sequence[NodeId]:
+        return self._nodes
+
+
+class SparseScheduler(Scheduler):
+    """Event-driven policy: only nodes with work to do run.
+
+    A node is scheduled in round ``t > 0`` iff it received a message in
+    round ``t - 1`` or a self-wake was requested for ``t``.  Round 0 runs
+    every node (any node may be an initiator).  Scheduling is O(active)
+    per round; the active set is ordered by the node order of the graph so
+    that executions remain deterministic and match the dense policy.
+    """
+
+    name = "sparse"
+    uses_wakes = True
+
+    def __init__(self) -> None:
+        self._nodes: List[NodeId] = []
+        self._order: Dict[NodeId, int] = {}
+        self._wakes: Dict[int, Set[NodeId]] = {}
+
+    def begin_run(self, algorithms: Mapping[NodeId, Any]) -> None:
+        self._nodes = list(algorithms)
+        self._order = {node: index for index, node in enumerate(self._nodes)}
+        self._wakes = {}
+
+    def active_nodes(
+        self, round_number: int, inboxes: Mapping[NodeId, Any]
+    ) -> Sequence[NodeId]:
+        woken = self._wakes.pop(round_number, None)
+        if round_number == 0:
+            return self._nodes
+        if not woken:
+            if len(inboxes) <= 1:
+                return list(inboxes)
+            return sorted(inboxes, key=self._order.__getitem__)
+        active = set(inboxes)
+        active.update(woken)
+        return sorted(active, key=self._order.__getitem__)
+
+    def request_wake(self, node: NodeId, round_number: int) -> None:
+        bucket = self._wakes.get(round_number)
+        if bucket is None:
+            bucket = self._wakes[round_number] = set()
+        bucket.add(node)
+
+    def has_scheduled_wakes(self) -> bool:
+        return bool(self._wakes)
+
+    def check_quiescent(self, round_number: int, unfinished: int) -> None:
+        raise RoundLimitExceededError(
+            f"round {round_number}: {unfinished} node(s) have not finished "
+            "but no message is in flight and no self-wake is scheduled; "
+            "under the sparse scheduler idle nodes are never re-run -- "
+            "timer-driven algorithms must call wake_next_round()/wake_at()"
+        )
+
+
+#: The available scheduling policies, by registry name.
+SCHEDULERS = {
+    DenseScheduler.name: DenseScheduler,
+    SparseScheduler.name: SparseScheduler,
+}
+
+
+def validate_engine_name(name: str) -> str:
+    """Raise ``ValueError`` unless ``name`` is a registered engine."""
+    if name not in SCHEDULERS:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ValueError(f"unknown engine {name!r} (available: {known})")
+    return name
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``."""
+    return SCHEDULERS[validate_engine_name(name)]()

@@ -1,0 +1,122 @@
+"""Message transport: delivery, size measurement and bandwidth policy.
+
+The transport owns everything that happens to a message between a node's
+outbox and its neighbour's next-round inbox:
+
+* the CONGEST contract check (only neighbours may be addressed, enforced
+  with :class:`repro.congest.errors.ProtocolError`);
+* size measurement via :func:`repro.congest.message.message_size_bits`,
+  behind a memo cache -- the paper's algorithms send the same small tuples
+  (``("bfs", d)``, ``("w", tag, delta)``, ...) over thousands of edges and
+  rounds, so identical payloads are measured once;
+* the bandwidth policy: in strict mode an oversized message raises
+  :class:`repro.congest.errors.BandwidthExceededError`, otherwise the
+  violation is only reported to the metrics pipeline.
+
+The memo cache is keyed by ``(type, repr(payload))`` rather than by the
+payload itself: supported payloads are built-in scalars and containers whose
+``repr`` is faithful, while hashing the value directly would conflate
+equal-but-differently-typed payloads (``2`` and ``2.0`` compare equal yet
+cost 2 and 64 bits respectively).  Payloads whose ``repr`` fails are simply
+measured directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.congest.errors import BandwidthExceededError, ProtocolError
+from repro.congest.message import message_size_bits
+from repro.engine.observers import MetricsPipeline
+from repro.graphs.graph import Graph, NodeId
+
+#: Default bound on the number of memoised payload sizes; beyond it new
+#: payloads are measured without being cached (no eviction churn).
+DEFAULT_SIZE_CACHE_LIMIT = 65536
+
+
+class Transport:
+    """Synchronous one-round-latency message delivery with bandwidth policy.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology (for the neighbour check).
+    bandwidth_bits:
+        Per-edge per-round budget.  The engine refreshes this from the
+        owning network at the start of every run, so post-construction
+        mutations of ``Network.bandwidth_bits`` are honoured.
+    strict_bandwidth:
+        Whether oversized messages abort the run or are merely counted.
+        Refreshed per run like ``bandwidth_bits``.
+    size_cache_limit:
+        Maximum number of distinct payloads whose measured size is memoised.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        bandwidth_bits: int,
+        strict_bandwidth: bool,
+        size_cache_limit: int = DEFAULT_SIZE_CACHE_LIMIT,
+    ) -> None:
+        self.graph = graph
+        self.bandwidth_bits = bandwidth_bits
+        self.strict_bandwidth = strict_bandwidth
+        self.size_cache_limit = size_cache_limit
+        self._size_cache: Dict[Tuple[type, str], int] = {}
+
+    # ------------------------------------------------------------------
+    def measure(self, payload: Any) -> int:
+        """Size of ``payload`` in bits, memoised across the network's runs."""
+        try:
+            key = (payload.__class__, repr(payload))
+        except Exception:
+            return message_size_bits(payload)
+        cache = self._size_cache
+        size = cache.get(key)
+        if size is None:
+            size = message_size_bits(payload)
+            if len(cache) < self.size_cache_limit:
+                cache[key] = size
+        return size
+
+    @property
+    def size_cache_entries(self) -> int:
+        """Number of memoised payload sizes (introspection for benchmarks)."""
+        return len(self._size_cache)
+
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        round_number: int,
+        sender: NodeId,
+        outbox: Dict[NodeId, Any],
+        next_inboxes: Dict[NodeId, Dict[NodeId, Any]],
+        pipeline: MetricsPipeline,
+    ) -> None:
+        """Validate, measure, account and enqueue one node's outbox.
+
+        ``next_inboxes`` is the sparse mapping of the *following* round's
+        inboxes: only nodes that actually receive something get an entry.
+        """
+        graph = self.graph
+        budget = self.bandwidth_bits
+        for target, payload in outbox.items():
+            if not graph.has_edge(sender, target):
+                raise ProtocolError(
+                    f"node {sender!r} tried to send to non-neighbour {target!r}"
+                )
+            size = self.measure(payload)
+            violation = size > budget
+            pipeline.on_message(round_number, sender, target, payload, size, violation)
+            if violation and self.strict_bandwidth:
+                raise BandwidthExceededError(
+                    f"round {round_number}: node {sender!r} sent "
+                    f"{size} bits to {target!r} "
+                    f"(budget {budget} bits)"
+                )
+            inbox = next_inboxes.get(target)
+            if inbox is None:
+                inbox = next_inboxes[target] = {}
+            inbox[sender] = payload

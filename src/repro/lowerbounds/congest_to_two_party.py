@@ -26,6 +26,7 @@ from typing import Callable, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.diameter_exact import run_classical_exact_diameter
 from repro.congest.network import Network
+from repro.engine import StitchedTrafficObserver
 from repro.graphs.graph import Graph, NodeId
 from repro.lowerbounds.disjointness import disjointness
 from repro.lowerbounds.reductions import DisjointnessReduction
@@ -63,39 +64,18 @@ class _RecordingDiameterSolver:
     keeping the traffic of every phase."""
 
     def __call__(self, network: Network) -> Tuple[int, int, list]:
-        # The composed classical algorithm is deterministic, so running it
-        # once for the answer and once per phase for traffic would be
-        # wasteful; instead we wrap ``Network.run`` to always record.
-        traffic: list = []
-        original_run = network.run
-
-        def recording_run(factory, max_rounds=None, exact_rounds=None, record_traffic=False):
-            result = original_run(
-                factory,
-                max_rounds=max_rounds,
-                exact_rounds=exact_rounds,
-                record_traffic=True,
-            )
-            traffic.append(result.traffic)
-            return result
-
-        network.run = recording_run  # type: ignore[method-assign]
+        # The composed classical algorithm issues one ``Network.run`` per
+        # phase; a stitched traffic observer attached to the network's
+        # metrics pipeline records all of them, re-basing rounds so that
+        # phase i starts after the last traffic-carrying round of phases
+        # < i (a single sequential transcript, as Theorem 10 requires).
+        recorder = StitchedTrafficObserver()
+        network.add_observer(recorder)
         try:
             outcome = run_classical_exact_diameter(network)
         finally:
-            network.run = original_run  # type: ignore[method-assign]
-
-        # Flatten the per-phase traffic, re-basing rounds so that phases are
-        # sequential (phase i starts after all rounds of phases < i).
-        flattened: list = []
-        round_offset = 0
-        for phase_traffic in traffic:
-            max_round = -1
-            for round_number, sender, receiver, bits in phase_traffic or []:
-                flattened.append((round_offset + round_number, sender, receiver, bits))
-                max_round = max(max_round, round_number)
-            round_offset += max_round + 1
-        return outcome.diameter, outcome.metrics.rounds, flattened
+            network.remove_observer(recorder)
+        return outcome.diameter, outcome.metrics.rounds, recorder.traffic
 
 
 def simulate_congest_algorithm_as_two_party_protocol(

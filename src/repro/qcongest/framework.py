@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.congest.metrics import ExecutionMetrics
+from repro.engine import RunLogObserver
 from repro.quantum.cost_model import QuantumCostModel, QuantumResourceCount
 from repro.quantum.maximum_finding import MaximumFindingResult, find_maximum
 
@@ -83,6 +84,11 @@ class DistributedOptimizationResult:
     setup_rounds_per_call: int
     evaluation_rounds_per_call: int
     distinct_evaluations: int
+    #: CONGEST executions actually simulated during the optimization (as
+    #: opposed to the *modelled* rounds of ``metrics``), observed via the
+    #: engine's metrics pipeline when the problem exposes its network.
+    simulated_runs: int = 0
+    simulated_rounds: int = 0
 
     @property
     def rounds(self) -> int:
@@ -104,34 +110,48 @@ def run_distributed_quantum_optimization(
     """
     rng = rng if rng is not None else random.Random(0)
 
-    initialization_metrics = problem.initialization()
-    amplitudes = problem.setup_amplitudes()
-    if not amplitudes:
-        raise ValueError("the search space must be non-empty")
-    setup_metrics = problem.setup_cost()
+    # When the problem exposes the CONGEST network it simulates on, observe
+    # every run it performs during the optimization through the engine's
+    # metrics pipeline -- this reports how much simulation the optimization
+    # really executed, separately from the modelled Theorem-7 cost.
+    run_log = RunLogObserver()
+    network = getattr(problem, "network", None)
+    observed = network is not None and hasattr(network, "add_observer")
+    if observed:
+        network.add_observer(run_log)
 
-    evaluation_cost: Dict[str, ExecutionMetrics] = {}
-    value_cache: Dict[Item, float] = {}
+    try:
+        initialization_metrics = problem.initialization()
+        amplitudes = problem.setup_amplitudes()
+        if not amplitudes:
+            raise ValueError("the search space must be non-empty")
+        setup_metrics = problem.setup_cost()
 
-    def value_of(item: Item) -> float:
-        if item in value_cache:
-            return value_cache[item]
-        value, metrics = problem.evaluate(item)
-        value_cache[item] = value
-        current = evaluation_cost.get("max")
-        if current is None or metrics.rounds > current.rounds:
-            evaluation_cost["max"] = metrics
-        return value
+        evaluation_cost: Dict[str, ExecutionMetrics] = {}
+        value_cache: Dict[Item, float] = {}
 
-    eps = problem.optimum_mass_lower_bound()
-    outcome: MaximumFindingResult = find_maximum(
-        amplitudes,
-        value_of=value_of,
-        eps=eps,
-        delta=delta,
-        rng=rng,
-        budget_constant=budget_constant,
-    )
+        def value_of(item: Item) -> float:
+            if item in value_cache:
+                return value_cache[item]
+            value, metrics = problem.evaluate(item)
+            value_cache[item] = value
+            current = evaluation_cost.get("max")
+            if current is None or metrics.rounds > current.rounds:
+                evaluation_cost["max"] = metrics
+            return value
+
+        eps = problem.optimum_mass_lower_bound()
+        outcome: MaximumFindingResult = find_maximum(
+            amplitudes,
+            value_of=value_of,
+            eps=eps,
+            delta=delta,
+            rng=rng,
+            budget_constant=budget_constant,
+        )
+    finally:
+        if observed:
+            network.remove_observer(run_log)
 
     per_evaluation = evaluation_cost.get("max", ExecutionMetrics())
     cost_model = QuantumCostModel(
@@ -156,4 +176,6 @@ def run_distributed_quantum_optimization(
         setup_rounds_per_call=setup_metrics.rounds,
         evaluation_rounds_per_call=per_evaluation.rounds,
         distinct_evaluations=len(value_cache),
+        simulated_runs=run_log.runs,
+        simulated_rounds=run_log.rounds,
     )

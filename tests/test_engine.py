@@ -1,0 +1,448 @@
+"""Unit tests for the pluggable execution-engine subsystem.
+
+Covers engine selection, the failure paths of ``Network.run`` under *both*
+schedulers (strict bandwidth, round limit, protocol violations), the
+self-wake API that keeps timer-driven algorithms correct under the sparse
+scheduler, the transport's payload-size memo cache, and the observer
+pipeline (traffic logs, stitched multi-phase recording, run logs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    ProtocolError,
+    RoundLimitExceededError,
+)
+from repro.congest.message import message_size_bits
+from repro.congest.network import Network
+from repro.congest.node import NodeAlgorithm
+from repro.engine import (
+    ENGINE_NAMES,
+    DenseScheduler,
+    RunLogObserver,
+    SparseScheduler,
+    StitchedTrafficObserver,
+    Transport,
+    TrafficLogObserver,
+    get_default_engine,
+    make_scheduler,
+    set_default_engine,
+)
+from repro.graphs import generators
+
+ENGINES = list(ENGINE_NAMES)
+
+
+def _factory(cls, *extra):
+    return lambda node, net: cls(
+        node, net.graph.neighbors(node), net.num_nodes, net.node_rng(node), *extra
+    )
+
+
+class _Chatterbox(NodeAlgorithm):
+    """Sends an oversized message to trigger bandwidth enforcement."""
+
+    def on_round(self, round_number, inbox):
+        self.finished = True
+        if round_number == 0:
+            return self.broadcast("x" * 4096)
+        return {}
+
+
+class _BadSender(NodeAlgorithm):
+    """Sends to a non-neighbour to trigger a protocol error."""
+
+    def on_round(self, round_number, inbox):
+        self.finished = True
+        if round_number == 0 and self.node_id == 0:
+            return {999: "hello"}
+        return {}
+
+
+class _NeverFinishes(NodeAlgorithm):
+    def on_round(self, round_number, inbox):
+        return self.broadcast(1)
+
+
+class _SilentlyStuck(NodeAlgorithm):
+    """Never finishes, never sends, never wakes: a quiescent deadlock."""
+
+    def on_round(self, round_number, inbox):
+        return {}
+
+
+class _TimerNode(NodeAlgorithm):
+    """Fires a broadcast at a prescribed round with no prior traffic."""
+
+    FIRE_ROUND = 7
+
+    def __init__(self, node_id, neighbors, num_nodes, rng):
+        super().__init__(node_id, neighbors, num_nodes, rng)
+        if node_id == 0:
+            self.wake_at(self.FIRE_ROUND)
+        else:
+            self.finished = True
+
+    def on_round(self, round_number, inbox):
+        if self.node_id == 0:
+            if round_number == self.FIRE_ROUND:
+                self.finished = True
+                self.fired_at = round_number
+                return self.broadcast(("f",))
+            return {}
+        if inbox:
+            self.received_at = round_number
+        return {}
+
+    def result(self):
+        return getattr(self, "fired_at", None) or getattr(self, "received_at", None)
+
+
+class _QueueDrainer(NodeAlgorithm):
+    """Node 0 seeds a queue and drains one item per round via self-wakes."""
+
+    def __init__(self, node_id, neighbors, num_nodes, rng):
+        super().__init__(node_id, neighbors, num_nodes, rng)
+        self.queue = [1, 2, 3] if node_id == 0 else []
+        self.received = []
+        self.finished = node_id != 0
+
+    def on_round(self, round_number, inbox):
+        self.received.extend(inbox.values())
+        if not self.queue:
+            self.finished = True
+            return {}
+        item = self.queue.pop(0)
+        if self.queue:
+            self.wake_next_round()
+        else:
+            self.finished = True
+        return self.broadcast(item)
+
+    def result(self):
+        return self.received
+
+
+class TestEngineSelection:
+    def test_default_engine_is_dense(self):
+        network = Network(generators.path_graph(3))
+        assert network.engine_name == "dense"
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_explicit_engine(self, engine):
+        network = Network(generators.path_graph(3), engine=engine)
+        assert network.engine_name == engine
+        assert network.engine.scheduler.name == engine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Network(generators.path_graph(3), engine="warp")
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            set_default_engine("warp")
+
+    def test_default_engine_toggle(self):
+        previous = set_default_engine("sparse")
+        try:
+            assert get_default_engine() == "sparse"
+            assert Network(generators.path_graph(3)).engine_name == "sparse"
+        finally:
+            set_default_engine(previous)
+        assert get_default_engine() == previous
+
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("dense"), DenseScheduler)
+        assert isinstance(make_scheduler("sparse"), SparseScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("warp")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestFailurePaths:
+    """The seed's failure modes must survive the refactor, on both engines."""
+
+    def test_strict_bandwidth_raises(self, engine):
+        network = Network(
+            generators.path_graph(3), strict_bandwidth=True, engine=engine
+        )
+        with pytest.raises(BandwidthExceededError, match="budget"):
+            network.run(_factory(_Chatterbox))
+
+    def test_non_strict_counts_violations(self, engine):
+        network = Network(
+            generators.path_graph(3), strict_bandwidth=False, engine=engine
+        )
+        result = network.run(_factory(_Chatterbox))
+        assert result.metrics.bandwidth_violations >= 1
+        assert result.metrics.max_edge_bits_per_round > network.bandwidth_bits
+
+    def test_protocol_error_on_non_neighbour(self, engine):
+        network = Network(generators.path_graph(3), engine=engine)
+        with pytest.raises(ProtocolError, match="non-neighbour"):
+            network.run(_factory(_BadSender))
+
+    def test_round_limit_exceeded(self, engine):
+        network = Network(generators.path_graph(3), engine=engine)
+        with pytest.raises(RoundLimitExceededError):
+            network.run(_factory(_NeverFinishes), max_rounds=5)
+
+    def test_exact_rounds_mode(self, engine):
+        network = Network(generators.path_graph(3), engine=engine)
+        result = network.run(_factory(_NeverFinishes), exact_rounds=4)
+        assert result.rounds == 4
+
+    def test_bandwidth_policy_mutation_after_construction(self, engine):
+        """The seed loop read the policy live each run; the engine must too."""
+        network = Network(
+            generators.path_graph(3), strict_bandwidth=True, engine=engine
+        )
+        network.strict_bandwidth = False
+        result = network.run(_factory(_Chatterbox))
+        assert result.metrics.bandwidth_violations >= 1
+        network.strict_bandwidth = True
+        network.bandwidth_bits = 10 ** 6
+        clean = network.run(_factory(_Chatterbox))
+        assert clean.metrics.bandwidth_violations == 0
+        assert clean.metrics.bandwidth_limit_bits == 10 ** 6
+
+    def test_traffic_recording(self, engine):
+        network = Network(generators.path_graph(4), engine=engine)
+        result = network.run(_factory(_NeverFinishes), exact_rounds=3)
+        assert result.traffic is None
+        recorded = network.run(
+            _factory(_NeverFinishes), exact_rounds=3, record_traffic=True
+        )
+        assert recorded.traffic is not None
+        assert len(recorded.traffic) == recorded.metrics.messages
+        rounds = [entry[0] for entry in recorded.traffic]
+        assert rounds == sorted(rounds)
+
+
+class TestSelfWakes:
+    def test_timer_fires_under_both_engines(self):
+        outcomes = {}
+        for engine in ENGINES:
+            network = Network(generators.path_graph(3), engine=engine)
+            result = network.run(_factory(_TimerNode))
+            outcomes[engine] = (result.results, result.rounds)
+        assert outcomes["dense"] == outcomes["sparse"]
+        results, _ = outcomes["sparse"]
+        assert results[0] == _TimerNode.FIRE_ROUND
+        assert results[1] == _TimerNode.FIRE_ROUND + 1
+
+    def test_queue_drains_under_both_engines(self):
+        outcomes = {}
+        for engine in ENGINES:
+            network = Network(generators.path_graph(2), engine=engine)
+            result = network.run(_factory(_QueueDrainer))
+            outcomes[engine] = (result.results[1], result.metrics.messages)
+        assert outcomes["dense"] == outcomes["sparse"]
+        assert outcomes["sparse"][0] == [1, 2, 3]
+
+    def test_sparse_deadlock_fails_fast(self):
+        network = Network(generators.path_graph(3), engine="sparse")
+        with pytest.raises(RoundLimitExceededError, match="wake_next_round"):
+            network.run(_factory(_SilentlyStuck), max_rounds=10_000)
+
+    def test_dense_spins_to_round_limit(self):
+        network = Network(generators.path_graph(3), engine="dense")
+        with pytest.raises(RoundLimitExceededError, match="did not terminate"):
+            network.run(_factory(_SilentlyStuck), max_rounds=17)
+
+    def test_wake_requests_are_drained(self):
+        node = NodeAlgorithm(0, [1], 2)
+        node.wake_next_round()
+        node.wake_at(5)
+        assert node.consume_wake_requests() == [None, 5]
+        assert node.consume_wake_requests() == []
+
+    def test_wake_requests_do_not_pile_up_under_dense(self):
+        """The engine drains wake requests even when the scheduler ignores
+        them, so re-arming timers cannot grow memory on long dense runs."""
+
+        class _Rearming(NodeAlgorithm):
+            def on_round(self, round_number, inbox):
+                if round_number >= 6:
+                    self.finished = True
+                    return {}
+                self.wake_at(round_number + 2)
+                return {}
+
+        network = Network(generators.path_graph(2), engine="dense")
+        holder = {}
+
+        def factory(node, net):
+            algorithm = _Rearming(
+                node, net.graph.neighbors(node), net.num_nodes, net.node_rng(node)
+            )
+            holder[node] = algorithm
+            return algorithm
+
+        network.run(factory, max_rounds=50)
+        assert all(len(a._wake_requests) == 0 for a in holder.values())
+
+    def test_nested_run_preserves_outer_scheduler_state(self):
+        """A nested run on the same network must not clobber the outer
+        sparse run's pending wakes."""
+
+        class _NestedCaller(NodeAlgorithm):
+            def __init__(self, node_id, neighbors, num_nodes, rng, network):
+                super().__init__(node_id, neighbors, num_nodes, rng)
+                self.network = network
+                self.inner_messages = None
+                if node_id == 0:
+                    self.wake_at(2)
+                    self.wake_at(5)
+                else:
+                    self.finished = True
+
+            def on_round(self, round_number, inbox):
+                if self.node_id != 0:
+                    return {}
+                if round_number == 2:
+                    inner = self.network.run(_factory(_TwoPhasePing))
+                    self.inner_messages = inner.metrics.messages
+                if round_number == 5:
+                    self.finished = True
+                    self.fired = True
+                return {}
+
+            def result(self):
+                return (self.inner_messages, getattr(self, "fired", False))
+
+        network = Network(generators.path_graph(3), engine="sparse")
+        result = network.run(
+            lambda node, net: _NestedCaller(
+                node, net.graph.neighbors(node), net.num_nodes,
+                net.node_rng(node), net,
+            )
+        )
+        assert result.results[0] == (1, True)
+
+
+class TestTransportMemoCache:
+    def _transport(self, n=8):
+        graph = generators.path_graph(n)
+        return Transport(graph, bandwidth_bits=64, strict_bandwidth=True)
+
+    def test_measure_matches_reference(self):
+        transport = self._transport()
+        payloads = [None, True, 7, -7, 3.14, "abc", ("bfs", 5), [1, (2, "x")],
+                    {"a": 1}]
+        for payload in payloads:
+            assert transport.measure(payload) == message_size_bits(payload)
+
+    def test_repeated_payloads_hit_the_cache(self):
+        transport = self._transport()
+        assert transport.size_cache_entries == 0
+        first = transport.measure(("bfs", 5))
+        assert transport.size_cache_entries == 1
+        second = transport.measure(("bfs", 5))
+        assert first == second
+        assert transport.size_cache_entries == 1
+
+    def test_cache_distinguishes_equal_but_differently_typed_payloads(self):
+        transport = self._transport()
+        # 2 == 2.0 and hash(2) == hash(2.0), but they cost 2 vs 64 bits.
+        assert transport.measure(2) == message_size_bits(2)
+        assert transport.measure(2.0) == message_size_bits(2.0)
+        assert transport.measure((2,)) == message_size_bits((2,))
+        assert transport.measure((2.0,)) == message_size_bits((2.0,))
+
+    def test_unsupported_payload_still_raises(self):
+        transport = self._transport()
+        with pytest.raises(TypeError):
+            transport.measure(object())
+
+    def test_cache_limit_respected(self):
+        graph = generators.path_graph(4)
+        transport = Transport(
+            graph, bandwidth_bits=64, strict_bandwidth=True, size_cache_limit=2
+        )
+        for value in range(5):
+            transport.measure(("m", value))
+        assert transport.size_cache_entries == 2
+        # Uncached payloads are still measured correctly.
+        assert transport.measure(("m", 4)) == message_size_bits(("m", 4))
+
+
+class _TwoPhasePing(NodeAlgorithm):
+    """Node 0 pings its neighbour once; used to exercise observers."""
+
+    def on_round(self, round_number, inbox):
+        self.finished = True
+        if round_number == 0 and self.node_id == 0:
+            return self.send_to(self.neighbors[0], ("p",))
+        return {}
+
+
+class TestObservers:
+    def test_persistent_observer_sees_every_run(self):
+        network = Network(generators.path_graph(2))
+        log = RunLogObserver()
+        network.add_observer(log)
+        network.run(_factory(_TwoPhasePing))
+        network.run(_factory(_TwoPhasePing))
+        assert log.runs == 2
+        assert log.messages == 2
+        assert log.rounds > 0
+        network.remove_observer(log)
+        network.run(_factory(_TwoPhasePing))
+        assert log.runs == 2
+
+    def test_traffic_log_observer_matches_record_traffic(self):
+        network = Network(generators.path_graph(2))
+        observer = TrafficLogObserver()
+        network.add_observer(observer)
+        result = network.run(_factory(_TwoPhasePing), record_traffic=True)
+        network.remove_observer(observer)
+        assert observer.traffic == result.traffic
+
+    def test_stitched_observer_rebases_phases(self):
+        network = Network(generators.path_graph(2))
+        stitched = StitchedTrafficObserver()
+        network.add_observer(stitched)
+        network.run(_factory(_TwoPhasePing))
+        network.run(_factory(_TwoPhasePing))
+        network.remove_observer(stitched)
+        assert len(stitched.traffic) == 2
+        first, second = stitched.traffic
+        # Phase 2's message is re-based to start after phase 1's last
+        # traffic-carrying round (round 0), i.e. at stitched round 1.
+        assert first[0] == 0
+        assert second[0] == 1
+
+    def test_persistent_observers_skip_nested_runs(self):
+        """A nested run must not interleave events into cross-run
+        accounting such as the stitched transcript."""
+
+        class _NestingPing(NodeAlgorithm):
+            def __init__(self, node_id, neighbors, num_nodes, rng, network):
+                super().__init__(node_id, neighbors, num_nodes, rng)
+                self.network = network
+
+            def on_round(self, round_number, inbox):
+                self.finished = True
+                if round_number == 0 and self.node_id == 0:
+                    # Simulate a sub-protocol mid-run on the same network.
+                    self.network.run(_factory(_TwoPhasePing))
+                    return self.send_to(self.neighbors[0], ("p",))
+                return {}
+
+        network = Network(generators.path_graph(2))
+        log = RunLogObserver()
+        network.add_observer(log)
+        network.run(
+            lambda node, net: _NestingPing(
+                node, net.graph.neighbors(node), net.num_nodes,
+                net.node_rng(node), net,
+            )
+        )
+        network.remove_observer(log)
+        # Only the outer run is reported: one run, one message.
+        assert log.runs == 1
+        assert log.messages == 1
