@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 
-from bench_workloads import fixed_diameter_family, network_for, record
+from bench_workloads import fixed_diameter_family, measure_grid, network_for, record
 
 from repro.algorithms.diameter_approx import run_hprw_three_halves_approximation
 from repro.analysis.fitting import fit_power_law
@@ -20,28 +20,31 @@ from repro.core.approx_diameter import quantum_three_halves_diameter
 from repro.core.complexity import classical_approx_upper, quantum_approx_upper
 
 
-def _measure(graphs):
-    rows = []
-    for name, graph in graphs:
-        truth = graph.diameter()
-        classical = run_hprw_three_halves_approximation(network_for(graph), seed=3)
-        quantum = quantum_three_halves_diameter(graph, oracle_mode="reference", seed=3)
-        rows.append(
-            {
-                "family": name,
-                "n": graph.num_nodes,
-                "D": truth,
-                "classical_rounds": classical.rounds,
-                "quantum_rounds": quantum.rounds,
-                "classical_ok": math.floor(2 * truth / 3) <= classical.estimate <= truth,
-                "quantum_ok": math.floor(2 * truth / 3) <= quantum.estimate <= truth,
-            }
-        )
-    return rows
+def _measure_point(task):
+    """One grid point: both 3/2-approximations on one graph (batch task)."""
+    name, graph = task
+    truth = graph.diameter()
+    classical = run_hprw_three_halves_approximation(network_for(graph), seed=3)
+    quantum = quantum_three_halves_diameter(graph, oracle_mode="reference", seed=3)
+    return {
+        "family": name,
+        "n": graph.num_nodes,
+        "D": truth,
+        "classical_rounds": classical.rounds,
+        "quantum_rounds": quantum.rounds,
+        "classical_ok": math.floor(2 * truth / 3) <= classical.estimate <= truth,
+        "quantum_ok": math.floor(2 * truth / 3) <= quantum.estimate <= truth,
+    }
 
 
-def test_approximation_upper_bounds(run_once, benchmark):
-    rows = run_once(_measure, fixed_diameter_family((32, 64, 128), diameter=6, seed=2))
+def _measure(graphs, jobs=1):
+    return measure_grid(graphs, _measure_point, jobs=jobs)
+
+
+def test_approximation_upper_bounds(run_once, benchmark, jobs):
+    rows = run_once(
+        _measure, fixed_diameter_family((32, 64, 128), diameter=6, seed=2), jobs=jobs
+    )
     ns = [row["n"] for row in rows]
     classical_fit = fit_power_law(ns, [row["classical_rounds"] for row in rows])
     quantum_fit = fit_power_law(ns, [row["quantum_rounds"] for row in rows])

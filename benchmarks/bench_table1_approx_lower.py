@@ -15,6 +15,8 @@ which indeed grows linearly, i.e. matches the classical lower bound's shape.
 
 from __future__ import annotations
 
+from repro.runner import BatchRunner
+
 from bench_workloads import network_for, record
 
 from repro.algorithms.diameter_exact import run_classical_exact_diameter
@@ -28,32 +30,32 @@ from repro.lowerbounds.disjointness import (
 from repro.lowerbounds.reductions import hw12_reduction, verify_reduction_on_instance
 
 
-def _measure(sizes):
-    rows = []
-    for s in sizes:
-        reduction = hw12_reduction(s)
-        x1, y1 = random_disjoint_instance(reduction.input_length, seed=s)
-        x2, y2 = random_intersecting_instance(reduction.input_length, seed=s)
-        check_disjoint = verify_reduction_on_instance(reduction, x1, y1)
-        check_intersecting = verify_reduction_on_instance(reduction, x2, y2)
-        graph = reduction.graph_for_inputs(x2, y2)
-        solved = run_classical_exact_diameter(network_for(graph))
-        rows.append(
-            {
-                "s": s,
-                "n": reduction.num_nodes,
-                "k": reduction.input_length,
-                "promise_ok": check_disjoint.satisfied and check_intersecting.satisfied,
-                "classical_solve_rounds": solved.rounds,
-                "classical_lower": classical_approx_lower(reduction.num_nodes),
-                "quantum_lower": theorem2_lower_bound(reduction.num_nodes),
-            }
-        )
-    return rows
+def _measure_instance(s):
+    """One gadget size: verify the promise and solve the instance (batch task)."""
+    reduction = hw12_reduction(s)
+    x1, y1 = random_disjoint_instance(reduction.input_length, seed=s)
+    x2, y2 = random_intersecting_instance(reduction.input_length, seed=s)
+    check_disjoint = verify_reduction_on_instance(reduction, x1, y1)
+    check_intersecting = verify_reduction_on_instance(reduction, x2, y2)
+    graph = reduction.graph_for_inputs(x2, y2)
+    solved = run_classical_exact_diameter(network_for(graph))
+    return {
+        "s": s,
+        "n": reduction.num_nodes,
+        "k": reduction.input_length,
+        "promise_ok": check_disjoint.satisfied and check_intersecting.satisfied,
+        "classical_solve_rounds": solved.rounds,
+        "classical_lower": classical_approx_lower(reduction.num_nodes),
+        "quantum_lower": theorem2_lower_bound(reduction.num_nodes),
+    }
 
 
-def test_three_halves_minus_eps_lower_bound_instances(run_once, benchmark):
-    rows = run_once(_measure, (2, 4, 6, 8))
+def _measure(sizes, jobs=1):
+    return BatchRunner(jobs=jobs).map(_measure_instance, sizes)
+
+
+def test_three_halves_minus_eps_lower_bound_instances(run_once, benchmark, jobs):
+    rows = run_once(_measure, (2, 4, 6, 8), jobs=jobs)
     ns = [row["n"] for row in rows]
     solve_fit = fit_power_law(ns, [row["classical_solve_rounds"] for row in rows])
     separation = [row["classical_lower"] / row["quantum_lower"] for row in rows]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 
-from bench_workloads import clique_chain_family, record
+from bench_workloads import clique_chain_family, measure_grid, record
 
 from repro.core.complexity import quantum_exact_upper
 from repro.core.exact_diameter import quantum_exact_diameter
@@ -72,28 +72,31 @@ def test_theorem10_reduction_accounting(run_once, benchmark):
     assert all(row["messages"] <= 2 * row["rounds"] + 1 for row in rows)
 
 
-def _bound_comparison():
-    rows = []
-    for name, graph in clique_chain_family((3, 6, 10)):
-        result = quantum_exact_diameter(graph, oracle_mode="reference", seed=3)
-        n, diameter = graph.num_nodes, graph.diameter()
-        polylog_memory = max(1, math.ceil(math.log2(n + 1)) ** 2)
-        rows.append(
-            {
-                "family": name,
-                "n": n,
-                "D": diameter,
-                "measured_upper": result.rounds,
-                "theorem2_lower": theorem2_lower_bound(n, diameter),
-                "theorem3_lower": theorem3_lower_bound(n, diameter, polylog_memory),
-                "theorem1_formula": quantum_exact_upper(n, diameter),
-            }
-        )
-    return rows
+def _bound_comparison_point(task):
+    """One grid point of the bound comparison (batch task)."""
+    name, graph = task
+    result = quantum_exact_diameter(graph, oracle_mode="reference", seed=3)
+    n, diameter = graph.num_nodes, graph.diameter()
+    polylog_memory = max(1, math.ceil(math.log2(n + 1)) ** 2)
+    return {
+        "family": name,
+        "n": n,
+        "D": diameter,
+        "measured_upper": result.rounds,
+        "theorem2_lower": theorem2_lower_bound(n, diameter),
+        "theorem3_lower": theorem3_lower_bound(n, diameter, polylog_memory),
+        "theorem1_formula": quantum_exact_upper(n, diameter),
+    }
 
 
-def test_lower_bounds_sit_below_measured_upper_bounds(run_once, benchmark):
-    rows = run_once(_bound_comparison)
+def _bound_comparison(jobs=1):
+    return measure_grid(
+        clique_chain_family((3, 6, 10)), _bound_comparison_point, jobs=jobs
+    )
+
+
+def test_lower_bounds_sit_below_measured_upper_bounds(run_once, benchmark, jobs):
+    rows = run_once(_bound_comparison, jobs=jobs)
     worst_gap = max(row["theorem3_lower"] / row["measured_upper"] for row in rows)
     tightness = max(
         row["theorem1_formula"]

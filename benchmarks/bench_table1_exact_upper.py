@@ -18,6 +18,7 @@ from __future__ import annotations
 from bench_workloads import (
     clique_chain_family,
     fixed_diameter_family,
+    measure_grid,
     network_for,
     record,
 )
@@ -28,29 +29,32 @@ from repro.core.complexity import quantum_exact_upper
 from repro.core.exact_diameter import quantum_exact_diameter
 
 
-def _measure(graphs):
-    rows = []
-    for name, graph in graphs:
-        truth = graph.diameter()
-        classical = run_classical_exact_diameter(network_for(graph))
-        quantum = quantum_exact_diameter(graph, oracle_mode="reference", seed=7)
-        assert classical.diameter == truth
-        rows.append(
-            {
-                "family": name,
-                "n": graph.num_nodes,
-                "D": truth,
-                "classical_rounds": classical.rounds,
-                "quantum_rounds": quantum.rounds,
-                "quantum_correct": quantum.diameter == truth,
-            }
-        )
-    return rows
+def _measure_point(task):
+    """One grid point: both exact algorithms on one graph (batch task)."""
+    name, graph = task
+    truth = graph.diameter()
+    classical = run_classical_exact_diameter(network_for(graph))
+    quantum = quantum_exact_diameter(graph, oracle_mode="reference", seed=7)
+    assert classical.diameter == truth
+    return {
+        "family": name,
+        "n": graph.num_nodes,
+        "D": truth,
+        "classical_rounds": classical.rounds,
+        "quantum_rounds": quantum.rounds,
+        "quantum_correct": quantum.diameter == truth,
+    }
 
 
-def test_exact_upper_bounds_small_diameter(run_once, benchmark):
+def _measure(graphs, jobs=1):
+    return measure_grid(graphs, _measure_point, jobs=jobs)
+
+
+def test_exact_upper_bounds_small_diameter(run_once, benchmark, jobs):
     """n grows, D fixed: the regime where the quantum advantage is largest."""
-    rows = run_once(_measure, fixed_diameter_family((24, 48, 96, 160), diameter=6))
+    rows = run_once(
+        _measure, fixed_diameter_family((24, 48, 96, 160), diameter=6), jobs=jobs
+    )
     ns = [row["n"] for row in rows]
     classical_fit = fit_power_law(ns, [row["classical_rounds"] for row in rows])
     quantum_fit = fit_power_law(ns, [row["quantum_rounds"] for row in rows])
@@ -66,9 +70,9 @@ def test_exact_upper_bounds_small_diameter(run_once, benchmark):
     assert quantum_fit.exponent < classical_fit.exponent
 
 
-def test_exact_upper_bounds_growing_diameter(run_once, benchmark):
+def test_exact_upper_bounds_growing_diameter(run_once, benchmark, jobs):
     """n and D both grow (clique chains): rounds should track sqrt(n D)."""
-    rows = run_once(_measure, clique_chain_family((3, 5, 8, 12)))
+    rows = run_once(_measure, clique_chain_family((3, 5, 8, 12)), jobs=jobs)
     nd = [row["n"] * row["D"] for row in rows]
     quantum_fit = fit_power_law(nd, [row["quantum_rounds"] for row in rows])
     classical_fit = fit_power_law(

@@ -9,11 +9,12 @@ pytest-benchmark ``extra_info`` so they appear in the benchmark report
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Callable, Iterable, List, Tuple
 
 from repro.congest.network import Network
 from repro.graphs import generators
 from repro.graphs.graph import Graph
+from repro.runner import BatchRunner
 
 
 def clique_chain_family(
@@ -50,6 +51,21 @@ def cycle_family(sizes: Iterable[int]) -> List[Tuple[str, Graph]]:
 def network_for(graph: Graph, seed: int = 0) -> Network:
     """A CONGEST network with the default O(log n) bandwidth."""
     return Network(graph, seed=seed)
+
+
+def measure_grid(
+    graphs: List[Tuple[str, Graph]],
+    row: Callable[[Tuple[str, Graph]], dict],
+    jobs: int = 1,
+) -> List[dict]:
+    """Submit one ``row`` task per grid point through the batch runner.
+
+    ``row`` must be a module-level (picklable) callable taking one
+    ``(name, graph)`` pair and returning that point's measurement dict.
+    Results are ordered by grid position, so ``--jobs N`` changes only the
+    wall-clock, never the report.
+    """
+    return BatchRunner(jobs=jobs).map(row, graphs)
 
 
 def record(benchmark, **info) -> None:

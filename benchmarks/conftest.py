@@ -18,6 +18,16 @@ def pytest_addoption(parser):
             "identical metrics, idle nodes skipped)"
         ),
     )
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for batch-submitted benchmark grids "
+            "(1 = serial, 0 = one per CPU).  Parallel results are "
+            "byte-identical to serial; only wall-clock changes."
+        ),
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -37,6 +47,12 @@ def _engine_selection(request):
         yield
     finally:
         set_default_engine(previous)
+
+
+@pytest.fixture
+def jobs(request):
+    """The ``--jobs`` worker count for batch-submitted grids."""
+    return request.config.getoption("--jobs")
 
 
 @pytest.fixture

@@ -12,7 +12,12 @@ from repro.analysis.fitting import (
     fit_power_law_two_predictors,
     geometric_mean_ratio,
 )
-from repro.analysis.sweep import SweepRecord, sweep_table
+from repro.analysis.sweep import (
+    SweepRecord,
+    run_sweep,
+    run_sweep_grid,
+    sweep_table,
+)
 from repro.analysis.tables import render_table
 
 __all__ = [
@@ -21,6 +26,8 @@ __all__ = [
     "crossover_point",
     "geometric_mean_ratio",
     "SweepRecord",
+    "run_sweep",
+    "run_sweep_grid",
     "sweep_table",
     "render_table",
 ]

@@ -5,24 +5,60 @@ varying ``(n, D)`` and collects one :class:`SweepRecord` per run.  The
 benchmark harnesses use sweeps to regenerate the rows of Table 1; the
 records are deliberately plain so they can be printed, fitted
 (:mod:`repro.analysis.fitting`) or dumped by the harness.
+
+Sweeps are batch workloads: every ``(graph, algorithm)`` cell is an
+independent, deterministic run.  Both entry points therefore execute on
+the :class:`repro.runner.batch.BatchRunner` -- ``jobs=1`` (the default)
+runs serially in-process, ``jobs=N`` fans the cells out over a process
+pool.  The task body is the same code either way and results are
+aggregated in task order, so the parallel record list is byte-identical
+(same order, same values) to the serial one.
+
+Two entry points:
+
+* :func:`run_sweep` takes pre-built graphs and arbitrary algorithm
+  callables (the historical API).  With ``jobs > 1`` the callables and
+  graphs must be picklable; un-picklable inputs (lambdas, closures)
+  degrade gracefully to serial execution.
+* :func:`run_sweep_grid` takes :class:`repro.runner.spec.GraphSpec` recipes
+  and algorithm *names* from :data:`repro.runner.algorithms.SWEEP_ALGORITHMS`.
+  Workers construct each graph themselves, once per worker per spec
+  (see :func:`repro.runner.spec.build_graph_cached`), which keeps task
+  payloads tiny and avoids rebuilding a graph once per algorithm.
+
+The sequential diameter oracle is **lazy**: ``graph.diameter()`` is the
+most expensive part of a sweep record's provenance (all-pairs BFS), so it
+is only computed -- once per graph -- when at least one algorithm in the
+sweep carries ``"exact"`` in its name and therefore needs a correctness
+check.  Sweeps of pure approximation algorithms leave
+:attr:`SweepRecord.diameter` as ``None`` (rendered ``-`` by
+:func:`sweep_table`).
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graphs.graph import Graph
+from repro.runner.batch import BatchRunner, task_seed
+from repro.runner.spec import GraphSpec, build_graph_cached, graph_diameter_cached
 
 
 @dataclass
 class SweepRecord:
-    """One measurement: an algorithm run on one graph."""
+    """One measurement: an algorithm run on one graph.
+
+    ``diameter`` is the true diameter from the sequential oracle when the
+    sweep needed it for a correctness check, else ``None`` (the oracle is
+    lazy; see the module docstring).
+    """
 
     family: str
     algorithm: str
     num_nodes: int
-    diameter: int
+    diameter: Optional[int]
     rounds: int
     value: float
     correct: Optional[bool] = None
@@ -42,7 +78,7 @@ def sweep_table(records: Iterable[SweepRecord]) -> str:
                 record.family,
                 record.algorithm,
                 str(record.num_nodes),
-                str(record.diameter),
+                "-" if record.diameter is None else str(record.diameter),
                 str(record.rounds),
                 f"{record.value:g}",
                 "-" if record.correct is None else str(record.correct),
@@ -58,33 +94,135 @@ def sweep_table(records: Iterable[SweepRecord]) -> str:
     return "\n".join(lines)
 
 
+def _needs_oracle(names: Iterable[str]) -> bool:
+    """Whether any algorithm name requests an exact-correctness check."""
+    return any("exact" in name for name in names)
+
+
+def _sweep_one_graph(
+    algorithms: Dict[str, Callable[[Graph], Tuple[int, float]]],
+    task: Tuple[str, Graph],
+) -> List[SweepRecord]:
+    """Run every algorithm on one graph (the per-task body of a sweep).
+
+    The diameter oracle runs at most once per graph, and only when some
+    algorithm in the table needs a correctness check.
+    """
+    family, graph = task
+    true_diameter: Optional[int] = (
+        graph.diameter() if _needs_oracle(algorithms) else None
+    )
+    records: List[SweepRecord] = []
+    for name, runner in algorithms.items():
+        rounds, value = runner(graph)
+        correct: Optional[bool] = None
+        if "exact" in name:
+            correct = int(value) == true_diameter
+        records.append(
+            SweepRecord(
+                family=family,
+                algorithm=name,
+                num_nodes=graph.num_nodes,
+                diameter=true_diameter,
+                rounds=rounds,
+                value=value,
+                correct=correct,
+            )
+        )
+    return records
+
+
+def _picklable(*objects) -> bool:
+    try:
+        pickle.dumps(objects)
+    except Exception:
+        return False
+    return True
+
+
 def run_sweep(
     graphs: Sequence[Tuple[str, Graph]],
     algorithms: Dict[str, Callable[[Graph], Tuple[int, float]]],
+    jobs: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> List[SweepRecord]:
     """Run every algorithm on every graph and collect records.
 
     ``algorithms`` maps a name to a callable returning ``(rounds, value)``
     for a given graph.  Correctness is checked against the sequential
-    diameter oracle when the algorithm's name contains ``"exact"``.
+    diameter oracle when the algorithm's name contains ``"exact"``; the
+    oracle is computed lazily, once per graph, and skipped entirely when
+    no algorithm needs it.
+
+    ``jobs`` (or an explicit ``runner``) fans the per-graph tasks out over
+    a process pool; records come back in the same order as serial
+    execution.  Parallel dispatch requires picklable inputs: un-picklable
+    algorithm callables (lambdas, closures) silently degrade the sweep to
+    serial execution with identical records.
     """
-    records: List[SweepRecord] = []
-    for family, graph in graphs:
-        true_diameter = graph.diameter()
-        for name, runner in algorithms.items():
-            rounds, value = runner(graph)
-            correct: Optional[bool] = None
-            if "exact" in name:
-                correct = int(value) == true_diameter
-            records.append(
-                SweepRecord(
-                    family=family,
-                    algorithm=name,
-                    num_nodes=graph.num_nodes,
-                    diameter=true_diameter,
-                    rounds=rounds,
-                    value=value,
-                    correct=correct,
-                )
-            )
-    return records
+    if runner is None:
+        runner = BatchRunner(jobs=jobs)
+    # Probe only the algorithm table: callables (lambdas, closures) are the
+    # realistic unpicklable input, and probing the graphs as well would
+    # serialize the whole grid a second time just to throw the result away.
+    if runner.jobs > 1 and not _picklable(algorithms):
+        runner = BatchRunner(jobs=1)
+    per_graph = runner.map(_sweep_one_graph, list(graphs), context=algorithms)
+    return [record for records in per_graph for record in records]
+
+
+def _sweep_one_grid_cell(
+    context: Tuple[Dict[str, Callable[[Graph, int], Tuple[int, float]]], int],
+    task: Tuple[GraphSpec, str],
+) -> SweepRecord:
+    """Run one ``(spec, algorithm)`` grid cell in this process.
+
+    The graph (and, when needed, its diameter oracle) comes from the
+    per-process caches, so a chunk of cells sharing a spec constructs the
+    graph once.
+    """
+    algorithms, base_seed = context
+    spec, name = task
+    graph = build_graph_cached(spec)
+    seed = task_seed(base_seed, spec, name)
+    rounds, value = algorithms[name](graph, seed)
+    correct: Optional[bool] = None
+    true_diameter: Optional[int] = None
+    if _needs_oracle(algorithms):
+        # Some algorithm of this sweep needs the oracle, so every record
+        # of the spec carries it (matching run_sweep); the per-process
+        # cache makes this one computation per spec per worker.
+        true_diameter = graph_diameter_cached(spec)
+    if "exact" in name:
+        correct = int(value) == true_diameter
+    return SweepRecord(
+        family=spec.label,
+        algorithm=name,
+        num_nodes=graph.num_nodes,
+        diameter=true_diameter,
+        rounds=rounds,
+        value=value,
+        correct=correct,
+    )
+
+
+def run_sweep_grid(
+    specs: Sequence[GraphSpec],
+    algorithms: Dict[str, Callable[[Graph, int], Tuple[int, float]]],
+    jobs: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
+    base_seed: int = 0,
+) -> List[SweepRecord]:
+    """Sweep a ``specs x algorithms`` grid, one record per cell.
+
+    ``algorithms`` maps names to picklable kernels with the
+    ``(graph, seed) -> (rounds, value)`` signature of
+    :mod:`repro.runner.algorithms`; each cell receives a deterministic
+    seed derived from ``(base_seed, spec, name)``, so results do not
+    depend on worker assignment or execution order.  Cells are submitted
+    spec-major so chunk neighbours share the per-worker graph cache.
+    """
+    if runner is None:
+        runner = BatchRunner(jobs=jobs)
+    tasks = [(spec, name) for spec in specs for name in algorithms]
+    return runner.map(_sweep_one_grid_cell, tasks, context=(algorithms, base_seed))

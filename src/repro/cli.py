@@ -18,6 +18,13 @@ Run on the event-driven execution engine (idle nodes are skipped; same
 results, asymptotically faster for wave-style algorithms)::
 
     python -m repro diameter --family clique_chain --nodes 24 --engine sparse
+
+Sweep a grid of graph families and sizes over the standard algorithms,
+fanned out over 4 worker processes (records are byte-identical to a
+serial run)::
+
+    python -m repro sweep --families cycle,clique_chain --sizes 24,48,96 \
+        --algorithms classical_exact,two_approx --jobs 4
 """
 
 from __future__ import annotations
@@ -31,11 +38,18 @@ from repro.algorithms import (
     run_classical_two_approximation,
     run_hprw_three_halves_approximation,
 )
+from repro.analysis.sweep import run_sweep_grid, sweep_table
 from repro.analysis.tables import render_table, render_table1
 from repro.congest import Network
 from repro.core import quantum_exact_diameter, quantum_three_halves_diameter
 from repro.engine import ENGINE_NAMES
 from repro.graphs import generators
+from repro.runner import (
+    BatchRunner,
+    SWEEP_ALGORITHMS,
+    grid,
+    resolve_algorithms,
+)
 
 
 def _build_graph(args: argparse.Namespace):
@@ -91,6 +105,39 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     print(render_table(rows, header=["algorithm", "estimate", "rounds"]))
     valid = all(row[1] <= truth for row in rows)
     return 0 if valid else 1
+
+
+def _parse_csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    families = _parse_csv(args.families)
+    for family in families:
+        if family not in generators.SWEEP_FAMILIES and family != "controlled":
+            known = ", ".join(sorted(set(generators.SWEEP_FAMILIES) | {"controlled"}))
+            print(f"unknown family {family!r} (available: {known})", file=sys.stderr)
+            return 2
+    if "controlled" in families and args.diameter is None:
+        print("family 'controlled' requires --diameter", file=sys.stderr)
+        return 2
+    try:
+        sizes = [int(item) for item in _parse_csv(args.sizes)]
+        algorithms = resolve_algorithms(_parse_csv(args.algorithms))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    specs = grid(families, sizes, diameter=args.diameter, seed=args.seed)
+    runner = BatchRunner(jobs=args.jobs)
+    records = run_sweep_grid(
+        specs, algorithms, runner=runner, base_seed=args.seed
+    )
+    print(sweep_table(records))
+    failed = [r for r in records if r.correct is False]
+    if failed:
+        print(f"\n{len(failed)} correctness check(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -150,6 +197,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--quantum", action="store_true", help="also run the quantum 3/2-approximation"
     )
     approx_parser.set_defaults(handler=_cmd_approx)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="batch-run algorithms over a (family x size) grid, "
+        "optionally over a process pool (--jobs)",
+    )
+    sweep_parser.add_argument(
+        "--families", default="clique_chain",
+        help="comma-separated graph families (default: clique_chain)",
+    )
+    sweep_parser.add_argument(
+        "--sizes", default="24,48",
+        help="comma-separated node counts (default: 24,48)",
+    )
+    sweep_parser.add_argument(
+        "--algorithms", default="classical_exact,two_approx",
+        help=(
+            "comma-separated algorithm names; available: "
+            + ", ".join(sorted(SWEEP_ALGORITHMS))
+        ),
+    )
+    sweep_parser.add_argument(
+        "--diameter", type=int, default=None,
+        help="target diameter (only for --families controlled)",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help=(
+            "worker processes for the batch runner (1 = serial, 0 = one "
+            "per CPU); parallel output is byte-identical to serial"
+        ),
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
 
     table_parser = subparsers.add_parser(
         "table1", help="print Table 1 evaluated at a given (n, D)"

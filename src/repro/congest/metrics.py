@@ -12,7 +12,12 @@ round-complexity formulas, so the simulator records:
   budget and how many (edge, round) pairs exceeded it (when the network runs
   in non-strict mode, e.g. for the congestion ablation);
 * ``max_node_memory_bits`` -- the largest per-node working-memory footprint
-  reported by the algorithms (when they implement ``memory_bits``).
+  reported by the algorithms (when they implement ``memory_bits``);
+* ``size_cache_hits`` / ``size_cache_misses`` / ``size_cache_overflows`` --
+  effectiveness of the transport's payload-size memo cache during the run
+  (a hit skips re-measuring a payload; an overflow is a payload measured
+  but not cached because the cache budget was exhausted).  Stamped by the
+  execution engine so benchmark reports can show cache behaviour.
 
 Metrics compose: multi-phase algorithms (leader election, then BFS, then the
 quantum optimization loop, ...) sum their phases with :meth:`ExecutionMetrics.merged`.
@@ -35,6 +40,13 @@ class ExecutionMetrics:
     bandwidth_limit_bits: Optional[int] = None
     bandwidth_violations: int = 0
     max_node_memory_bits: int = 0
+    # Cache-effectiveness diagnostics.  Excluded from equality: they
+    # describe *how* the simulation executed (cold vs warm memo cache,
+    # serial vs pool-worker layout), not *what* it computed, so two
+    # semantically identical runs may legitimately differ here.
+    size_cache_hits: int = field(default=0, compare=False)
+    size_cache_misses: int = field(default=0, compare=False)
+    size_cache_overflows: int = field(default=0, compare=False)
     phase_rounds: Dict[str, int] = field(default_factory=dict)
 
     def record_phase(self, name: str, rounds: int) -> None:
@@ -58,6 +70,10 @@ class ExecutionMetrics:
             max_node_memory_bits=max(
                 self.max_node_memory_bits, other.max_node_memory_bits
             ),
+            size_cache_hits=self.size_cache_hits + other.size_cache_hits,
+            size_cache_misses=self.size_cache_misses + other.size_cache_misses,
+            size_cache_overflows=self.size_cache_overflows
+            + other.size_cache_overflows,
         )
         merged.phase_rounds = dict(self.phase_rounds)
         for name, rounds in other.phase_rounds.items():
@@ -81,6 +97,9 @@ class ExecutionMetrics:
             bandwidth_limit_bits=self.bandwidth_limit_bits,
             bandwidth_violations=self.bandwidth_violations * repetitions,
             max_node_memory_bits=self.max_node_memory_bits,
+            size_cache_hits=self.size_cache_hits * repetitions,
+            size_cache_misses=self.size_cache_misses * repetitions,
+            size_cache_overflows=self.size_cache_overflows * repetitions,
         )
         scaled.phase_rounds = {
             name: rounds * repetitions for name, rounds in self.phase_rounds.items()

@@ -80,6 +80,13 @@ class NodeAlgorithm:
         ``round_number`` starts at 0.  ``inbox`` maps a neighbour identifier
         to the payload it sent in the previous round (absent if it sent
         nothing).  Return a mapping ``{neighbour: payload}`` or ``None``.
+
+        The inbox mapping is owned by the engine and recycled across
+        rounds, so it is only valid for the duration of this call: an
+        algorithm that needs the contents later must copy them
+        (``dict(inbox)``), and must never place the inbox object itself
+        (directly or nested) inside an outgoing payload -- send a copy.
+        The payloads *received* through the inbox are untouched.
         """
         raise NotImplementedError
 

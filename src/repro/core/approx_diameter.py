@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.algorithms.diameter_approx import (
     HPRWPreparationResult,
@@ -43,6 +43,9 @@ from repro.qcongest.setup import run_setup_broadcast
 from repro.quantum.cost_model import QuantumResourceCount, leader_memory_bits
 
 from repro.core.exact_diameter import ORACLE_CONGEST, ORACLE_REFERENCE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.batch import BatchRunner
 
 
 @dataclass
@@ -82,6 +85,9 @@ class BallEccentricityProblem(DistributedSearchProblem):
         self._setup_cost: Optional[ExecutionMetrics] = None
         self._reference_cost: Optional[ExecutionMetrics] = None
         self._reference_eccentricities: Optional[Dict[NodeId, int]] = None
+        # See ExactDiameterProblem: only end-to-end simulation evaluates
+        # branches independently; the reference oracle shares hidden state.
+        self.supports_parallel_evaluation = oracle_mode == ORACLE_CONGEST
 
     # ------------------------------------------------------------------
     def initialization(self) -> ExecutionMetrics:
@@ -173,11 +179,15 @@ def quantum_three_halves_diameter(
     delta: float = 0.1,
     seed: int = 0,
     budget_constant: float = 4.0,
+    runner: Optional["BatchRunner"] = None,
 ) -> QuantumApproxDiameterResult:
     """Compute a 3/2-approximation of the diameter (Theorem 4 / Figure 3).
 
     When ``s`` is not given it is set to the balancing value
-    ``Theta(n^{2/3} / d^{1/3})`` with ``d = ecc(leader)``.
+    ``Theta(n^{2/3} / d^{1/3})`` with ``d = ecc(leader)``.  ``runner``
+    optionally dispatches the quantum phase's independent branch
+    evaluations through a process pool in ``"congest"`` oracle mode; the
+    result is identical to a serial run.
     """
     if isinstance(network, Graph):
         network = Network(network)
@@ -204,7 +214,8 @@ def quantum_three_halves_diameter(
 
     problem = BallEccentricityProblem(network, preparation, oracle_mode=oracle_mode)
     optimization = run_distributed_quantum_optimization(
-        problem, delta=delta, rng=rng, budget_constant=budget_constant
+        problem, delta=delta, rng=rng, budget_constant=budget_constant,
+        runner=runner,
     )
     metrics = metrics.merged(optimization.metrics)
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.algorithms.bfs import BFSTreeResult, run_bfs_tree
 from repro.algorithms.broadcast import run_tree_aggregate_max, run_tree_broadcast
@@ -53,6 +53,9 @@ from repro.qcongest.framework import (
 )
 from repro.qcongest.setup import run_setup_broadcast
 from repro.quantum.cost_model import QuantumResourceCount, leader_memory_bits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.batch import BatchRunner
 
 #: Evaluation variants.
 VARIANT_SIMPLE = "simple"
@@ -110,6 +113,11 @@ class ExactDiameterProblem(DistributedSearchProblem):
         self._reference_eccentricities: Optional[Dict[NodeId, int]] = None
         self._reference_cost: Optional[ExecutionMetrics] = None
         self._setup_cost: Optional[ExecutionMetrics] = None
+        # End-to-end simulation evaluates every branch independently on the
+        # CONGEST simulator, so branches may run in pool workers; the
+        # reference oracle amortises one representative run over all
+        # branches, which per-worker copies would re-pay and mis-count.
+        self.supports_parallel_evaluation = oracle_mode == ORACLE_CONGEST
 
     # ------------------------------------------------------------------
     def initialization(self) -> ExecutionMetrics:
@@ -232,6 +240,7 @@ def quantum_exact_diameter(
     seed: int = 0,
     leader: Optional[NodeId] = None,
     budget_constant: float = 4.0,
+    runner: Optional["BatchRunner"] = None,
 ) -> QuantumDiameterResult:
     """Compute the diameter with the quantum algorithm of Theorem 1.
 
@@ -255,6 +264,10 @@ def quantum_exact_diameter(
         Optionally skip leader election and use this node.
     budget_constant:
         Hidden constant of the amplitude-amplification budget.
+    runner:
+        Optional :class:`repro.runner.batch.BatchRunner`; in ``"congest"``
+        oracle mode the independent branch evaluations are dispatched
+        through its process pool with results identical to a serial run.
 
     Returns
     -------
@@ -272,6 +285,7 @@ def quantum_exact_diameter(
         delta=delta,
         rng=random.Random(seed),
         budget_constant=budget_constant,
+        runner=runner,
     )
     return QuantumDiameterResult(
         diameter=int(optimization.best_value),

@@ -177,6 +177,9 @@ class ExecutionEngine:
         transport.bandwidth_bits = network.bandwidth_bits
         transport.strict_bandwidth = network.strict_bandwidth
 
+        cache_misses_before = transport.cache_misses
+        cache_overflows_before = transport.cache_overflows
+
         scheduler.begin_run(algorithms)
         uses_wakes = scheduler.uses_wakes
 
@@ -198,13 +201,27 @@ class ExecutionEngine:
 
         pipeline.on_run_start(network)
 
+        # Hot-loop bindings: the attribute lookups below run O(active)
+        # times per round, so they are hoisted out of the loop.  Consumed
+        # inbox dicts are recycled through ``inbox_pool`` instead of being
+        # reallocated every round; an inbox is therefore only valid for the
+        # duration of the ``on_round`` call it is passed to (see
+        # :class:`repro.congest.node.NodeAlgorithm`).
+        deliver = transport.deliver
+        on_memory_sample = pipeline.on_memory_sample
+        on_round_end = pipeline.on_round_end
+        active_nodes = scheduler.active_nodes
+        request_wake = scheduler.request_wake
+        has_scheduled_wakes = scheduler.has_scheduled_wakes
+        inbox_pool: list = []
+
         inboxes: Dict[NodeId, Inbox] = {}
         round_number = 0
         while True:
             if exact_rounds is not None and round_number >= exact_rounds:
                 break
             if exact_rounds is None and round_number > 0:
-                pending_wakes = scheduler.has_scheduled_wakes()
+                pending_wakes = has_scheduled_wakes()
                 if not inboxes and not pending_wakes:
                     if unfinished == 0:
                         break
@@ -214,23 +231,32 @@ class ExecutionEngine:
                     f"algorithm did not terminate within {max_rounds} rounds"
                 )
 
-            active = scheduler.active_nodes(round_number, inboxes)
+            active = active_nodes(round_number, inboxes)
             next_inboxes: Dict[NodeId, Inbox] = {}
             any_message = False
+            inboxes_get = inboxes.get
             for node in active:
                 algorithm = algorithms[node]
-                inbox = inboxes.get(node)
+                inbox = inboxes_get(node)
                 if inbox is None:
-                    inbox = {}
+                    inbox = inbox_pool.pop() if inbox_pool else {}
                 outbox = algorithm.on_round(round_number, inbox)
                 if outbox:
                     any_message = True
-                    transport.deliver(
-                        round_number, node, outbox, next_inboxes, pipeline
+                    deliver(
+                        round_number, node, outbox, next_inboxes, pipeline,
+                        inbox_pool,
                     )
+                # Recycle the consumed inbox (after delivery, in case the
+                # algorithm returned its inbox as the outbox).  Contract
+                # (see NodeAlgorithm.on_round): the inbox is engine-owned
+                # and must not be retained or sent as a payload.
+                if inbox:
+                    inbox.clear()
+                inbox_pool.append(inbox)
                 memory = algorithm.memory_bits()
                 if memory is not None:
-                    pipeline.on_memory_sample(node, memory)
+                    on_memory_sample(node, memory)
                 finished = algorithm.finished
                 if finished != finished_state[node]:
                     finished_state[node] = finished
@@ -241,23 +267,33 @@ class ExecutionEngine:
                     requests = algorithm.consume_wake_requests()
                     if uses_wakes:
                         for request in requests:
-                            scheduler.request_wake(
+                            request_wake(
                                 node,
                                 round_number + 1
                                 if request is None
                                 else max(request, round_number + 1),
                             )
-            pipeline.on_round_end(round_number)
+            on_round_end(round_number)
 
             round_number += 1
             inboxes = next_inboxes
 
             if exact_rounds is None and not any_message:
-                if unfinished == 0 and not scheduler.has_scheduled_wakes():
+                if unfinished == 0 and not has_scheduled_wakes():
                     break
 
         metrics = core.metrics
         metrics.rounds = round_number
+        # Each delivered message performed exactly one measurement, so the
+        # cache hits of this run are the messages that were not misses
+        # (clamped: a nested run's misses land in this delta while its
+        # messages do not).
+        misses = transport.cache_misses - cache_misses_before
+        metrics.size_cache_misses = misses
+        metrics.size_cache_hits = max(0, metrics.messages - misses)
+        metrics.size_cache_overflows = (
+            transport.cache_overflows - cache_overflows_before
+        )
         pipeline.on_run_end(metrics)
         results = {node: algorithm.result() for node, algorithm in algorithms.items()}
         return result_type(

@@ -4,7 +4,10 @@ The transport owns everything that happens to a message between a node's
 outbox and its neighbour's next-round inbox:
 
 * the CONGEST contract check (only neighbours may be addressed, enforced
-  with :class:`repro.congest.errors.ProtocolError`);
+  with :class:`repro.congest.errors.ProtocolError`) -- the per-node
+  neighbour sets are bound once from :meth:`repro.graphs.graph.Graph.adjacency`
+  so the hot loop performs one set-membership test per message instead of a
+  ``has_edge`` call;
 * size measurement via :func:`repro.congest.message.message_size_bits`,
   behind a memo cache -- the paper's algorithms send the same small tuples
   (``("bfs", d)``, ``("w", tag, delta)``, ...) over thousands of edges and
@@ -13,17 +16,35 @@ outbox and its neighbour's next-round inbox:
   :class:`repro.congest.errors.BandwidthExceededError`, otherwise the
   violation is only reported to the metrics pipeline.
 
-The memo cache is keyed by ``(type, repr(payload))`` rather than by the
-payload itself: supported payloads are built-in scalars and containers whose
-``repr`` is faithful, while hashing the value directly would conflate
-equal-but-differently-typed payloads (``2`` and ``2.0`` compare equal yet
-cost 2 and 64 bits respectively).  Payloads whose ``repr`` fails are simply
-measured directly.
+Memo cache.  Two tiers, tried hash-first:
+
+* the **value tier** keys scalars and flat tuples of scalars by the payload
+  itself -- no ``repr`` string is built on the hot path.  Because Python's
+  ``==``/``hash`` conflate equal numerics of different types (``2``,
+  ``2.0`` and ``True`` collide, yet cost 2, 64 and 1 bits), each entry
+  stores a *type signature* (the element classes) that is verified with
+  identity checks on every hit; a signature mismatch falls through to a
+  fresh measurement, so the tier is exact by construction;
+* the **repr tier** is the original ``(type, repr(payload))`` key, used for
+  everything else: nested containers, unhashable payloads (lists, dicts,
+  sets) and exotic types.  Payloads whose ``repr`` fails are measured
+  directly without caching.
+
+Both tiers share one entry budget (``size_cache_limit``); beyond it new
+payloads are measured without being cached (no eviction churn).
+
+Cache effectiveness is reported through the metrics pipeline without
+touching the hit path: ``measure`` counts only its (rare) misses and
+overflows, and the engine derives per-run hits as ``messages - misses``
+when stamping ``ExecutionMetrics`` -- every delivered message performs
+exactly one measurement, so the identity is exact for leaf runs (and
+clamped for re-entrant nested runs, whose misses land in the outer run's
+delta while their messages do not).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.congest.errors import BandwidthExceededError, ProtocolError
 from repro.congest.message import message_size_bits
@@ -33,6 +54,34 @@ from repro.graphs.graph import Graph, NodeId
 #: Default bound on the number of memoised payload sizes; beyond it new
 #: payloads are measured without being cached (no eviction churn).
 DEFAULT_SIZE_CACHE_LIMIT = 65536
+
+#: Payload classes eligible for the value tier.  Scalars of these classes
+#: (and flat tuples thereof) are fully disambiguated by their class
+#: signature: equal values of the same class always measure the same size.
+_SCALAR_CLASSES = frozenset((int, bool, float, str, type(None)))
+
+
+def _value_signature(payload: Any):
+    """The type signature for the value tier, or ``None`` if ineligible.
+
+    Scalars sign as their class; flat tuples of scalars sign as the tuple
+    of their element classes.  Nested containers are ineligible (their
+    signature would not see inside, so ``(("a", 2),)`` and ``(("a", 2.0),)``
+    could conflate) and fall back to the repr tier.
+    """
+    cls = payload.__class__
+    if cls is tuple:
+        signature = []
+        append = signature.append
+        for item in payload:
+            item_cls = item.__class__
+            if item_cls not in _SCALAR_CLASSES:
+                return None
+            append(item_cls)
+        return tuple(signature)
+    if cls in _SCALAR_CLASSES:
+        return cls
+    return None
 
 
 class Transport:
@@ -50,7 +99,8 @@ class Transport:
         Whether oversized messages abort the run or are merely counted.
         Refreshed per run like ``bandwidth_bits``.
     size_cache_limit:
-        Maximum number of distinct payloads whose measured size is memoised.
+        Maximum number of distinct payloads whose measured size is memoised
+        (shared by both cache tiers).
     """
 
     def __init__(
@@ -64,27 +114,93 @@ class Transport:
         self.bandwidth_bits = bandwidth_bits
         self.strict_bandwidth = strict_bandwidth
         self.size_cache_limit = size_cache_limit
+        #: Value tier: payload -> (type signature, size).
+        self._value_cache: Dict[Any, Tuple[Any, int]] = {}
+        #: Repr tier: (type, repr) -> size.
         self._size_cache: Dict[Tuple[type, str], int] = {}
+        #: Live per-node neighbour sets (one lookup per outbox, one set
+        #: membership test per message -- the graph mutates in place, so
+        #: the binding stays valid for the network's lifetime).
+        self._adjacency = graph.adjacency()
+        # Cache-effectiveness counters, cumulative across the network's
+        # runs; the engine stamps per-run deltas into the run's metrics.
+        # Only misses and overflows are counted (they are rare -- one per
+        # distinct payload); hits are derived from the message count so
+        # the cache-hit path stays increment-free.
+        self.cache_misses = 0
+        self.cache_overflows = 0
 
     # ------------------------------------------------------------------
     def measure(self, payload: Any) -> int:
         """Size of ``payload`` in bits, memoised across the network's runs."""
+        # Value tier: hash the payload itself -- no repr on the hot path.
+        value_cache = self._value_cache
+        try:
+            hit = value_cache.get(payload)
+        except TypeError:
+            hashable = False
+        else:
+            hashable = True
+            if hit is not None:
+                signature, size = hit
+                cls = payload.__class__
+                if cls is not tuple:
+                    if cls is signature:
+                        return size
+                elif signature.__class__ is tuple and tuple(map(type, payload)) == signature:
+                    return size
+                # Signature mismatch: an equal-but-differently-typed
+                # payload (e.g. ``(2,)`` probing an entry for ``(2.0,)``).
+                # Fall through, re-measure and retake the slot.
+        if hashable:
+            signature = _value_signature(payload)
+            if signature is not None:
+                size = message_size_bits(payload)
+                self.cache_misses += 1
+                if (
+                    hit is not None  # overwriting an existing slot
+                    or len(value_cache) + len(self._size_cache)
+                    < self.size_cache_limit
+                ):
+                    value_cache[payload] = (signature, size)
+                else:
+                    self.cache_overflows += 1
+                return size
+
+        # Repr tier: nested containers, unhashable and exotic payloads.
         try:
             key = (payload.__class__, repr(payload))
         except Exception:
+            self.cache_misses += 1
             return message_size_bits(payload)
         cache = self._size_cache
         size = cache.get(key)
         if size is None:
             size = message_size_bits(payload)
-            if len(cache) < self.size_cache_limit:
+            self.cache_misses += 1
+            if len(cache) + len(self._value_cache) < self.size_cache_limit:
                 cache[key] = size
+            else:
+                self.cache_overflows += 1
         return size
 
     @property
     def size_cache_entries(self) -> int:
         """Number of memoised payload sizes (introspection for benchmarks)."""
-        return len(self._size_cache)
+        return len(self._value_cache) + len(self._size_cache)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cumulative cache-effectiveness counters (for reports).
+
+        Hits are not counted here (the hit path is increment-free); per-run
+        hit counts are derived by the engine and reported on
+        ``ExecutionMetrics.size_cache_hits``.
+        """
+        return {
+            "misses": self.cache_misses,
+            "overflows": self.cache_overflows,
+            "entries": self.size_cache_entries,
+        }
 
     # ------------------------------------------------------------------
     def deliver(
@@ -94,29 +210,40 @@ class Transport:
         outbox: Dict[NodeId, Any],
         next_inboxes: Dict[NodeId, Dict[NodeId, Any]],
         pipeline: MetricsPipeline,
+        inbox_pool: Optional[List[Dict[NodeId, Any]]] = None,
     ) -> None:
         """Validate, measure, account and enqueue one node's outbox.
 
         ``next_inboxes`` is the sparse mapping of the *following* round's
         inboxes: only nodes that actually receive something get an entry.
+        ``inbox_pool`` is an optional free list of empty dicts the engine
+        recycles across rounds; newly needed inboxes are taken from it
+        before being allocated.
         """
-        graph = self.graph
+        neighbors = self._adjacency.get(sender)
         budget = self.bandwidth_bits
+        measure = self.measure
+        on_message = pipeline.on_message
+        next_inboxes_get = next_inboxes.get
         for target, payload in outbox.items():
-            if not graph.has_edge(sender, target):
+            if neighbors is None or target not in neighbors:
                 raise ProtocolError(
                     f"node {sender!r} tried to send to non-neighbour {target!r}"
                 )
-            size = self.measure(payload)
+            size = measure(payload)
             violation = size > budget
-            pipeline.on_message(round_number, sender, target, payload, size, violation)
+            on_message(round_number, sender, target, payload, size, violation)
             if violation and self.strict_bandwidth:
                 raise BandwidthExceededError(
                     f"round {round_number}: node {sender!r} sent "
                     f"{size} bits to {target!r} "
                     f"(budget {budget} bits)"
                 )
-            inbox = next_inboxes.get(target)
+            inbox = next_inboxes_get(target)
             if inbox is None:
-                inbox = next_inboxes[target] = {}
+                if inbox_pool:
+                    inbox = inbox_pool.pop()
+                else:
+                    inbox = {}
+                next_inboxes[target] = inbox
             inbox[sender] = payload

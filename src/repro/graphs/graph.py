@@ -149,6 +149,18 @@ class Graph:
         """Whether the undirected edge ``{u, v}`` is in the graph."""
         return v in self._adj.get(u, ())
 
+    def adjacency(self) -> Dict[NodeId, Set[NodeId]]:
+        """The live adjacency mapping ``{node: set of neighbours}``.
+
+        This is the graph's internal structure, exposed read-only by
+        convention for hot paths (the transport's neighbour check binds it
+        once instead of calling :meth:`has_edge` per message).  Callers
+        must not mutate it; use :meth:`add_edge` / :meth:`remove_edge`.
+        Because the mapping is live, later mutations through the public
+        API are visible to holders of the reference.
+        """
+        return self._adj
+
     def __contains__(self, node: NodeId) -> bool:
         return node in self._adj
 

@@ -1,0 +1,49 @@
+"""Parallel batch execution of independent CONGEST runs.
+
+The paper's evaluation -- Table-1 grids, figure sweeps, reduction batteries
+-- is a bag of independent, deterministic simulator runs, so wall-clock
+should scale with ``total_work / cores`` rather than ``total_work``.  This
+package provides the machinery:
+
+* :class:`BatchRunner` (:mod:`repro.runner.batch`) -- a process-pool mapper
+  with chunked dispatch, once-per-worker context shipping, worker exception
+  propagation and **ordered** result aggregation, so parallel output is
+  byte-identical to serial output;
+* :class:`GraphSpec` (:mod:`repro.runner.spec`) -- a picklable recipe for a
+  benchmark graph, with per-worker construction and diameter-oracle caches
+  so a grid builds each ``(family, n, D)`` graph once per worker, not once
+  per algorithm;
+* :data:`SWEEP_ALGORITHMS` (:mod:`repro.runner.algorithms`) -- module-level
+  (hence picklable) measurement kernels referenced by name from grid tasks.
+
+Consumers: :func:`repro.analysis.sweep.run_sweep` /
+:func:`repro.analysis.sweep.run_sweep_grid`, the CLI ``sweep --jobs``
+command, the benchmark harnesses (``--jobs``) and the qcongest framework's
+parallel branch evaluation.
+"""
+
+from repro.runner.algorithms import (
+    SWEEP_ALGORITHMS,
+    resolve_algorithms,
+)
+from repro.runner.batch import BatchRunner, resolve_jobs, task_seed
+from repro.runner.spec import (
+    GraphSpec,
+    build_graph_cached,
+    clear_worker_caches,
+    graph_diameter_cached,
+    grid,
+)
+
+__all__ = [
+    "BatchRunner",
+    "resolve_jobs",
+    "task_seed",
+    "GraphSpec",
+    "grid",
+    "build_graph_cached",
+    "graph_diameter_cached",
+    "clear_worker_caches",
+    "SWEEP_ALGORITHMS",
+    "resolve_algorithms",
+]

@@ -1,0 +1,92 @@
+"""Picklable sweep algorithms for batched grids.
+
+The legacy :func:`repro.analysis.sweep.run_sweep` accepts arbitrary
+callables, which is convenient in tests but incompatible with shipping
+work to pool workers (lambdas and closures do not pickle).  This module
+hosts the standard Table-1 measurement kernels as module-level functions
+so that grid tasks can reference them by **name**; every kernel has the
+uniform signature ``(graph, seed) -> (rounds, value)`` and receives a
+deterministic per-task seed from the batch layer.
+
+Names containing ``"exact"`` are checked against the sequential diameter
+oracle by the sweep layer, mirroring :func:`repro.analysis.sweep.run_sweep`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.graphs.graph import Graph
+
+SweepAlgorithm = Callable[[Graph, int], Tuple[int, float]]
+
+
+def classical_exact(graph: Graph, seed: int) -> Tuple[int, float]:
+    """Classical exact diameter (the PRT12/HW12-style baseline)."""
+    from repro.algorithms.diameter_exact import run_classical_exact_diameter
+    from repro.congest.network import Network
+
+    result = run_classical_exact_diameter(Network(graph, seed=seed))
+    return result.rounds, float(result.diameter)
+
+
+def two_approx(graph: Graph, seed: int) -> Tuple[int, float]:
+    """Classical 2-approximation (BFS from one node)."""
+    from repro.algorithms.diameter_approx import run_classical_two_approximation
+    from repro.congest.network import Network
+
+    result = run_classical_two_approximation(Network(graph, seed=seed))
+    return result.rounds, float(result.estimate)
+
+
+def hprw_three_halves(graph: Graph, seed: int) -> Tuple[int, float]:
+    """Classical 3/2-approximation of [HPRW14]."""
+    from repro.algorithms.diameter_approx import run_hprw_three_halves_approximation
+    from repro.congest.network import Network
+
+    result = run_hprw_three_halves_approximation(Network(graph, seed=seed), seed=seed)
+    return result.rounds, float(result.estimate)
+
+
+def quantum_exact(graph: Graph, seed: int) -> Tuple[int, float]:
+    """Quantum exact diameter (Theorem 1), reference oracle mode."""
+    from repro.congest.network import Network
+    from repro.core.exact_diameter import quantum_exact_diameter
+
+    result = quantum_exact_diameter(
+        Network(graph, seed=seed), oracle_mode="reference", seed=seed
+    )
+    return result.rounds, float(result.diameter)
+
+
+def quantum_three_halves(graph: Graph, seed: int) -> Tuple[int, float]:
+    """Quantum 3/2-approximation (Theorem 4), reference oracle mode."""
+    from repro.congest.network import Network
+    from repro.core.approx_diameter import quantum_three_halves_diameter
+
+    result = quantum_three_halves_diameter(
+        Network(graph, seed=seed), oracle_mode="reference", seed=seed
+    )
+    return result.rounds, float(result.estimate)
+
+
+#: The registry the CLI ``sweep`` command and the batched grids draw from.
+SWEEP_ALGORITHMS: Dict[str, SweepAlgorithm] = {
+    "classical_exact": classical_exact,
+    "two_approx": two_approx,
+    "hprw_three_halves": hprw_three_halves,
+    "quantum_exact": quantum_exact,
+    "quantum_three_halves": quantum_three_halves,
+}
+
+
+def resolve_algorithms(names) -> Dict[str, SweepAlgorithm]:
+    """Map algorithm names to kernels, raising on unknown names."""
+    table: Dict[str, SweepAlgorithm] = {}
+    for name in names:
+        kernel = SWEEP_ALGORITHMS.get(name)
+        if kernel is None:
+            known = ", ".join(sorted(SWEEP_ALGORITHMS))
+            raise ValueError(f"unknown sweep algorithm {name!r} (available: {known})")
+        table[name] = kernel
+    return table

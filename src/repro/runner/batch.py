@@ -1,0 +1,177 @@
+"""The parallel batch runner: fan independent runs out over a process pool.
+
+The paper's evaluation is a *batch* workload: hundreds of independent
+CONGEST runs over ``(family, n, D)`` grids (Table 1, Figures 1-8, the
+Theorem-10/11 reductions).  Every run is deterministic and shares nothing
+with its siblings, so across-run parallelism is embarrassing -- the only
+engineering is in keeping parallel output **byte-identical** to serial
+output.  :class:`BatchRunner` guarantees that by construction:
+
+* tasks are dispatched in chunks through :meth:`multiprocessing.pool.Pool.map`,
+  whose result list is ordered by task index regardless of which worker
+  finished first;
+* per-task randomness is derived with :func:`task_seed` from the task's
+  *identity* (not from its execution order or wall-clock), so a task
+  computes the same answer no matter which worker runs it;
+* the shared callable and context object are shipped to each worker **once**
+  (via the pool initializer), not once per task, and workers inherit the
+  parent's process-wide default engine selection;
+* worker exceptions propagate to the caller (the pool is torn down and the
+  original exception is re-raised), so a failing task cannot be silently
+  dropped from the aggregate.
+
+Serial execution (``jobs=1``, the default) runs the exact same per-task
+code in-process -- there is one code path for the task body, so the
+serial/parallel equality is structural rather than coincidental.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import zlib
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+#: Sentinel distinguishing "no context" from a ``None`` context.
+_NO_CONTEXT = object()
+
+#: Per-worker state installed by the pool initializer: the task callable,
+#: the shared context and the per-worker caches (see :mod:`repro.runner.spec`).
+_WORKER_STATE: dict = {}
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value to a worker count.
+
+    ``None`` and ``1`` mean serial execution; ``0`` and negative values mean
+    "one worker per available CPU"; anything else is taken literally.
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def task_seed(base_seed: int, *components: Any) -> int:
+    """A deterministic per-task seed derived from the task's identity.
+
+    Uses a CRC of the stringified components (like
+    :meth:`repro.congest.network.Network.node_rng`) so that the seed is
+    stable across processes and Python's per-process string-hash
+    randomisation, and independent of the order in which tasks execute.
+    """
+    text = "|".join([str(base_seed)] + [repr(component) for component in components])
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def _worker_initializer(function, context, engine_name: str) -> None:
+    """Install the shared task callable and context in a pool worker.
+
+    Runs once per worker process, so the (potentially large) context --
+    an algorithm table, a pickled search problem -- is transferred and
+    deserialised once per worker instead of once per task.  The parent's
+    default-engine selection is re-applied because ``spawn``-style workers
+    do not inherit process-wide globals.
+    """
+    from repro.engine import set_default_engine
+
+    _WORKER_STATE["function"] = function
+    _WORKER_STATE["context"] = context
+    set_default_engine(engine_name)
+
+
+def _invoke_task(task):
+    """Run one task in a pool worker using the installed state."""
+    function = _WORKER_STATE["function"]
+    context = _WORKER_STATE["context"]
+    if context is _NO_CONTEXT:
+        return function(task)
+    return function(context, task)
+
+
+class BatchRunner:
+    """Run independent tasks over a process pool with ordered aggregation.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes (see :func:`resolve_jobs`; ``None``/``1``
+        run serially in-process, ``0`` means one worker per CPU).
+    chunk_size:
+        Number of tasks handed to a worker per dispatch.  Defaults to
+        ``ceil(len(tasks) / (4 * jobs))`` capped at 32 -- large enough to
+        amortise IPC, small enough to keep workers load-balanced.  Chunks
+        preserve task order, so tasks sharing a per-worker cache key (e.g.
+        the same :class:`repro.runner.spec.GraphSpec`) should be submitted
+        consecutively.
+    start_method:
+        ``multiprocessing`` start method (``None`` uses the platform
+        default, ``fork`` on Linux).
+
+    Notes
+    -----
+    The mapped callable, the context and every task must be picklable when
+    ``jobs > 1`` (module-level functions and plain dataclasses are; lambdas
+    are not).  Results are returned in task order; a worker exception
+    aborts the batch and re-raises in the caller.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        function: Callable[..., Result],
+        tasks: Iterable[Task],
+        context: Any = _NO_CONTEXT,
+    ) -> List[Result]:
+        """Apply ``function`` to every task; results ordered by task index.
+
+        Without ``context`` the callable is invoked as ``function(task)``;
+        with it, as ``function(context, task)`` -- the context is shipped
+        to each worker once, so per-task payloads stay small.
+        """
+        tasks = list(tasks)
+        if self.jobs <= 1 or len(tasks) <= 1:
+            if context is _NO_CONTEXT:
+                return [function(task) for task in tasks]
+            return [function(context, task) for task in tasks]
+        return self._map_parallel(function, tasks, context)
+
+    def _map_parallel(self, function, tasks: Sequence, context) -> List:
+        from repro.engine import get_default_engine
+
+        workers = min(self.jobs, len(tasks))
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = min(32, max(1, -(-len(tasks) // (4 * workers))))
+        mp_context = multiprocessing.get_context(self.start_method)
+        pool = mp_context.Pool(
+            processes=workers,
+            initializer=_worker_initializer,
+            initargs=(function, context, get_default_engine()),
+        )
+        try:
+            results = pool.map(_invoke_task, tasks, chunksize=chunk)
+            pool.close()
+            return results
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()

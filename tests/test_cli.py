@@ -69,3 +69,39 @@ class TestCommands:
         exit_code = main(["table1", "--nodes", "4096", "--memory", "8"])
         assert exit_code == 0
         assert "Theorem 1" in capsys.readouterr().out
+
+    def test_sweep_command_serial(self, capsys):
+        exit_code = main([
+            "sweep", "--families", "cycle", "--sizes", "10,12",
+            "--algorithms", "classical_exact,two_approx",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "cycle[10]" in output and "cycle[12]" in output
+        assert "classical_exact" in output and "two_approx" in output
+
+    def test_sweep_command_parallel_matches_serial(self, capsys):
+        argv = ["sweep", "--families", "cycle,path", "--sizes", "10,12",
+                "--algorithms", "classical_exact"]
+        assert main(argv) == 0
+        serial_output = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert serial_output == parallel_output
+
+    def test_sweep_command_rejects_unknown_family(self, capsys):
+        exit_code = main(["sweep", "--families", "bogus"])
+        assert exit_code == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_sweep_command_controlled_requires_diameter(self, capsys):
+        exit_code = main(["sweep", "--families", "controlled", "--sizes", "12"])
+        assert exit_code == 2
+        assert "--diameter" in capsys.readouterr().err
+        assert main(["sweep", "--families", "controlled", "--sizes", "12",
+                     "--diameter", "4", "--algorithms", "two_approx"]) == 0
+
+    def test_sweep_command_rejects_unknown_algorithm(self, capsys):
+        exit_code = main(["sweep", "--algorithms", "bogus"])
+        assert exit_code == 2
+        assert "unknown sweep algorithm" in capsys.readouterr().err

@@ -52,9 +52,47 @@ class TestMessageSizes:
     def test_dict(self):
         assert message_size_bits({"a": 1}) == 2 + 8 + 1
 
+    def test_large_negative_int(self):
+        # Sign bit on top of the magnitude, at any scale.
+        assert message_size_bits(-(2 ** 20)) == 22
+        assert message_size_bits(-(2 ** 200)) == message_size_bits(2 ** 200) + 1
+        assert message_size_bits(-1) == 2
+
+    def test_deeply_nested_containers(self):
+        # Each nesting level adds 2 bits of framing around the inner value.
+        payload = 5
+        expected = message_size_bits(5)
+        for _ in range(20):
+            payload = (payload,)
+            expected += 2
+        assert message_size_bits(payload) == expected
+
+    def test_nested_mixed_containers(self):
+        payload = {"k": [(1, "x"), frozenset([2])], "m": {"inner": None}}
+        # Consistency is the contract: the size decomposes into the parts.
+        expected = (
+            2 + message_size_bits("k")
+            + (2 + message_size_bits((1, "x"))) + (2 + message_size_bits(frozenset([2])))
+            + 2 + message_size_bits("m") + (2 + message_size_bits("inner") + message_size_bits(None))
+        )
+        assert message_size_bits(payload) == expected
+
+    def test_dict_payload_framing(self):
+        assert message_size_bits({}) == 1
+        assert message_size_bits({1: 2, 3: 4}) == (
+            (2 + message_size_bits(1) + message_size_bits(2))
+            + (2 + message_size_bits(3) + message_size_bits(4))
+        )
+        # Key and value sizes both count.
+        assert message_size_bits({"ab": "cd"}) == 2 + 16 + 16
+
     def test_unsupported_type_raises(self):
         with pytest.raises(TypeError):
             message_size_bits(object())
+
+    def test_unsupported_type_inside_container_raises(self):
+        with pytest.raises(TypeError):
+            message_size_bits(("tag", object()))
 
 
 class TestMetrics:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.algorithms.bfs import run_bfs_tree
 from repro.congest.errors import (
     BandwidthExceededError,
     ProtocolError,
@@ -368,6 +369,71 @@ class TestTransportMemoCache:
         assert transport.size_cache_entries == 2
         # Uncached payloads are still measured correctly.
         assert transport.measure(("m", 4)) == message_size_bits(("m", 4))
+
+    def test_cache_limit_counts_overflows(self):
+        graph = generators.path_graph(4)
+        transport = Transport(
+            graph, bandwidth_bits=64, strict_bandwidth=True, size_cache_limit=2
+        )
+        for value in range(5):
+            transport.measure(("m", value))
+        stats = transport.cache_stats()
+        assert stats["entries"] == 2
+        assert stats["misses"] == 5
+        assert stats["overflows"] == 3
+
+    def test_fast_tier_exact_on_numeric_ping_pong(self):
+        # Alternating probes that compare equal across types must each get
+        # their own size, even though they collide in the value tier.
+        transport = self._transport()
+        for _ in range(3):
+            assert transport.measure((2,)) == message_size_bits((2,))
+            assert transport.measure((2.0,)) == message_size_bits((2.0,))
+            assert transport.measure((True,)) == message_size_bits((True,))
+
+    def test_nested_tuples_fall_back_to_repr_tier_exactly(self):
+        transport = self._transport()
+        assert transport.measure((("a", 2),)) == message_size_bits((("a", 2),))
+        assert transport.measure((("a", 2.0),)) == message_size_bits(
+            (("a", 2.0),)
+        )
+
+    def test_unhashable_payloads_are_cached_via_repr(self):
+        transport = self._transport()
+        first = transport.measure([1, 2, 3])
+        entries = transport.size_cache_entries
+        assert first == message_size_bits([1, 2, 3])
+        assert transport.measure([1, 2, 3]) == first
+        assert transport.size_cache_entries == entries
+
+
+class TestCacheMetricsReporting:
+    def test_run_metrics_carry_cache_stats(self):
+        network = Network(generators.path_graph(30), engine="sparse")
+        tree = run_bfs_tree(network, 0)
+        metrics = tree.metrics
+        assert metrics.size_cache_misses > 0
+        assert metrics.size_cache_hits > 0
+        assert (
+            metrics.size_cache_hits + metrics.size_cache_misses
+            == metrics.messages
+        )
+        assert metrics.size_cache_overflows == 0
+
+    def test_second_run_on_same_network_is_all_hits(self):
+        network = Network(generators.path_graph(20), engine="sparse")
+        run_bfs_tree(network, 0)
+        metrics = run_bfs_tree(network, 0).metrics
+        assert metrics.size_cache_misses == 0
+        assert metrics.size_cache_hits == metrics.messages
+
+    def test_cache_stats_do_not_affect_metric_equality(self):
+        cold = run_bfs_tree(Network(generators.path_graph(20)), 0).metrics
+        network = Network(generators.path_graph(20))
+        run_bfs_tree(network, 0)
+        warm = run_bfs_tree(network, 0).metrics
+        assert cold.size_cache_misses != warm.size_cache_misses
+        assert cold == warm  # diagnostics are excluded from equality
 
 
 class _TwoPhasePing(NodeAlgorithm):
