@@ -37,13 +37,14 @@ def _measure_point(task):
     }
 
 
-def _measure(graphs, jobs=1):
-    return measure_grid(graphs, _measure_point, jobs=jobs)
+def _measure(graphs, jobs=1, store=None, label="table1_approx"):
+    return measure_grid(graphs, _measure_point, jobs=jobs, store=store, label=label)
 
 
-def test_approximation_upper_bounds(run_once, benchmark, jobs):
+def test_approximation_upper_bounds(run_once, benchmark, jobs, store):
     rows = run_once(
-        _measure, fixed_diameter_family((32, 64, 128), diameter=6, seed=2), jobs=jobs
+        _measure, fixed_diameter_family((32, 64, 128), diameter=6, seed=2), jobs=jobs,
+        store=store, label="table1_approx_upper",
     )
     ns = [row["n"] for row in rows]
     classical_fit = fit_power_law(ns, [row["classical_rounds"] for row in rows])

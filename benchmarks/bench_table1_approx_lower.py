@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.runner import BatchRunner
 
-from bench_workloads import network_for, record
+from bench_workloads import network_for, persist_rows, record
 
 from repro.algorithms.diameter_exact import run_classical_exact_diameter
 from repro.analysis.fitting import fit_power_law
@@ -50,12 +50,16 @@ def _measure_instance(s):
     }
 
 
-def _measure(sizes, jobs=1):
-    return BatchRunner(jobs=jobs).map(_measure_instance, sizes)
+def _measure(sizes, jobs=1, store=None):
+    rows = BatchRunner(jobs=jobs).map(_measure_instance, sizes)
+    persist_rows(
+        store, "table1_approx_lower", [f"s={s}" for s in sizes], rows
+    )
+    return rows
 
 
-def test_three_halves_minus_eps_lower_bound_instances(run_once, benchmark, jobs):
-    rows = run_once(_measure, (2, 4, 6, 8), jobs=jobs)
+def test_three_halves_minus_eps_lower_bound_instances(run_once, benchmark, jobs, store):
+    rows = run_once(_measure, (2, 4, 6, 8), jobs=jobs, store=store)
     ns = [row["n"] for row in rows]
     solve_fit = fit_power_law(ns, [row["classical_solve_rounds"] for row in rows])
     separation = [row["classical_lower"] / row["quantum_lower"] for row in rows]

@@ -89,14 +89,15 @@ def _bound_comparison_point(task):
     }
 
 
-def _bound_comparison(jobs=1):
+def _bound_comparison(jobs=1, store=None):
     return measure_grid(
-        clique_chain_family((3, 6, 10)), _bound_comparison_point, jobs=jobs
+        clique_chain_family((3, 6, 10)), _bound_comparison_point, jobs=jobs,
+        store=store, label="table1_exact_lower_bounds",
     )
 
 
-def test_lower_bounds_sit_below_measured_upper_bounds(run_once, benchmark, jobs):
-    rows = run_once(_bound_comparison, jobs=jobs)
+def test_lower_bounds_sit_below_measured_upper_bounds(run_once, benchmark, jobs, store):
+    rows = run_once(_bound_comparison, jobs=jobs, store=store)
     worst_gap = max(row["theorem3_lower"] / row["measured_upper"] for row in rows)
     tightness = max(
         row["theorem1_formula"]

@@ -46,14 +46,15 @@ def _measure_point(task):
     }
 
 
-def _measure(graphs, jobs=1):
-    return measure_grid(graphs, _measure_point, jobs=jobs)
+def _measure(graphs, jobs=1, store=None, label="table1_exact_upper"):
+    return measure_grid(graphs, _measure_point, jobs=jobs, store=store, label=label)
 
 
-def test_exact_upper_bounds_small_diameter(run_once, benchmark, jobs):
+def test_exact_upper_bounds_small_diameter(run_once, benchmark, jobs, store):
     """n grows, D fixed: the regime where the quantum advantage is largest."""
     rows = run_once(
-        _measure, fixed_diameter_family((24, 48, 96, 160), diameter=6), jobs=jobs
+        _measure, fixed_diameter_family((24, 48, 96, 160), diameter=6), jobs=jobs,
+        store=store, label="table1_exact_upper_smallD",
     )
     ns = [row["n"] for row in rows]
     classical_fit = fit_power_law(ns, [row["classical_rounds"] for row in rows])
@@ -70,9 +71,12 @@ def test_exact_upper_bounds_small_diameter(run_once, benchmark, jobs):
     assert quantum_fit.exponent < classical_fit.exponent
 
 
-def test_exact_upper_bounds_growing_diameter(run_once, benchmark, jobs):
+def test_exact_upper_bounds_growing_diameter(run_once, benchmark, jobs, store):
     """n and D both grow (clique chains): rounds should track sqrt(n D)."""
-    rows = run_once(_measure, clique_chain_family((3, 5, 8, 12)), jobs=jobs)
+    rows = run_once(
+        _measure, clique_chain_family((3, 5, 8, 12)), jobs=jobs,
+        store=store, label="table1_exact_upper_growingD",
+    )
     nd = [row["n"] * row["D"] for row in rows]
     quantum_fit = fit_power_law(nd, [row["quantum_rounds"] for row in rows])
     classical_fit = fit_power_law(

@@ -9,7 +9,7 @@ pytest-benchmark ``extra_info`` so they appear in the benchmark report
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.congest.network import Network
 from repro.graphs import generators
@@ -57,6 +57,8 @@ def measure_grid(
     graphs: List[Tuple[str, Graph]],
     row: Callable[[Tuple[str, Graph]], dict],
     jobs: int = 1,
+    store=None,
+    label: Optional[str] = None,
 ) -> List[dict]:
     """Submit one ``row`` task per grid point through the batch runner.
 
@@ -64,8 +66,24 @@ def measure_grid(
     ``(name, graph)`` pair and returning that point's measurement dict.
     Results are ordered by grid position, so ``--jobs N`` changes only the
     wall-clock, never the report.
+
+    ``store`` (see the ``--store`` benchmark option) persists every
+    measured row to the experiment store, keyed by ``label`` and the grid
+    point's name, so harness output survives the process.
     """
-    return BatchRunner(jobs=jobs).map(row, graphs)
+    rows = BatchRunner(jobs=jobs).map(row, graphs)
+    if store is not None:
+        label = label or getattr(row, "__name__", "measure_grid")
+        persist_rows(store, label, [name for name, _ in graphs], rows)
+    return rows
+
+
+def persist_rows(store, label: str, keys: List[str], rows: List[dict]) -> None:
+    """Append measured benchmark rows to an experiment store (if any)."""
+    if store is None:
+        return
+    for key, row in zip(keys, rows):
+        store.append_row(f"{label}|{key}", row)
 
 
 def record(benchmark, **info) -> None:

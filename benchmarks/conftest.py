@@ -28,6 +28,15 @@ def pytest_addoption(parser):
             "byte-identical to serial; only wall-clock changes."
         ),
     )
+    parser.addoption(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist measured benchmark rows to this JSONL experiment "
+            "store (appended across tests; see repro.store)"
+        ),
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -53,6 +62,17 @@ def _engine_selection(request):
 def jobs(request):
     """The ``--jobs`` worker count for batch-submitted grids."""
     return request.config.getoption("--jobs")
+
+
+@pytest.fixture
+def store(request):
+    """The ``--store`` experiment store for persisted rows, or ``None``."""
+    path = request.config.getoption("--store")
+    if path is None:
+        return None
+    from repro.store import ExperimentStore
+
+    return ExperimentStore(path)
 
 
 @pytest.fixture

@@ -14,9 +14,11 @@ from repro.analysis.fitting import (
 )
 from repro.analysis.sweep import (
     SweepRecord,
+    grid_signature,
     run_sweep,
     run_sweep_grid,
     sweep_table,
+    sweep_task_key,
 )
 from repro.analysis.tables import render_table
 
@@ -29,5 +31,7 @@ __all__ = [
     "run_sweep",
     "run_sweep_grid",
     "sweep_table",
+    "sweep_task_key",
+    "grid_signature",
     "render_table",
 ]

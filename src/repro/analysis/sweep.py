@@ -4,7 +4,8 @@ A sweep runs one or more diameter algorithms over a family of graphs with
 varying ``(n, D)`` and collects one :class:`SweepRecord` per run.  The
 benchmark harnesses use sweeps to regenerate the rows of Table 1; the
 records are deliberately plain so they can be printed, fitted
-(:mod:`repro.analysis.fitting`) or dumped by the harness.
+(:mod:`repro.analysis.fitting`), exported or persisted
+(:mod:`repro.store`).
 
 Sweeps are batch workloads: every ``(graph, algorithm)`` cell is an
 independent, deterministic run.  Both entry points therefore execute on
@@ -26,24 +27,56 @@ Two entry points:
   (see :func:`repro.runner.spec.build_graph_cached`), which keeps task
   payloads tiny and avoids rebuilding a graph once per algorithm.
 
+Correctness checking is driven by **explicit metadata**: registry entries
+are :class:`repro.runner.algorithms.SweepAlgorithmInfo` instances whose
+``guarantee`` field names the contract to validate (exact equality with
+the oracle diameter, the 2-approximation bound, or the [HPRW14]/Theorem-4
+3/2-approximation bound).  Plain callables carry no metadata and are
+never checked.  Earlier revisions keyed the check off the substring
+``"exact"`` in the algorithm *name*, which was brittle (a renamed exact
+algorithm silently lost its check) and could not express approximation
+guarantees.
+
 The sequential diameter oracle is **lazy**: ``graph.diameter()`` is the
 most expensive part of a sweep record's provenance (all-pairs BFS), so it
 is only computed -- once per graph -- when at least one algorithm in the
-sweep carries ``"exact"`` in its name and therefore needs a correctness
-check.  Sweeps of pure approximation algorithms leave
+sweep *requires* it (``SweepAlgorithmInfo.needs_oracle``; by default the
+exact algorithms).  Sweeps of pure approximation algorithms leave
 :attr:`SweepRecord.diameter` as ``None`` (rendered ``-`` by
-:func:`sweep_table`).
+:func:`sweep_table`); when the oracle is available anyway, approximation
+guarantees are validated opportunistically.
+
+Checkpoint/resume: :func:`run_sweep_grid` optionally persists every
+record to a :class:`repro.store.ExperimentStore` as it completes, and
+with ``resume=True`` skips cells whose task keys are already in the
+store, so an interrupted grid continues instead of recomputing.  Task
+keys derive from the cell's identity (spec, algorithm, base seed), never
+from execution order, so the merged record list is byte-identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graphs.graph import Graph
+from repro.runner.algorithms import (
+    EXACT,
+    THREE_HALVES,
+    TWO_APPROX,
+    SweepAlgorithmInfo,
+)
 from repro.runner.batch import BatchRunner, task_seed
 from repro.runner.spec import GraphSpec, build_graph_cached, graph_diameter_cached
+
+#: Tolerance of the exactness assertion: an exact algorithm must return a
+#: value that *is* an integer (up to float noise), not merely one that
+#: truncates to the right answer.
+_INTEGRALITY_TOL = 1e-6
 
 
 @dataclass
@@ -52,7 +85,13 @@ class SweepRecord:
 
     ``diameter`` is the true diameter from the sequential oracle when the
     sweep needed it for a correctness check, else ``None`` (the oracle is
-    lazy; see the module docstring).
+    lazy; see the module docstring).  ``correct`` reflects the algorithm's
+    declared guarantee -- exact equality for exact algorithms, the
+    approximation bound for approximation algorithms -- and stays ``None``
+    when no guarantee was declared or the oracle was unavailable.
+    Failed checks describe the mismatch in ``extra``
+    (``oracle_diameter``, ``value_minus_oracle`` and, for non-integral
+    exact values, ``nonintegral_value``).
     """
 
     family: str
@@ -94,9 +133,59 @@ def sweep_table(records: Iterable[SweepRecord]) -> str:
     return "\n".join(lines)
 
 
-def _needs_oracle(names: Iterable[str]) -> bool:
-    """Whether any algorithm name requests an exact-correctness check."""
-    return any("exact" in name for name in names)
+def _guarantee_of(algorithm) -> Optional[str]:
+    """The declared correctness contract of an algorithm table entry."""
+    if isinstance(algorithm, SweepAlgorithmInfo):
+        return algorithm.guarantee
+    return None
+
+
+def _needs_oracle(algorithms: Dict[str, Callable]) -> bool:
+    """Whether any algorithm in the table requires the diameter oracle.
+
+    Driven by :attr:`SweepAlgorithmInfo.needs_oracle`; plain callables
+    (no metadata) never force the oracle.
+    """
+    return any(
+        isinstance(algorithm, SweepAlgorithmInfo) and algorithm.needs_oracle
+        for algorithm in algorithms.values()
+    )
+
+
+def _check_value(
+    guarantee: Optional[str], value: float, true_diameter: Optional[int]
+) -> Tuple[Optional[bool], Dict[str, float]]:
+    """Validate a measured value against its declared guarantee.
+
+    Returns ``(correct, extra)``: ``correct`` is ``None`` when no
+    guarantee was declared or no oracle diameter is available; ``extra``
+    describes a failed check (and is empty otherwise).
+    """
+    if guarantee is None or true_diameter is None:
+        return None, {}
+    extra: Dict[str, float] = {}
+    if guarantee == EXACT:
+        # round, not int(): int() truncates, so 3.9999999 would silently
+        # become 3.  The exactness assertion additionally rejects values
+        # that are not integers at all (e.g. 3.5 "close enough" to 4).
+        rounded = round(value)
+        integral = abs(value - rounded) <= _INTEGRALITY_TOL
+        if not integral:
+            extra["nonintegral_value"] = value
+        correct = integral and int(rounded) == true_diameter
+    elif guarantee == TWO_APPROX:
+        # Single-BFS eccentricity: ceil(D / 2) <= value <= D.
+        correct = value <= true_diameter and 2 * value >= true_diameter
+    elif guarantee == THREE_HALVES:
+        # [HPRW14] / Theorem 4 underestimate: floor(2 D / 3) <= value <= D,
+        # the bound proved for D_hat in diameter_approx / approx_diameter.
+        correct = (2 * true_diameter) // 3 <= value <= true_diameter
+    else:  # pragma: no cover - rejected at SweepAlgorithmInfo construction
+        raise ValueError(f"unknown guarantee {guarantee!r}")
+    if not correct:
+        extra["oracle_diameter"] = float(true_diameter)
+        extra["value_minus_oracle"] = float(value - true_diameter)
+    return correct, extra
 
 
 def _sweep_one_graph(
@@ -106,7 +195,7 @@ def _sweep_one_graph(
     """Run every algorithm on one graph (the per-task body of a sweep).
 
     The diameter oracle runs at most once per graph, and only when some
-    algorithm in the table needs a correctness check.
+    algorithm in the table requires a correctness check.
     """
     family, graph = task
     true_diameter: Optional[int] = (
@@ -115,9 +204,7 @@ def _sweep_one_graph(
     records: List[SweepRecord] = []
     for name, runner in algorithms.items():
         rounds, value = runner(graph)
-        correct: Optional[bool] = None
-        if "exact" in name:
-            correct = int(value) == true_diameter
+        correct, extra = _check_value(_guarantee_of(runner), value, true_diameter)
         records.append(
             SweepRecord(
                 family=family,
@@ -127,6 +214,7 @@ def _sweep_one_graph(
                 rounds=rounds,
                 value=value,
                 correct=correct,
+                extra=extra,
             )
         )
     return records
@@ -149,10 +237,11 @@ def run_sweep(
     """Run every algorithm on every graph and collect records.
 
     ``algorithms`` maps a name to a callable returning ``(rounds, value)``
-    for a given graph.  Correctness is checked against the sequential
-    diameter oracle when the algorithm's name contains ``"exact"``; the
-    oracle is computed lazily, once per graph, and skipped entirely when
-    no algorithm needs it.
+    for a given graph; wrap a callable in
+    :class:`repro.runner.algorithms.SweepAlgorithmInfo` to declare a
+    correctness guarantee.  The sequential diameter oracle is computed
+    lazily, once per graph, and skipped entirely when no algorithm
+    requires it.
 
     ``jobs`` (or an explicit ``runner``) fans the per-graph tasks out over
     a process pool; records come back in the same order as serial
@@ -185,16 +274,15 @@ def _sweep_one_grid_cell(
     spec, name = task
     graph = build_graph_cached(spec)
     seed = task_seed(base_seed, spec, name)
-    rounds, value = algorithms[name](graph, seed)
-    correct: Optional[bool] = None
+    algorithm = algorithms[name]
+    rounds, value = algorithm(graph, seed)
     true_diameter: Optional[int] = None
     if _needs_oracle(algorithms):
         # Some algorithm of this sweep needs the oracle, so every record
         # of the spec carries it (matching run_sweep); the per-process
         # cache makes this one computation per spec per worker.
         true_diameter = graph_diameter_cached(spec)
-    if "exact" in name:
-        correct = int(value) == true_diameter
+    correct, extra = _check_value(_guarantee_of(algorithm), value, true_diameter)
     return SweepRecord(
         family=spec.label,
         algorithm=name,
@@ -203,7 +291,38 @@ def _sweep_one_grid_cell(
         rounds=rounds,
         value=value,
         correct=correct,
+        extra=extra,
     )
+
+
+def sweep_task_key(spec: GraphSpec, algorithm: str, base_seed: int) -> str:
+    """The stable identity of one grid cell, used for checkpoint/resume.
+
+    Derives from the cell's *inputs* only (never from execution order or
+    timing), so a resumed run recognises completed cells regardless of
+    worker count or interruption point.
+    """
+    return (
+        f"{spec.family}|n={spec.num_nodes}|D={spec.diameter}"
+        f"|graph_seed={spec.seed}|algorithm={algorithm}|base_seed={base_seed}"
+    )
+
+
+def grid_signature(
+    specs: Sequence[GraphSpec], algorithm_names: Sequence[str], base_seed: int
+) -> str:
+    """A digest identifying a grid, stored in run headers.
+
+    Resuming into a store written for a *different* grid would silently
+    mix incompatible records, so :func:`run_sweep_grid` refuses when the
+    signatures disagree.
+    """
+    keys = [
+        sweep_task_key(spec, name, base_seed)
+        for spec in specs
+        for name in algorithm_names
+    ]
+    return hashlib.sha256("\n".join(keys).encode("utf-8")).hexdigest()[:16]
 
 
 def run_sweep_grid(
@@ -212,6 +331,8 @@ def run_sweep_grid(
     jobs: Optional[int] = None,
     runner: Optional[BatchRunner] = None,
     base_seed: int = 0,
+    store=None,
+    resume: bool = False,
 ) -> List[SweepRecord]:
     """Sweep a ``specs x algorithms`` grid, one record per cell.
 
@@ -221,8 +342,49 @@ def run_sweep_grid(
     seed derived from ``(base_seed, spec, name)``, so results do not
     depend on worker assignment or execution order.  Cells are submitted
     spec-major so chunk neighbours share the per-worker graph cache.
+
+    ``store`` (a :class:`repro.store.ExperimentStore`) persists every
+    record as it completes, together with a run-provenance header and a
+    completion footer.  With ``resume=True``, cells whose task keys are
+    already in the store are loaded instead of recomputed; the merged
+    record list is identical to an uninterrupted run.  Writing a fresh
+    sweep into a non-empty store requires ``resume=True`` (or a new
+    file) -- mixing grids is refused via :func:`grid_signature`.
     """
     if runner is None:
         runner = BatchRunner(jobs=jobs)
     tasks = [(spec, name) for spec in specs for name in algorithms]
-    return runner.map(_sweep_one_grid_cell, tasks, context=(algorithms, base_seed))
+    context = (algorithms, base_seed)
+    if store is None:
+        return runner.map(_sweep_one_grid_cell, tasks, context=context)
+
+    signature = grid_signature(specs, list(algorithms), base_seed)
+    started = time.perf_counter()
+    completed = store.begin_sweep(
+        specs=specs,
+        algorithms=list(algorithms),
+        base_seed=base_seed,
+        signature=signature,
+        jobs=runner.jobs,
+        resume=resume,
+    )
+    keys = [sweep_task_key(spec, name, base_seed) for spec, name in tasks]
+    results: List[Optional[SweepRecord]] = [completed.get(key) for key in keys]
+    pending = [index for index, record in enumerate(results) if record is None]
+    # zip() pulls from imap lazily, so every record is persisted the moment
+    # it is aggregated -- an interrupted run keeps its completed prefix.
+    # The stream comes first in the zip: with equal lengths, the final pull
+    # exhausts the generator, running its pool shutdown (close/join) instead
+    # of leaving it suspended for GC-time terminate().
+    stream = runner.imap(
+        _sweep_one_grid_cell, [tasks[index] for index in pending], context=context
+    )
+    for record, index in zip(stream, pending):
+        store.append_record(keys[index], index, record)
+        results[index] = record
+    store.finish_sweep(
+        wall_seconds=time.perf_counter() - started,
+        total_records=len(results),
+        resumed_records=len(tasks) - len(pending),
+    )
+    return results

@@ -15,7 +15,7 @@ All generators take a ``seed`` (or none when deterministic) and return a
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.graphs.graph import Graph
 
@@ -229,6 +229,142 @@ def diameter_controlled_graph(
     return graph
 
 
+def ring_of_cliques(
+    num_cliques: int, clique_size: int, bridges: int = 1
+) -> Graph:
+    """``num_cliques`` cliques arranged in a ring, with ``bridges`` parallel
+    bridge edges between consecutive cliques.
+
+    Diameter behaviour: the ring closes the chain, so the farthest cliques
+    are ``floor(num_cliques / 2)`` blocks apart and each block crossing
+    costs one bridge hop plus at most one intra-clique hop.  With a single
+    bridge the diameter is exactly ``2 * floor(num_cliques / 2) + 1`` for
+    ``clique_size >= 4`` (equal to ``num_cliques`` when it is odd); a
+    second bridge gives even rings a parallel route and shortens them to
+    exactly ``num_cliques``.  Either way the diameter is
+    ``Theta(num_cliques)`` -- about *half* the ``2 * num_cliques - 1`` of
+    :func:`clique_chain` at the same block count.  Bridges beyond the
+    second never change the diameter; they widen the inter-block cut,
+    which lowers the congestion that bandwidth-limited algorithms pay per
+    block crossing -- useful for sweeping bandwidth sensitivity at a
+    fixed ``(n, D)``.
+
+    Needs ``num_cliques >= 3`` (a ring) and
+    ``1 <= bridges <= clique_size // 2`` so that every bridge uses distinct
+    endpoints on both sides.
+    """
+    if num_cliques < 3:
+        raise ValueError(f"a ring needs at least 3 cliques, got {num_cliques}")
+    _require_positive(clique_size)
+    if not 1 <= bridges <= max(1, clique_size // 2):
+        raise ValueError(
+            f"bridges must lie in [1, clique_size // 2] = "
+            f"[1, {max(1, clique_size // 2)}], got {bridges}"
+        )
+    graph = Graph(nodes=range(num_cliques * clique_size))
+    for block in range(num_cliques):
+        base = block * clique_size
+        members = range(base, base + clique_size)
+        for i in members:
+            for j in members:
+                if i < j:
+                    graph.add_edge(i, j)
+        next_base = ((block + 1) % num_cliques) * clique_size
+        # Left endpoints come from the top of this block, right endpoints
+        # from the bottom of the next, so all bridges are node-disjoint.
+        for bridge in range(bridges):
+            graph.add_edge(base + clique_size - 1 - bridge, next_base + bridge)
+    return graph
+
+
+def random_regular_graph(n: int, degree: int, seed: Optional[int] = None) -> Graph:
+    """A uniformly sampled connected ``degree``-regular graph on ``n`` nodes.
+
+    Uses the configuration (pairing) model with rejection: each node gets
+    ``degree`` stubs, a random perfect matching of the stubs proposes the
+    edge set, and the sample is retried until it is simple (no self-loops
+    or parallel edges) and connected.  For ``degree >= 3`` random regular
+    graphs are expanders with high probability, so the diameter is
+    ``Theta(log n / log (degree - 1))`` -- the low-diameter, constant-degree
+    regime that complements the polynomial-diameter families above.
+
+    ``n * degree`` must be even and ``degree < n``.
+    """
+    _require_positive(n)
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    if degree >= n:
+        raise ValueError(f"degree {degree} needs more than {n} nodes")
+    if (n * degree) % 2 != 0:
+        raise ValueError(f"n * degree must be even, got {n} * {degree}")
+    rng = random.Random(seed)
+    stubs = [node for node in range(n) for _ in range(degree)]
+    # Rejection sampling terminates fast for the sparse degrees the sweep
+    # families use (the simplicity probability tends to a positive constant
+    # as n grows); the attempt cap turns pathological parameters into a
+    # clear error instead of a hang.
+    for _ in range(1000):
+        rng.shuffle(stubs)
+        edges = set()
+        simple = True
+        for index in range(0, len(stubs), 2):
+            u, v = stubs[index], stubs[index + 1]
+            if u == v or (min(u, v), max(u, v)) in edges:
+                simple = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if not simple:
+            continue
+        graph = Graph(nodes=range(n))
+        graph.add_edges_from(edges)
+        if graph.is_connected():
+            return graph
+    raise RuntimeError(
+        f"could not sample a simple connected {degree}-regular graph "
+        f"on {n} nodes after 1000 attempts"
+    )
+
+
+def preferential_attachment(
+    n: int, attach: int = 2, seed: Optional[int] = None
+) -> Graph:
+    """Barabasi-Albert preferential attachment: power-law degree workload.
+
+    Starts from a clique on ``attach + 1`` nodes; every new node connects
+    to ``attach`` distinct existing nodes chosen proportionally to their
+    current degree (via the repeated-endpoint trick).  Connected by
+    construction, heavy-tailed degrees (a few hubs, many leaves), and
+    diameter ``Theta(log n / log log n)`` with high probability for
+    ``attach >= 2`` -- the small-world regime where ``D`` barely moves as
+    ``n`` is swept.
+
+    Needs ``n >= attach + 1`` and ``attach >= 1``.
+    """
+    if attach < 1:
+        raise ValueError(f"attach must be >= 1, got {attach}")
+    if n < attach + 1:
+        raise ValueError(
+            f"preferential attachment needs n >= attach + 1 = {attach + 1}, got {n}"
+        )
+    rng = random.Random(seed)
+    graph = complete_graph(attach + 1)
+    # One entry per edge endpoint: sampling uniformly from this list is
+    # sampling nodes proportionally to degree.
+    endpoints: List[int] = [
+        node for edge in graph.edges() for node in edge
+    ]
+    for node in range(attach + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < attach:
+            targets.add(endpoints[rng.randrange(len(endpoints))])
+        graph.add_node(node)
+        for target in targets:
+            graph.add_edge(node, target)
+            endpoints.append(node)
+            endpoints.append(target)
+    return graph
+
+
 def random_tree(n: int, seed: Optional[int] = None) -> Graph:
     """Uniform-attachment random tree on ``n`` nodes."""
     _require_positive(n)
@@ -244,8 +380,10 @@ def family_for_sweep(
 ) -> Graph:
     """Dispatch helper used by the benchmark harnesses.
 
-    ``kind`` is one of ``"path"``, ``"cycle"``, ``"star"``, ``"clique_chain"``,
-    ``"lollipop"``, ``"random_sparse"``, ``"random_dense"``, ``"tree"``.
+    ``kind`` is one of :data:`SWEEP_FAMILIES`: ``"path"``, ``"cycle"``,
+    ``"star"``, ``"clique_chain"``, ``"ring_of_cliques"``, ``"lollipop"``,
+    ``"random_sparse"``, ``"random_dense"``, ``"random_regular"``,
+    ``"preferential"``, ``"tree"``.
     """
     if kind == "path":
         return path_graph(n)
@@ -260,10 +398,20 @@ def family_for_sweep(
     if kind == "lollipop":
         clique_size = max(2, n // 2)
         return lollipop_graph(clique_size, n - clique_size)
+    if kind == "ring_of_cliques":
+        clique_size = max(4, int(round(n ** 0.5)))
+        num_cliques = max(3, n // clique_size)
+        return ring_of_cliques(num_cliques, clique_size, bridges=2)
     if kind == "random_sparse":
         return random_connected_gnp(n, p=2.0 / max(n, 2), seed=seed)
     if kind == "random_dense":
         return random_connected_gnp(n, p=0.3, seed=seed)
+    if kind == "random_regular":
+        # Degree 4 for every size: n * degree stays even regardless of the
+        # parity of n, so one sweep never mixes degree regimes.
+        return random_regular_graph(n, degree=4, seed=seed)
+    if kind == "preferential":
+        return preferential_attachment(n, attach=2, seed=seed)
     if kind == "tree":
         return random_tree(n, seed=seed)
     raise ValueError(f"unknown graph family {kind!r}")
@@ -274,9 +422,12 @@ SWEEP_FAMILIES: Tuple[str, ...] = (
     "cycle",
     "star",
     "clique_chain",
+    "ring_of_cliques",
     "lollipop",
     "random_sparse",
     "random_dense",
+    "random_regular",
+    "preferential",
     "tree",
 )
 

@@ -23,7 +23,12 @@ parallel branch evaluation.
 """
 
 from repro.runner.algorithms import (
+    EXACT,
+    GUARANTEES,
     SWEEP_ALGORITHMS,
+    THREE_HALVES,
+    TWO_APPROX,
+    SweepAlgorithmInfo,
     resolve_algorithms,
 )
 from repro.runner.batch import BatchRunner, resolve_jobs, task_seed
@@ -45,5 +50,10 @@ __all__ = [
     "graph_diameter_cached",
     "clear_worker_caches",
     "SWEEP_ALGORITHMS",
+    "SweepAlgorithmInfo",
+    "EXACT",
+    "TWO_APPROX",
+    "THREE_HALVES",
+    "GUARANTEES",
     "resolve_algorithms",
 ]

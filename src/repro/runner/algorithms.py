@@ -1,4 +1,4 @@
-"""Picklable sweep algorithms for batched grids.
+"""Picklable sweep algorithms for batched grids, with correctness metadata.
 
 The legacy :func:`repro.analysis.sweep.run_sweep` accepts arbitrary
 callables, which is convenient in tests but incompatible with shipping
@@ -8,17 +8,80 @@ so that grid tasks can reference them by **name**; every kernel has the
 uniform signature ``(graph, seed) -> (rounds, value)`` and receives a
 deterministic per-task seed from the batch layer.
 
-Names containing ``"exact"`` are checked against the sequential diameter
-oracle by the sweep layer, mirroring :func:`repro.analysis.sweep.run_sweep`.
+Each registry entry is a :class:`SweepAlgorithmInfo` carrying an explicit
+correctness contract -- the sweep layer reads that metadata instead of
+sniffing algorithm *names* (the seed behaviour keyed correctness checks
+off the substring ``"exact"``, which silently skipped any exact algorithm
+whose name did not contain it and could never validate approximation
+guarantees).  Three contracts exist:
+
+* :data:`EXACT` -- the returned value must equal the true diameter.  Exact
+  algorithms force the sequential diameter oracle to run.
+* :data:`TWO_APPROX` -- the single-BFS eccentricity bound
+  ``ceil(D / 2) <= value <= D``.
+* :data:`THREE_HALVES` -- the [HPRW14] / Theorem-4 bound
+  ``floor(2 D / 3) <= value <= D`` (this repository's 3/2-approximations
+  return *underestimates*; the bound is the one proved for ``D_hat`` in
+  :mod:`repro.algorithms.diameter_approx`).
+
+Approximation contracts do **not** force the oracle (sweeps of pure
+approximation algorithms stay cheap, see
+:mod:`repro.analysis.sweep`); they are validated opportunistically
+whenever the oracle is available because some exact algorithm in the same
+sweep already paid for it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.graphs.graph import Graph
 
-SweepAlgorithm = Callable[[Graph, int], Tuple[int, float]]
+SweepAlgorithm = Callable[..., Tuple[int, float]]
+
+#: Correctness contracts understood by the sweep layer.
+EXACT = "exact"
+TWO_APPROX = "two_approx"
+THREE_HALVES = "three_halves"
+
+GUARANTEES = (EXACT, TWO_APPROX, THREE_HALVES)
+
+
+@dataclass(frozen=True)
+class SweepAlgorithmInfo:
+    """A measurement kernel plus its explicit correctness contract.
+
+    ``guarantee`` is one of :data:`GUARANTEES` or ``None`` (no check).
+    ``force_oracle`` overrides whether this algorithm *requires* the
+    sequential diameter oracle; by default only :data:`EXACT` algorithms
+    do, and approximation guarantees are checked opportunistically when
+    the oracle is available anyway.
+
+    Instances are callable and delegate to the kernel, so existing code
+    that treats registry values as plain callables keeps working.
+    """
+
+    kernel: SweepAlgorithm
+    guarantee: Optional[str] = None
+    force_oracle: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.guarantee is not None and self.guarantee not in GUARANTEES:
+            known = ", ".join(GUARANTEES)
+            raise ValueError(
+                f"unknown guarantee {self.guarantee!r} (available: {known})"
+            )
+
+    @property
+    def needs_oracle(self) -> bool:
+        """Whether this algorithm forces the diameter oracle to run."""
+        if self.force_oracle is not None:
+            return self.force_oracle
+        return self.guarantee == EXACT
+
+    def __call__(self, *args, **kwargs) -> Tuple[int, float]:
+        return self.kernel(*args, **kwargs)
 
 
 def classical_exact(graph: Graph, seed: int) -> Tuple[int, float]:
@@ -71,22 +134,27 @@ def quantum_three_halves(graph: Graph, seed: int) -> Tuple[int, float]:
 
 
 #: The registry the CLI ``sweep`` command and the batched grids draw from.
-SWEEP_ALGORITHMS: Dict[str, SweepAlgorithm] = {
-    "classical_exact": classical_exact,
-    "two_approx": two_approx,
-    "hprw_three_halves": hprw_three_halves,
-    "quantum_exact": quantum_exact,
-    "quantum_three_halves": quantum_three_halves,
+#: Values carry the correctness metadata the sweep layer keys off.
+SWEEP_ALGORITHMS: Dict[str, SweepAlgorithmInfo] = {
+    "classical_exact": SweepAlgorithmInfo(classical_exact, guarantee=EXACT),
+    "two_approx": SweepAlgorithmInfo(two_approx, guarantee=TWO_APPROX),
+    "hprw_three_halves": SweepAlgorithmInfo(
+        hprw_three_halves, guarantee=THREE_HALVES
+    ),
+    "quantum_exact": SweepAlgorithmInfo(quantum_exact, guarantee=EXACT),
+    "quantum_three_halves": SweepAlgorithmInfo(
+        quantum_three_halves, guarantee=THREE_HALVES
+    ),
 }
 
 
-def resolve_algorithms(names) -> Dict[str, SweepAlgorithm]:
-    """Map algorithm names to kernels, raising on unknown names."""
-    table: Dict[str, SweepAlgorithm] = {}
+def resolve_algorithms(names) -> Dict[str, SweepAlgorithmInfo]:
+    """Map algorithm names to registry entries, raising on unknown names."""
+    table: Dict[str, SweepAlgorithmInfo] = {}
     for name in names:
-        kernel = SWEEP_ALGORITHMS.get(name)
-        if kernel is None:
+        info = SWEEP_ALGORITHMS.get(name)
+        if info is None:
             known = ", ".join(sorted(SWEEP_ALGORITHMS))
             raise ValueError(f"unknown sweep algorithm {name!r} (available: {known})")
-        table[name] = kernel
+        table[name] = info
     return table

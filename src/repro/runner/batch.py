@@ -30,7 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import zlib
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -153,6 +153,28 @@ class BatchRunner:
             return [function(context, task) for task in tasks]
         return self._map_parallel(function, tasks, context)
 
+    def imap(
+        self,
+        function: Callable[..., Result],
+        tasks: Iterable[Task],
+        context: Any = _NO_CONTEXT,
+    ) -> Iterator[Result]:
+        """Like :meth:`map`, but yield results incrementally in task order.
+
+        The checkpointing consumers (:func:`repro.analysis.sweep.run_sweep_grid`
+        with a store) persist each result as it arrives, so an interrupted
+        batch keeps its completed prefix.  Ordering is identical to
+        :meth:`map` -- :meth:`multiprocessing.pool.Pool.imap` yields by task
+        index regardless of which worker finishes first -- so consuming the
+        iterator fully produces exactly ``map``'s result list.
+        """
+        tasks = list(tasks)
+        if self.jobs <= 1 or len(tasks) <= 1:
+            if context is _NO_CONTEXT:
+                return (function(task) for task in tasks)
+            return (function(context, task) for task in tasks)
+        return self._imap_parallel(function, tasks, context)
+
     def _map_parallel(self, function, tasks: Sequence, context) -> List:
         from repro.engine import get_default_engine
 
@@ -170,6 +192,29 @@ class BatchRunner:
             results = pool.map(_invoke_task, tasks, chunksize=chunk)
             pool.close()
             return results
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+
+    def _imap_parallel(self, function, tasks: Sequence, context) -> Iterator:
+        from repro.engine import get_default_engine
+
+        workers = min(self.jobs, len(tasks))
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = min(32, max(1, -(-len(tasks) // (4 * workers))))
+        mp_context = multiprocessing.get_context(self.start_method)
+        pool = mp_context.Pool(
+            processes=workers,
+            initializer=_worker_initializer,
+            initargs=(function, context, get_default_engine()),
+        )
+        try:
+            for result in pool.imap(_invoke_task, tasks, chunksize=chunk):
+                yield result
+            pool.close()
         except BaseException:
             pool.terminate()
             raise

@@ -1,0 +1,60 @@
+"""Persistent experiment store: JSONL records, provenance, export, resume.
+
+The paper's evaluation is reproduced by sweeping ``(n, D)`` grids; before
+this subsystem existed, those records lived only in-process -- a killed
+sweep lost everything.  :mod:`repro.store` makes sweeps durable:
+
+* :class:`ExperimentStore` (:mod:`repro.store.jsonl`) -- an append-only
+  JSONL file holding every :class:`repro.analysis.sweep.SweepRecord` plus
+  run provenance (grid signature, specs, seeds, engine, worker count,
+  git describe, wall time).  Records are flushed as they complete, so an
+  interrupted run keeps everything it finished.
+* checkpoint/resume -- :func:`repro.analysis.sweep.run_sweep_grid` takes
+  ``store=``/``resume=``; completed task keys are skipped on restart and
+  the merged record set is byte-identical to an uninterrupted run.
+* export (:mod:`repro.store.export`) -- CSV / JSON / canonical-JSONL
+  renderers, plus ``ExperimentStore.load_records`` to round-trip records
+  back into ``sweep_table`` and the fitting helpers.
+
+CLI surface: ``repro sweep --out run.jsonl [--resume]`` and
+``repro export --store run.jsonl --format csv``.
+"""
+
+from repro.store.export import (
+    EXPORT_FORMATS,
+    export_records,
+    render_csv,
+    render_json,
+    render_jsonl,
+    render_records,
+)
+from repro.store.jsonl import SCHEMA_VERSION, ExperimentStore, ExperimentStoreError
+from repro.store.provenance import collect_provenance, git_describe
+from repro.store.records import (
+    RECORD_FIELDS,
+    canonical_json,
+    record_from_dict,
+    record_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "ExperimentStore",
+    "ExperimentStoreError",
+    "SCHEMA_VERSION",
+    "EXPORT_FORMATS",
+    "export_records",
+    "render_records",
+    "render_csv",
+    "render_json",
+    "render_jsonl",
+    "collect_provenance",
+    "git_describe",
+    "RECORD_FIELDS",
+    "canonical_json",
+    "record_to_dict",
+    "record_from_dict",
+    "spec_to_dict",
+    "spec_from_dict",
+]

@@ -1,0 +1,84 @@
+"""Export persisted sweep records to analysis-friendly formats.
+
+Three formats, all byte-deterministic for a given record list:
+
+* ``csv`` -- one row per record, ``extra`` flattened to a canonical JSON
+  cell; loads directly into pandas/spreadsheets.
+* ``json`` -- an indented JSON array, for human inspection and ad-hoc
+  scripting.
+* ``jsonl`` -- one canonical JSON object per line.  This is the format
+  the checkpoint/resume acceptance check compares byte-for-byte: a
+  resumed store and a fresh serial store export to identical files.
+
+The loader side lives in :class:`repro.store.ExperimentStore`
+(``load_records``), which round-trips records back into
+:func:`repro.analysis.sweep.sweep_table` and the fitting helpers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, List, Sequence
+
+from repro.analysis.sweep import SweepRecord
+from repro.store.records import RECORD_FIELDS, canonical_json, record_to_dict
+
+EXPORT_FORMATS = ("csv", "json", "jsonl")
+
+
+def render_csv(records: Iterable[SweepRecord]) -> str:
+    """The CSV text of a record list (header + one row per record)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(RECORD_FIELDS)
+    for record in records:
+        data = record_to_dict(record)
+        writer.writerow(
+            [
+                data["family"],
+                data["algorithm"],
+                data["num_nodes"],
+                "" if data["diameter"] is None else data["diameter"],
+                data["rounds"],
+                data["value"],
+                "" if data["correct"] is None else data["correct"],
+                canonical_json(data["extra"]),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def render_json(records: Iterable[SweepRecord]) -> str:
+    """An indented JSON array of the record list."""
+    payload: List[dict] = [record_to_dict(record) for record in records]
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_jsonl(records: Iterable[SweepRecord]) -> str:
+    """Canonical JSONL: one sorted-key JSON object per line.
+
+    Byte-stable for a given record sequence; used for the byte-identity
+    comparison between resumed and fresh runs.
+    """
+    return "".join(canonical_json(record_to_dict(record)) + "\n" for record in records)
+
+
+_RENDERERS = {"csv": render_csv, "json": render_json, "jsonl": render_jsonl}
+
+
+def render_records(records: Sequence[SweepRecord], format: str) -> str:
+    """Render records in one of :data:`EXPORT_FORMATS`."""
+    renderer = _RENDERERS.get(format)
+    if renderer is None:
+        known = ", ".join(EXPORT_FORMATS)
+        raise ValueError(f"unknown export format {format!r} (available: {known})")
+    return renderer(records)
+
+
+def export_records(records: Sequence[SweepRecord], path, format: str) -> None:
+    """Write records to ``path`` in the given format."""
+    text = render_records(records, format)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(text)

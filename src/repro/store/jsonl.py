@@ -1,0 +1,224 @@
+"""The append-only JSONL experiment store.
+
+One store file holds one experiment: a sweep grid's records plus the
+provenance of every run attempt that produced them.  The file is a
+sequence of JSON lines, each tagged with a ``kind``:
+
+* ``run`` -- a run-attempt header: grid signature, specs, algorithms,
+  base seed, worker count, engine, git describe (see
+  :mod:`repro.store.provenance`).  Appended once per attempt, so the file
+  carries the full history of interruptions and resumes.
+* ``record`` -- one completed sweep cell: its stable task key, its grid
+  index and the serialized :class:`repro.analysis.sweep.SweepRecord`.
+* ``row`` -- one free-form measurement dict (used by the benchmark
+  harnesses, which persist fitted-exponent rows rather than raw records).
+* ``finish`` -- a completion footer with the wall time and record counts.
+
+Records are appended (and flushed) the moment they complete, so a killed
+process loses at most the cells still in flight; the scanner tolerates a
+truncated final line, which is the only corruption an append-only writer
+can produce.  Resume reads the completed task keys back and the sweep
+layer skips them -- see :func:`repro.analysis.sweep.run_sweep_grid`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import SweepRecord
+from repro.store.provenance import collect_provenance
+from repro.store.records import (
+    canonical_json,
+    record_from_dict,
+    record_to_dict,
+    spec_to_dict,
+)
+
+#: Store file schema, bumped on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+
+class ExperimentStoreError(ValueError):
+    """A store file cannot be used as requested (mixed grids, no resume)."""
+
+
+class ExperimentStore:
+    """Append-only JSONL persistence for sweep records and run provenance.
+
+    The store is deliberately file-handle-free between operations: every
+    append opens the file, writes one line and flushes, so concurrent
+    readers always see a prefix of complete lines and a crashed writer
+    cannot hold the file hostage.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    # -- low-level line access -----------------------------------------
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def _append(self, obj: Dict[str, Any]) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            # A writer killed mid-line leaves a tail with no newline; start
+            # a fresh line so the new entry cannot merge into (and be lost
+            # with) the truncated one.
+            if handle.tell() > 0 and not self._ends_with_newline():
+                handle.write("\n")
+            handle.write(canonical_json(obj))
+            handle.write("\n")
+            handle.flush()
+
+    def _ends_with_newline(self) -> bool:
+        with open(self.path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) == b"\n"
+
+    def iter_entries(self) -> Iterator[Dict[str, Any]]:
+        """Parsed store lines, skipping a truncated (killed-writer) tail."""
+        if not self.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # Append-only writers can only corrupt the tail (a
+                    # line cut short by a kill); drop it and continue so
+                    # resume recomputes that cell.
+                    continue
+                if isinstance(entry, dict):
+                    yield entry
+
+    # -- reading --------------------------------------------------------
+    def run_headers(self) -> List[Dict[str, Any]]:
+        """Every run-attempt header, oldest first."""
+        return [entry for entry in self.iter_entries() if entry.get("kind") == "run"]
+
+    def latest_header(self) -> Optional[Dict[str, Any]]:
+        headers = self.run_headers()
+        return headers[-1] if headers else None
+
+    def completed(self) -> Dict[str, Tuple[int, SweepRecord]]:
+        """Completed cells: task key -> ``(grid index, record)``.
+
+        Keys are unique per grid; should duplicate appends ever occur
+        (e.g. two racing resumes), the first write wins so the result is
+        independent of any later, redundant recomputation.
+        """
+        _, table = self._scan()
+        return table
+
+    def _scan(
+        self,
+    ) -> Tuple[Optional[Dict[str, Any]], Dict[str, Tuple[int, SweepRecord]]]:
+        """One pass over the file: ``(latest run header, completed cells)``."""
+        header: Optional[Dict[str, Any]] = None
+        table: Dict[str, Tuple[int, SweepRecord]] = {}
+        for entry in self.iter_entries():
+            kind = entry.get("kind")
+            if kind == "run":
+                header = entry
+                continue
+            if kind != "record":
+                continue
+            key = entry["key"]
+            if key in table:
+                continue
+            try:
+                record = record_from_dict(entry["record"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            table[key] = (int(entry["index"]), record)
+        return header, table
+
+    def load_records(self) -> List[SweepRecord]:
+        """All persisted records in grid order (the sweep's task order)."""
+        completed = self.completed()
+        return [record for _, record in sorted(completed.values(), key=lambda item: item[0])]
+
+    def load_rows(self) -> List[Dict[str, Any]]:
+        """All free-form benchmark rows, in append order."""
+        return [
+            entry["row"]
+            for entry in self.iter_entries()
+            if entry.get("kind") == "row" and isinstance(entry.get("row"), dict)
+        ]
+
+    # -- writing --------------------------------------------------------
+    def begin_sweep(
+        self,
+        specs: Sequence,
+        algorithms: Sequence[str],
+        base_seed: int,
+        signature: str,
+        jobs: int,
+        resume: bool = False,
+    ) -> Dict[str, SweepRecord]:
+        """Open a run attempt; return the already-completed cells.
+
+        A non-empty store can only be continued with ``resume=True``, and
+        only when its grid signature matches -- resuming a store written
+        for a different grid would silently mix incompatible records.
+        """
+        header, completed = self._scan()
+        if header is not None or completed:
+            if not resume:
+                raise ExperimentStoreError(
+                    f"store {self.path!r} already holds an experiment; "
+                    "resume it (--resume / resume=True) or use a fresh path"
+                )
+            previous = header.get("signature") if header else None
+            if previous is not None and previous != signature:
+                raise ExperimentStoreError(
+                    f"store {self.path!r} holds a different grid "
+                    f"(signature {previous} != {signature}); refusing to mix"
+                )
+        provenance = collect_provenance()
+        self._append(
+            {
+                "kind": "run",
+                "schema": SCHEMA_VERSION,
+                "signature": signature,
+                "specs": [spec_to_dict(spec) for spec in specs],
+                "algorithms": list(algorithms),
+                "base_seed": base_seed,
+                "jobs": jobs,
+                "resume": bool(resume),
+                **provenance,
+            }
+        )
+        return {key: record for key, (_, record) in completed.items()}
+
+    def append_record(self, key: str, index: int, record: SweepRecord) -> None:
+        """Persist one completed cell (flushed immediately)."""
+        self._append(
+            {
+                "kind": "record",
+                "key": key,
+                "index": int(index),
+                "record": record_to_dict(record),
+            }
+        )
+
+    def append_row(self, key: str, row: Dict[str, Any]) -> None:
+        """Persist one free-form benchmark measurement row."""
+        self._append({"kind": "row", "key": key, "row": row})
+
+    def finish_sweep(
+        self, wall_seconds: float, total_records: int, resumed_records: int
+    ) -> None:
+        """Append the completion footer of the current run attempt."""
+        self._append(
+            {
+                "kind": "finish",
+                "wall_seconds": round(float(wall_seconds), 6),
+                "total_records": int(total_records),
+                "resumed_records": int(resumed_records),
+            }
+        )

@@ -1,0 +1,48 @@
+"""Run provenance for persisted experiments.
+
+Every sweep written to an :class:`repro.store.ExperimentStore` starts
+with a header line recording *how* the records were produced: the grid
+(specs, algorithms, base seed), the execution configuration (engine,
+worker count) and the environment (git describe, Python version).  A
+record set without provenance is unreproducible; a record set with it
+can be re-run, extended or audited months later.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from typing import Any, Dict, Optional
+
+
+def git_describe(cwd: Optional[str] = None) -> Optional[str]:
+    """``git describe --always --dirty`` of the working tree, or ``None``.
+
+    Failure (no git binary, not a repository, timeout) is expected in
+    deployed environments and never raises -- provenance should describe
+    the run, not break it.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def collect_provenance() -> Dict[str, Any]:
+    """Environment facts stamped on every run header."""
+    from repro.engine import get_default_engine
+
+    return {
+        "engine": get_default_engine(),
+        "git": git_describe(),
+        "python": platform.python_version(),
+    }

@@ -1,0 +1,97 @@
+"""Canonical (de)serialization of sweep records and graph specs.
+
+The experiment store persists :class:`repro.analysis.sweep.SweepRecord`
+instances as JSON objects.  Serialization is **canonical** -- fixed field
+set, sorted keys, minimal separators -- so that two stores holding the
+same records serialize to byte-identical lines regardless of how the
+records were produced (serial vs parallel, fresh vs resumed).  That byte
+stability is what the checkpoint/resume acceptance test compares.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from repro.analysis.sweep import SweepRecord
+from repro.runner.spec import GraphSpec
+
+#: The full field set of a serialized record; kept explicit so loading an
+#: object with missing or unknown fields fails loudly instead of silently
+#: dropping data.
+RECORD_FIELDS = (
+    "family",
+    "algorithm",
+    "num_nodes",
+    "diameter",
+    "rounds",
+    "value",
+    "correct",
+    "extra",
+)
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialize ``obj`` deterministically (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def record_to_dict(record: SweepRecord) -> Dict[str, Any]:
+    """A plain-JSON representation of one sweep record."""
+    return {
+        "family": record.family,
+        "algorithm": record.algorithm,
+        "num_nodes": record.num_nodes,
+        "diameter": record.diameter,
+        "rounds": record.rounds,
+        "value": record.value,
+        "correct": record.correct,
+        "extra": dict(record.extra),
+    }
+
+
+def record_from_dict(data: Mapping[str, Any]) -> SweepRecord:
+    """Rebuild a :class:`SweepRecord` from :func:`record_to_dict` output.
+
+    Round-trips ``None`` diameters/correctness and arbitrary ``extra``
+    dicts; raises ``ValueError`` on missing or unexpected fields so that
+    a corrupted store line cannot masquerade as a record.
+    """
+    keys = set(data)
+    missing = set(RECORD_FIELDS) - keys
+    unknown = keys - set(RECORD_FIELDS)
+    if missing or unknown:
+        raise ValueError(
+            f"malformed record object (missing: {sorted(missing)}, "
+            f"unknown: {sorted(unknown)})"
+        )
+    return SweepRecord(
+        family=data["family"],
+        algorithm=data["algorithm"],
+        num_nodes=int(data["num_nodes"]),
+        diameter=None if data["diameter"] is None else int(data["diameter"]),
+        rounds=int(data["rounds"]),
+        value=float(data["value"]),
+        correct=data["correct"],
+        extra=dict(data["extra"]),
+    )
+
+
+def spec_to_dict(spec: GraphSpec) -> Dict[str, Any]:
+    """A plain-JSON representation of one graph spec (for run headers)."""
+    return {
+        "family": spec.family,
+        "num_nodes": spec.num_nodes,
+        "diameter": spec.diameter,
+        "seed": spec.seed,
+    }
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> GraphSpec:
+    """Rebuild a :class:`GraphSpec` from :func:`spec_to_dict` output."""
+    return GraphSpec(
+        family=data["family"],
+        num_nodes=int(data["num_nodes"]),
+        diameter=None if data.get("diameter") is None else int(data["diameter"]),
+        seed=int(data.get("seed", 0)),
+    )

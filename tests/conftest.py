@@ -9,6 +9,12 @@ from repro.graphs import generators
 from repro.graphs.graph import Graph
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: wall-clock-heavy end-to-end scenarios (subprocess kills)"
+    )
+
+
 @pytest.fixture
 def path10() -> Graph:
     """A path on 10 nodes (diameter 9)."""

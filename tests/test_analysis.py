@@ -15,6 +15,7 @@ from repro.analysis.fitting import (
 from repro.analysis.sweep import SweepRecord, run_sweep, sweep_table
 from repro.analysis.tables import render_table, render_table1
 from repro.graphs import generators
+from repro.runner import EXACT, THREE_HALVES, SweepAlgorithmInfo
 
 
 class TestPowerLawFits:
@@ -92,20 +93,72 @@ class TestCrossoverAndRatios:
 
 class TestSweepAndTables:
     def test_run_sweep_checks_correctness(self):
+        # Correctness gating is explicit metadata (SweepAlgorithmInfo), not
+        # a substring match on the algorithm name: "oracle" carries EXACT
+        # despite not containing "exact", and the bare "estimate" callable
+        # is never checked.
         graphs = [("cycle", generators.cycle_graph(8)), ("path", generators.path_graph(6))]
         algorithms = {
-            "oracle_exact": lambda g: (g.num_nodes, float(g.diameter())),
-            "always_zero_exact": lambda g: (1, 0.0),
+            "oracle": SweepAlgorithmInfo(
+                lambda g: (g.num_nodes, float(g.diameter())), guarantee=EXACT
+            ),
+            "always_zero": SweepAlgorithmInfo(lambda g: (1, 0.0), guarantee=EXACT),
             "estimate": lambda g: (2, 1.0),
         }
         records = run_sweep(graphs, algorithms)
         assert len(records) == 6
-        oracle_records = [r for r in records if r.algorithm == "oracle_exact"]
+        oracle_records = [r for r in records if r.algorithm == "oracle"]
         assert all(r.correct for r in oracle_records)
-        zero_records = [r for r in records if r.algorithm == "always_zero_exact"]
+        assert all(r.extra == {} for r in oracle_records)
+        zero_records = [r for r in records if r.algorithm == "always_zero"]
         assert not any(r.correct for r in zero_records)
+        # Failed checks surface the mismatch against the oracle.
+        assert all(r.extra["oracle_diameter"] == r.diameter for r in zero_records)
+        assert all(r.extra["value_minus_oracle"] == -r.diameter for r in zero_records)
         estimate_records = [r for r in records if r.algorithm == "estimate"]
         assert all(r.correct is None for r in estimate_records)
+
+    def test_exact_check_rounds_instead_of_truncating(self):
+        # 3.9999999 must compare as 4 (the seed behaviour int()-truncated
+        # it to 3); a genuinely non-integral value fails the exactness
+        # assertion and is surfaced in extra.
+        graphs = [("controlled", generators.diameter_controlled_graph(12, 4, seed=1))]
+        algorithms = {
+            "near_integer": SweepAlgorithmInfo(
+                lambda g: (1, 3.9999999), guarantee=EXACT
+            ),
+            "half_way": SweepAlgorithmInfo(lambda g: (1, 3.5), guarantee=EXACT),
+        }
+        records = {r.algorithm: r for r in run_sweep(graphs, algorithms)}
+        assert records["near_integer"].correct is True
+        assert records["near_integer"].extra == {}
+        assert records["half_way"].correct is False
+        assert records["half_way"].extra["nonintegral_value"] == 3.5
+
+    def test_approx_guarantee_checked_when_oracle_available(self):
+        # Approximation guarantees don't force the oracle, but are checked
+        # opportunistically when an exact algorithm already paid for it.
+        graphs = [("cycle", generators.cycle_graph(12))]  # D = 6
+        algorithms = {
+            "oracle": SweepAlgorithmInfo(
+                lambda g: (1, float(g.diameter())), guarantee=EXACT
+            ),
+            "good_estimate": SweepAlgorithmInfo(
+                lambda g: (1, 4.0), guarantee=THREE_HALVES  # floor(2*6/3) = 4
+            ),
+            "bad_estimate": SweepAlgorithmInfo(
+                lambda g: (1, 3.0), guarantee=THREE_HALVES
+            ),
+        }
+        records = {r.algorithm: r for r in run_sweep(graphs, algorithms)}
+        assert records["good_estimate"].correct is True
+        assert records["bad_estimate"].correct is False
+        assert records["bad_estimate"].extra["oracle_diameter"] == 6.0
+        # Without the exact algorithm there is no oracle, hence no verdict.
+        del algorithms["oracle"]
+        records = {r.algorithm: r for r in run_sweep(graphs, algorithms)}
+        assert records["good_estimate"].correct is None
+        assert records["good_estimate"].diameter is None
 
     def test_sweep_table_rendering(self):
         records = [

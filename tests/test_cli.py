@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+import repro.cli as cli
 from repro.cli import build_parser, main
+from repro.store import ExperimentStore
 
 
 class TestParser:
@@ -105,3 +109,105 @@ class TestCommands:
         exit_code = main(["sweep", "--algorithms", "bogus"])
         assert exit_code == 2
         assert "unknown sweep algorithm" in capsys.readouterr().err
+
+    def test_sweep_command_rejects_malformed_sizes(self, capsys):
+        exit_code = main(["sweep", "--families", "cycle", "--sizes", "24,abc"])
+        assert exit_code == 2
+        assert "invalid literal" in capsys.readouterr().err
+
+    def test_sweep_command_new_families_run(self, capsys):
+        exit_code = main([
+            "sweep", "--families", "ring_of_cliques,random_regular,preferential",
+            "--sizes", "16", "--algorithms", "two_approx", "--seed", "1",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ring_of_cliques" in output
+        assert "random_regular" in output
+        assert "preferential" in output
+
+    def test_sweep_seed_streams_are_independent(self, capsys, monkeypatch):
+        # Regression: --seed used to be passed verbatim as both the graph
+        # construction seed and the algorithm base seed, correlating the
+        # two randomness streams.
+        captured = {}
+
+        def fake_run_sweep_grid(specs, algorithms, runner=None, base_seed=0,
+                                store=None, resume=False):
+            captured["graph_seed"] = specs[0].seed
+            captured["base_seed"] = base_seed
+            return []
+
+        monkeypatch.setattr(cli, "run_sweep_grid", fake_run_sweep_grid)
+        assert main(["sweep", "--families", "cycle", "--sizes", "10",
+                     "--seed", "7"]) == 0
+        assert captured["graph_seed"] != captured["base_seed"]
+        assert captured["graph_seed"] != 7
+        assert captured["base_seed"] != 7
+        # ... and both streams derive deterministically from --seed.
+        first = dict(captured)
+        assert main(["sweep", "--families", "cycle", "--sizes", "10",
+                     "--seed", "7"]) == 0
+        assert captured == first
+
+
+class TestStoreCommands:
+    SWEEP = ["sweep", "--families", "cycle", "--sizes", "10,12",
+             "--algorithms", "classical_exact,two_approx", "--seed", "3"]
+
+    def test_sweep_resume_requires_out(self, capsys):
+        exit_code = main(["sweep", "--resume"])
+        assert exit_code == 2
+        assert "--resume requires --out" in capsys.readouterr().err
+
+    def test_sweep_out_persists_and_exports(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert main(self.SWEEP + ["--out", str(out)]) == 0
+        table = capsys.readouterr().out
+        store = ExperimentStore(out)
+        assert len(store.load_records()) == 4
+        assert store.latest_header()["algorithms"] == [
+            "classical_exact", "two_approx",
+        ]
+
+        # table export reproduces the sweep's printed table
+        assert main(["export", "--store", str(out)]) == 0
+        assert capsys.readouterr().out == table
+
+        # csv export to a file
+        csv_path = tmp_path / "run.csv"
+        assert main(["export", "--store", str(out), "--format", "csv",
+                     "--out", str(csv_path)]) == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("family,algorithm")
+        assert len(lines) == 5
+
+        # json export parses
+        assert main(["export", "--store", str(out), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 4
+
+    def test_sweep_out_refuses_existing_store_without_resume(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert main(self.SWEEP + ["--out", str(out)]) == 0
+        assert main(self.SWEEP + ["--out", str(out)]) == 2
+        assert "already holds" in capsys.readouterr().err
+
+    def test_sweep_resume_completes_and_matches(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert main(self.SWEEP + ["--out", str(out)]) == 0
+        first = capsys.readouterr().out
+        assert main(self.SWEEP + ["--out", str(out), "--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_export_missing_store(self, capsys, tmp_path):
+        exit_code = main(["export", "--store", str(tmp_path / "nope.jsonl")])
+        assert exit_code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_export_empty_store(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        exit_code = main(["export", "--store", str(empty)])
+        assert exit_code == 2
+        assert "no records" in capsys.readouterr().err

@@ -104,6 +104,92 @@ class TestCompositeFamilies:
         assert graph.num_nodes == 1
 
 
+class TestRingOfCliques:
+    def test_size_and_diameter_track_block_count(self):
+        for num_cliques in (3, 4, 6, 8):
+            graph = generators.ring_of_cliques(num_cliques, 4)
+            assert graph.num_nodes == num_cliques * 4
+            assert graph.is_connected()
+            # Documented: 2 * floor(k / 2) + 1 with a single bridge ...
+            assert graph.diameter() == 2 * (num_cliques // 2) + 1
+            # ... and exactly k once a second bridge exists.
+            wide = generators.ring_of_cliques(num_cliques, 4, bridges=2)
+            assert wide.diameter() == num_cliques
+
+    def test_extra_bridges_do_not_change_diameter(self):
+        baseline = generators.ring_of_cliques(5, 6, bridges=2)
+        wide = generators.ring_of_cliques(5, 6, bridges=3)
+        assert baseline.diameter() == wide.diameter() == 5
+        # ... but they do widen the inter-block cut.
+        assert wide.num_edges == baseline.num_edges + 5
+
+    def test_bridges_are_node_disjoint(self):
+        graph = generators.ring_of_cliques(4, 6, bridges=3)
+        assert graph.num_edges == 4 * 15 + 4 * 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generators.ring_of_cliques(2, 4)
+        with pytest.raises(ValueError):
+            generators.ring_of_cliques(3, 4, bridges=0)
+        with pytest.raises(ValueError):
+            generators.ring_of_cliques(3, 4, bridges=3)  # > clique_size // 2
+
+
+class TestRandomRegular:
+    def test_regular_connected_and_deterministic(self):
+        for seed in range(4):
+            graph = generators.random_regular_graph(20, 3, seed=seed)
+            assert graph.num_nodes == 20
+            assert graph.is_connected()
+            assert all(graph.degree(node) == 3 for node in graph)
+        a = generators.random_regular_graph(20, 3, seed=1)
+        b = generators.random_regular_graph(20, 3, seed=1)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_expander_diameter_is_logarithmic(self):
+        # Degree-3 random regular graphs are expanders w.h.p.: diameter
+        # stays tiny while n quadruples (contrast cycle: n // 2).
+        small = generators.random_regular_graph(32, 3, seed=2).diameter()
+        large = generators.random_regular_graph(128, 3, seed=2).diameter()
+        assert large <= 2 * small
+        assert large <= 12  # ~log2(128) + slack, nowhere near 128 / 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(9, 3)  # odd n * degree
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(4, 4)  # degree >= n
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(4, 0)
+
+
+class TestPreferentialAttachment:
+    def test_connected_with_powerlaw_hubs(self):
+        graph = generators.preferential_attachment(100, attach=2, seed=3)
+        assert graph.num_nodes == 100
+        assert graph.is_connected()
+        # Seed clique edges plus `attach` per later node.
+        assert graph.num_edges == 3 + 97 * 2
+        # Heavy tail: some hub collects far more than the attachment rate.
+        assert graph.max_degree() >= 10
+
+    def test_small_world_diameter(self):
+        graph = generators.preferential_attachment(200, attach=2, seed=3)
+        assert graph.diameter() <= 8
+
+    def test_deterministic_per_seed(self):
+        a = generators.preferential_attachment(40, attach=2, seed=9)
+        b = generators.preferential_attachment(40, attach=2, seed=9)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generators.preferential_attachment(2, attach=2)  # n < attach + 1
+        with pytest.raises(ValueError):
+            generators.preferential_attachment(5, attach=0)
+
+
 class TestRandomFamilies:
     def test_random_connected_gnp_is_connected(self):
         for seed in range(5):

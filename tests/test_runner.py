@@ -17,8 +17,10 @@ from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.runner import (
     BatchRunner,
+    EXACT,
     GraphSpec,
     SWEEP_ALGORITHMS,
+    SweepAlgorithmInfo,
     build_graph_cached,
     clear_worker_caches,
     grid,
@@ -44,8 +46,13 @@ def _fail_on_three(task):
     return task
 
 
-def _oracle_exact(graph):
+def _oracle_kernel(graph):
     return graph.num_nodes, float(graph.diameter())
+
+
+#: An exact-checked algorithm whose name does NOT contain "exact": the
+#: correctness gate is the metadata flag, not the name.
+_oracle = SweepAlgorithmInfo(_oracle_kernel, guarantee=EXACT)
 
 
 def _estimate(graph):
@@ -152,12 +159,12 @@ class TestRunSweep:
         graph = CountingGraph(edges=generators.cycle_graph(8).edges())
         records = run_sweep(
             [("cycle", graph)],
-            {"oracle_exact": _oracle_exact, "estimate": _estimate},
+            {"oracle": _oracle, "estimate": _estimate},
         )
-        # Once by the sweep's lazy oracle, once inside _oracle_exact itself.
+        # Once by the sweep's lazy oracle, once inside the oracle kernel.
         assert len(calls) == 2
         assert all(record.diameter == 4 for record in records)
-        exact = [r for r in records if r.algorithm == "oracle_exact"]
+        exact = [r for r in records if r.algorithm == "oracle"]
         assert all(r.correct for r in exact)
 
     def test_serial_and_parallel_records_identical(self):
@@ -166,7 +173,7 @@ class TestRunSweep:
             ("path", generators.path_graph(8)),
             ("star", generators.star_graph(9)),
         ]
-        algorithms = {"oracle_exact": _oracle_exact, "estimate": _estimate}
+        algorithms = {"oracle": _oracle, "estimate": _estimate}
         serial = run_sweep(graphs, algorithms, jobs=1)
         parallel = run_sweep(graphs, algorithms, jobs=2)
         assert serial == parallel

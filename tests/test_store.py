@@ -1,0 +1,452 @@
+"""Tests for the persistent experiment store (``repro.store``).
+
+The load-bearing property mirrors the batch runner's: persistence must
+never change what is computed.  A sweep that is interrupted (by an
+exception or a SIGKILL) and resumed must produce a record set
+byte-identical to an uninterrupted serial run, completed cells must not
+be recomputed, and the JSONL round-trip must preserve every record field
+(including ``extra`` dicts and ``None`` diameters).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.analysis.sweep import SweepRecord, run_sweep_grid
+from repro.runner import GraphSpec, grid, resolve_algorithms
+from repro.store import (
+    ExperimentStore,
+    ExperimentStoreError,
+    canonical_json,
+    record_from_dict,
+    record_to_dict,
+    render_csv,
+    render_json,
+    render_jsonl,
+    render_records,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+#: Environment knobs of the traced/exploding kernel below; env vars reach
+#: fork-started pool workers, so the same switch works at any job count.
+_TRACE_ENV = "REPRO_TEST_STORE_TRACE"
+_EXPLODE_ENV = "REPRO_TEST_STORE_EXPLODE"
+
+
+def _traced_estimate(graph, seed):
+    """A cheap sweep kernel that logs invocations and can be detonated.
+
+    Module-level (hence picklable), deterministic in ``(graph, seed)``:
+    the trace and the explosion are test-only side channels that never
+    influence the returned measurement.
+    """
+    trace = os.environ.get(_TRACE_ENV)
+    if trace:
+        with open(trace, "a", encoding="utf-8") as handle:
+            handle.write(f"{graph.num_nodes}\n")
+    explode_at = os.environ.get(_EXPLODE_ENV)
+    if explode_at and graph.num_nodes == int(explode_at):
+        raise RuntimeError(f"injected failure at n={graph.num_nodes}")
+    return graph.num_nodes, float(graph.num_nodes % 7)
+
+
+def _records_for_roundtrip():
+    return [
+        SweepRecord("cycle[10]", "classical_exact", 10, 5, 79, 5.0, True, {}),
+        SweepRecord(
+            "ring_of_cliques[20]",
+            "hprw_three_halves",
+            20,
+            None,
+            33,
+            4.0,
+            None,
+            {},
+        ),
+        SweepRecord(
+            "path[6]",
+            "broken",
+            6,
+            5,
+            12,
+            3.5,
+            False,
+            {"nonintegral_value": 3.5, "oracle_diameter": 5.0},
+        ),
+    ]
+
+
+class TestRecordRoundTrip:
+    def test_roundtrip_preserves_every_field(self):
+        for record in _records_for_roundtrip():
+            assert record_from_dict(record_to_dict(record)) == record
+
+    def test_roundtrip_through_json_text(self):
+        # Through an actual serialize/parse cycle, not just dict copies:
+        # None diameters and extra dicts must survive the JSON layer.
+        for record in _records_for_roundtrip():
+            data = json.loads(canonical_json(record_to_dict(record)))
+            assert record_from_dict(data) == record
+
+    def test_malformed_objects_rejected(self):
+        data = record_to_dict(_records_for_roundtrip()[0])
+        missing = dict(data)
+        del missing["rounds"]
+        with pytest.raises(ValueError, match="malformed record"):
+            record_from_dict(missing)
+        unknown = dict(data, surprise=1)
+        with pytest.raises(ValueError, match="malformed record"):
+            record_from_dict(unknown)
+
+    def test_spec_roundtrip(self):
+        for spec in (
+            GraphSpec("cycle", 24),
+            GraphSpec("controlled", 16, diameter=4, seed=9),
+        ):
+            assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+class TestExportFormats:
+    def test_csv_header_and_null_cells(self):
+        lines = render_csv(_records_for_roundtrip()).splitlines()
+        assert lines[0] == "family,algorithm,num_nodes,diameter,rounds,value,correct,extra"
+        assert len(lines) == 4
+        # None diameter/correct render as empty cells, extra as JSON.
+        assert ",,33,4.0,," in lines[2]
+        assert '""nonintegral_value"":3.5' in lines[3]
+
+    def test_json_parses_back(self):
+        payload = json.loads(render_json(_records_for_roundtrip()))
+        assert [record_from_dict(item) for item in payload] == _records_for_roundtrip()
+
+    def test_jsonl_is_canonical_and_parses_back(self):
+        text = render_jsonl(_records_for_roundtrip())
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert [record_from_dict(json.loads(line)) for line in lines] == (
+            _records_for_roundtrip()
+        )
+        # Canonical: re-rendering parsed records is byte-identical.
+        reparsed = [record_from_dict(json.loads(line)) for line in lines]
+        assert render_jsonl(reparsed) == text
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown export format"):
+            render_records([], "xml")
+
+
+class TestExperimentStore:
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        store = ExperimentStore(tmp_path / "none.jsonl")
+        assert not store.exists()
+        assert store.load_records() == []
+        assert store.completed() == {}
+        assert store.latest_header() is None
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = ExperimentStore(path)
+        records = _records_for_roundtrip()
+        store.append_record("a", 0, records[0])
+        store.append_record("b", 1, records[1])
+        # Simulate a writer killed mid-line: append half a JSON object.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind":"record","key":"c","ind')
+        assert store.load_records() == records[:2]
+        assert set(store.completed()) == {"a", "b"}
+
+    def test_append_after_truncated_tail_starts_a_fresh_line(self, tmp_path):
+        # Regression: appending onto a truncated tail used to merge the new
+        # entry into the partial line, losing both -- a resume header
+        # written after a SIGKILL would vanish, and with it the
+        # grid-signature protection.
+        path = tmp_path / "run.jsonl"
+        store = ExperimentStore(path)
+        records = _records_for_roundtrip()
+        store.append_record("a", 0, records[0])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind":"record","key":"b","ind')
+        store.begin_sweep(
+            specs=[GraphSpec("cycle", 10)],
+            algorithms=["x"],
+            base_seed=0,
+            signature="sig",
+            jobs=1,
+            resume=True,
+        )
+        assert store.latest_header() is not None
+        assert store.latest_header()["signature"] == "sig"
+        assert store.load_records() == records[:1]
+        # The signature check is live again on the next attempt.
+        with pytest.raises(ExperimentStoreError, match="different grid"):
+            store.begin_sweep(
+                specs=[GraphSpec("path", 10)],
+                algorithms=["x"],
+                base_seed=0,
+                signature="other-sig",
+                jobs=1,
+                resume=True,
+            )
+
+    def test_records_load_in_grid_order_not_append_order(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run.jsonl")
+        records = _records_for_roundtrip()
+        store.append_record("late", 2, records[2])
+        store.append_record("early", 0, records[0])
+        store.append_record("mid", 1, records[1])
+        assert store.load_records() == records
+
+    def test_rows_roundtrip(self, tmp_path):
+        store = ExperimentStore(tmp_path / "bench.jsonl")
+        store.append_row("table1|cycle[10]", {"n": 10, "rounds": 79})
+        store.append_row("table1|cycle[12]", {"n": 12, "rounds": 94})
+        assert store.load_rows() == [
+            {"n": 10, "rounds": 79},
+            {"n": 12, "rounds": 94},
+        ]
+
+    def test_begin_sweep_refuses_nonempty_without_resume(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run.jsonl")
+        store.begin_sweep(
+            specs=[GraphSpec("cycle", 10)],
+            algorithms=["a"],
+            base_seed=0,
+            signature="sig",
+            jobs=1,
+        )
+        with pytest.raises(ExperimentStoreError, match="already holds"):
+            store.begin_sweep(
+                specs=[GraphSpec("cycle", 10)],
+                algorithms=["a"],
+                base_seed=0,
+                signature="sig",
+                jobs=1,
+            )
+
+    def test_begin_sweep_refuses_mixed_grids(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run.jsonl")
+        store.begin_sweep(
+            specs=[GraphSpec("cycle", 10)],
+            algorithms=["a"],
+            base_seed=0,
+            signature="sig-one",
+            jobs=1,
+        )
+        with pytest.raises(ExperimentStoreError, match="different grid"):
+            store.begin_sweep(
+                specs=[GraphSpec("path", 10)],
+                algorithms=["a"],
+                base_seed=0,
+                signature="sig-two",
+                jobs=1,
+                resume=True,
+            )
+
+    def test_header_carries_provenance(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run.jsonl")
+        store.begin_sweep(
+            specs=[GraphSpec("cycle", 10, seed=3)],
+            algorithms=["two_approx"],
+            base_seed=7,
+            signature="sig",
+            jobs=2,
+        )
+        header = store.latest_header()
+        assert header["algorithms"] == ["two_approx"]
+        assert header["base_seed"] == 7
+        assert header["jobs"] == 2
+        assert header["engine"] in ("dense", "sparse")
+        assert header["specs"] == [
+            {"family": "cycle", "num_nodes": 10, "diameter": None, "seed": 3}
+        ]
+        # git/python are environment-dependent but the keys must exist.
+        assert "git" in header and "python" in header
+
+
+class TestSweepGridPersistence:
+    def _grid(self):
+        return grid(["cycle", "path"], [10, 12], seed=2)
+
+    def _algorithms(self):
+        return resolve_algorithms(["classical_exact", "two_approx"])
+
+    def test_fresh_run_persists_and_roundtrips(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run.jsonl")
+        records = run_sweep_grid(
+            self._grid(), self._algorithms(), base_seed=5, store=store
+        )
+        assert store.load_records() == records
+        headers = store.run_headers()
+        assert len(headers) == 1
+        finish = [e for e in store.iter_entries() if e.get("kind") == "finish"]
+        assert len(finish) == 1
+        assert finish[0]["total_records"] == len(records) == 8
+        assert finish[0]["resumed_records"] == 0
+        assert finish[0]["wall_seconds"] >= 0
+
+    def test_store_does_not_change_records(self, tmp_path):
+        plain = run_sweep_grid(self._grid(), self._algorithms(), base_seed=5)
+        stored = run_sweep_grid(
+            self._grid(),
+            self._algorithms(),
+            base_seed=5,
+            store=ExperimentStore(tmp_path / "run.jsonl"),
+        )
+        assert plain == stored
+
+    def test_interrupted_run_keeps_completed_prefix_and_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        trace = tmp_path / "trace.log"
+        monkeypatch.setenv(_TRACE_ENV, str(trace))
+        specs = grid(["cycle"], [10, 12, 14, 16], seed=2)
+        algorithms = {"traced": _traced_estimate}
+        store = ExperimentStore(tmp_path / "run.jsonl")
+
+        # Detonate on the third cell: the first two records must already
+        # be on disk when the sweep dies.
+        monkeypatch.setenv(_EXPLODE_ENV, "14")
+        with pytest.raises(RuntimeError, match="injected failure at n=14"):
+            run_sweep_grid(specs, algorithms, base_seed=3, store=store)
+        assert len(store.load_records()) == 2
+
+        # Resume with the fault cleared: only the missing cells run.
+        monkeypatch.delenv(_EXPLODE_ENV)
+        resumed = run_sweep_grid(
+            specs, algorithms, base_seed=3, store=store, resume=True
+        )
+        invocations = [int(line) for line in trace.read_text().splitlines()]
+        assert invocations == [10, 12, 14, 10, 12, 14, 16][:3] + [14, 16]
+
+        # The merged record set is byte-identical to a fresh, uninterrupted
+        # serial run.
+        fresh = run_sweep_grid(
+            specs,
+            algorithms,
+            base_seed=3,
+            store=ExperimentStore(tmp_path / "fresh.jsonl"),
+        )
+        assert resumed == fresh
+        assert render_jsonl(resumed) == render_jsonl(fresh)
+        finish = [e for e in store.iter_entries() if e.get("kind") == "finish"]
+        assert finish[-1]["resumed_records"] == 2
+
+    def test_resume_of_complete_store_recomputes_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        trace = tmp_path / "trace.log"
+        specs = grid(["cycle"], [10, 12], seed=2)
+        algorithms = {"traced": _traced_estimate}
+        store = ExperimentStore(tmp_path / "run.jsonl")
+        first = run_sweep_grid(specs, algorithms, base_seed=3, store=store)
+        monkeypatch.setenv(_TRACE_ENV, str(trace))
+        again = run_sweep_grid(
+            specs, algorithms, base_seed=3, store=store, resume=True
+        )
+        assert again == first
+        assert not trace.exists()  # zero kernel invocations on resume
+
+    def test_parallel_resume_matches_serial_fresh(self, tmp_path, monkeypatch):
+        specs = grid(["cycle"], [10, 12, 14, 16], seed=2)
+        algorithms = {"traced": _traced_estimate}
+        store = ExperimentStore(tmp_path / "run.jsonl")
+        monkeypatch.setenv(_EXPLODE_ENV, "14")
+        with pytest.raises(RuntimeError):
+            run_sweep_grid(specs, algorithms, base_seed=3, store=store)
+        monkeypatch.delenv(_EXPLODE_ENV)
+        resumed = run_sweep_grid(
+            specs, algorithms, base_seed=3, store=store, resume=True, jobs=2
+        )
+        fresh = run_sweep_grid(specs, algorithms, base_seed=3)
+        assert resumed == fresh
+        assert render_jsonl(store.load_records()) == render_jsonl(fresh)
+
+
+@pytest.mark.slow
+class TestKilledProcessResume:
+    """The acceptance scenario: SIGKILL a parallel sweep, resume, compare."""
+
+    FAMILIES = "cycle,clique_chain"
+    SIZES = "32,48,64"
+    ALGORITHMS = "classical_exact,two_approx"
+    SEED = "5"
+
+    def _sweep_argv(self, out, extra=()):
+        return [
+            sys.executable, "-m", "repro", "sweep",
+            "--families", self.FAMILIES,
+            "--sizes", self.SIZES,
+            "--algorithms", self.ALGORITHMS,
+            "--seed", self.SEED,
+            "--out", str(out),
+            *extra,
+        ]
+
+    def test_sigkilled_parallel_sweep_resumes_byte_identical(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            "src" + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else "src"
+        )
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        out = tmp_path / "killed.jsonl"
+        process = subprocess.Popen(
+            self._sweep_argv(out, extra=("--jobs", "2")),
+            cwd=repo_root,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Kill as soon as at least one record is on disk; on a machine
+            # fast enough to finish the whole grid first, the kill is a
+            # no-op and resume degenerates to the (still asserted)
+            # complete-store case.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline and process.poll() is None:
+                if out.exists() and b'"kind":"record"' in out.read_bytes():
+                    break
+                time.sleep(0.01)
+            process.send_signal(signal.SIGKILL)
+        finally:
+            process.wait(timeout=60)
+
+        persisted_before_resume = len(ExperimentStore(out).load_records())
+        resume = subprocess.run(
+            self._sweep_argv(out, extra=("--jobs", "2", "--resume")),
+            cwd=repo_root,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert resume.returncode == 0, resume.stderr
+
+        fresh_out = tmp_path / "fresh.jsonl"
+        fresh = subprocess.run(
+            self._sweep_argv(fresh_out),
+            cwd=repo_root,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert fresh.returncode == 0, fresh.stderr
+
+        resumed_records = ExperimentStore(out).load_records()
+        fresh_records = ExperimentStore(fresh_out).load_records()
+        assert len(resumed_records) == 12
+        assert persisted_before_resume <= len(resumed_records)
+        assert resumed_records == fresh_records
+        assert render_jsonl(resumed_records) == render_jsonl(fresh_records)
+        # And the CLI tables agree too (resume printed the merged table).
+        assert resume.stdout == fresh.stdout
