@@ -18,7 +18,7 @@ from repro.graphs import generators
 
 def _measure(constants, seeds):
     graph = generators.clique_chain(5, 4)
-    truth = graph.diameter()
+    truth = graph.compile().diameter()
     rows = []
     for constant in constants:
         hits = 0

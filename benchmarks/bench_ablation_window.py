@@ -25,7 +25,7 @@ def _measure(sizes):
     rows = []
     for n in sizes:
         graph = generators.cycle_graph(n)
-        truth = graph.diameter()
+        truth = graph.compile().diameter()
         windowed = quantum_exact_diameter(graph, variant="windowed", oracle_mode="reference", seed=1)
         simple = quantum_exact_diameter(graph, variant="simple", oracle_mode="reference", seed=1)
         rows.append(

@@ -30,7 +30,7 @@ def _measure(graphs):
                 "depth": tree.depth,
                 "rounds": tree.metrics.rounds,
                 "memory_bits": tree.metrics.max_node_memory_bits,
-                "correct": tree.distance == graph.bfs_distances(root),
+                "correct": tree.distance == graph.compile().bfs_distances(root),
             }
         )
     return rows

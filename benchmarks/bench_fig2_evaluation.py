@@ -27,7 +27,7 @@ def _measure(graphs):
         root = graph.nodes()[0]
         tree = run_bfs_tree(network, root)
         d = max(1, run_tree_aggregate_max(network, tree, tree.distance).value)
-        eccentricities = graph.all_eccentricities()
+        eccentricities = graph.compile().all_eccentricities()
         values = []
         sample_rounds = None
         sample_memory = None
@@ -45,7 +45,7 @@ def _measure(graphs):
                 "d": d,
                 "rounds_per_evaluation": sample_rounds,
                 "memory_bits": sample_memory,
-                "max_f_equals_diameter": max(values) == graph.diameter(),
+                "max_f_equals_diameter": max(values) == graph.compile().diameter(),
                 "popt_empirical": empirical_optimum_mass(graph, tree, 2 * d),
                 "popt_bound": popt_lower_bound(graph.num_nodes, d),
             }

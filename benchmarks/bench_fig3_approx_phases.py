@@ -35,7 +35,7 @@ def _sweep(graph, s_values):
                 "preparation_rounds": preparation,
                 "quantum_rounds": quantum_phase,
                 "total_rounds": result.metrics.rounds,
-                "estimate_ok": result.estimate <= graph.diameter(),
+                "estimate_ok": result.estimate <= graph.compile().diameter(),
             }
         )
     return rows
@@ -45,7 +45,7 @@ def test_phase_tradeoff_and_balancing_choice(run_once, benchmark):
     graph = generators.diameter_controlled_graph(120, 6, seed=3)
     s_values = (2, 4, 8, 16, 32, 64)
     rows = run_once(_sweep, graph, s_values)
-    balanced_s = default_s_parameter(graph.num_nodes, graph.diameter())
+    balanced_s = default_s_parameter(graph.num_nodes, graph.compile().diameter())
     totals = {row["s"]: row["total_rounds"] for row in rows}
     best_s = min(totals, key=totals.get)
     record(

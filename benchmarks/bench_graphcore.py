@@ -1,0 +1,210 @@
+"""Micro-benchmark: legacy adjacency-map oracles vs the compiled CSR view.
+
+The indexed graph core (``Graph.compile() -> IndexedGraph``) exists because
+the sequential oracles are the hot path of every sweep's correctness gate:
+the diameter oracle is one all-pairs BFS per graph, and the legacy
+implementation runs it over label-keyed dicts and hash probes.  The
+compiled view stores the topology in CSR arrays and dispatches between
+three exact all-eccentricities strategies (plain stamped BFS, bit-parallel
+level-synchronous BFS, Takes-Kosters bound pruning), all byte-identical to
+the legacy oracle.
+
+This harness measures:
+
+* the headline ``all_eccentricities`` oracle on an n=2000 sparse random
+  graph (the acceptance bar: CSR must be >= 5x the legacy path);
+* the ``diameter`` oracle on a structured clique chain (the sweep
+  families' correctness-gate workload);
+* dense- and sparse-engine BFS wall-clock on the compiled topology
+  bindings (prebound neighbour tuples + frozensets), tracked over time.
+
+Results land in ``BENCH_graphcore.json`` next to the repository root.
+
+Run it standalone (no pytest plugins needed)::
+
+    PYTHONPATH=src python benchmarks/bench_graphcore.py
+    PYTHONPATH=src python benchmarks/bench_graphcore.py --smoke
+
+or through pytest (the ``test_`` wrappers assert the speedup bars)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_graphcore.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.algorithms.bfs import run_bfs_tree
+from repro.congest.network import Network
+from repro.graphs import generators
+
+#: Node count of the headline all-eccentricities workload.
+ORACLE_NODES = 2000
+
+#: Acceptance bar for the headline oracle (full mode).
+TARGET_SPEEDUP = 5.0
+
+#: Relaxed bar asserted in ``--smoke`` mode (small graphs amortise the
+#: CSR compilation less, and CI boxes are noisy).
+SMOKE_TARGET_SPEEDUP = 3.0
+
+#: Where the results land (repository root, next to ROADMAP.md).
+OUTPUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_graphcore.json",
+)
+
+
+def _time(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def _bench_all_eccentricities(nodes: int) -> dict:
+    """Headline workload: full eccentricity oracle, legacy vs CSR.
+
+    The CSR timing includes ``compile()`` itself (measured on a freshly
+    built graph), so the reported speedup is end-to-end.
+    """
+    legacy_graph = generators.family_for_sweep("random_sparse", nodes, seed=11)
+    csr_graph = generators.family_for_sweep("random_sparse", nodes, seed=11)
+    legacy_seconds, legacy_result = _time(legacy_graph.all_eccentricities)
+    csr_seconds, csr_result = _time(
+        lambda: csr_graph.compile().all_eccentricities()
+    )
+    if csr_result != legacy_result or list(csr_result) != list(legacy_result):
+        raise AssertionError("CSR and legacy eccentricity oracles disagree")
+    return {
+        "nodes": nodes,
+        "edges": legacy_graph.num_edges,
+        "family": "random_sparse",
+        "diameter": max(legacy_result.values()),
+        "legacy_seconds": round(legacy_seconds, 6),
+        "csr_seconds": round(csr_seconds, 6),
+        "speedup": round(legacy_seconds / max(csr_seconds, 1e-9), 2),
+    }
+
+
+def _bench_diameter(nodes: int) -> dict:
+    """Diameter oracle on a structured family (the sweep gate workload)."""
+    legacy_graph = generators.family_for_sweep("clique_chain", nodes, seed=7)
+    csr_graph = generators.family_for_sweep("clique_chain", nodes, seed=7)
+    legacy_seconds, legacy_diameter = _time(legacy_graph.diameter)
+    csr_seconds, csr_diameter = _time(lambda: csr_graph.compile().diameter())
+    if csr_diameter != legacy_diameter:
+        raise AssertionError("CSR and legacy diameter oracles disagree")
+    return {
+        "nodes": legacy_graph.num_nodes,
+        "edges": legacy_graph.num_edges,
+        "family": "clique_chain",
+        "diameter": legacy_diameter,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "csr_seconds": round(csr_seconds, 6),
+        "speedup": round(legacy_seconds / max(csr_seconds, 1e-9), 2),
+    }
+
+
+def _bench_engine_rounds(nodes: int) -> dict:
+    """Dense and sparse engine BFS on the prebound CSR topology.
+
+    The engine binds the compiled view per run (scheduler node order,
+    transport neighbour frozensets, factory neighbour tuples); this
+    workload tracks the absolute round-loop cost of both engines so the
+    perf trajectory of the dense hot loop stays visible across PRs.
+    """
+    graph = generators.path_graph(nodes)
+    results = {}
+    trees = {}
+    for engine in ("dense", "sparse"):
+        network = Network(graph, engine=engine)
+        seconds, tree = _time(lambda: run_bfs_tree(network, graph.nodes()[0]))
+        trees[engine] = tree
+        results[f"{engine}_seconds"] = round(seconds, 6)
+        results[f"{engine}_rounds_per_second"] = round(
+            tree.metrics.rounds / max(seconds, 1e-9), 1
+        )
+    if trees["dense"].distance != trees["sparse"].distance:
+        raise AssertionError("engines disagree on BFS distances")
+    results.update(
+        {
+            "nodes": nodes,
+            "rounds": trees["dense"].metrics.rounds,
+            "messages": trees["dense"].metrics.messages,
+            "sparse_speedup": round(
+                results["dense_seconds"]
+                / max(results["sparse_seconds"], 1e-9),
+                2,
+            ),
+        }
+    )
+    return results
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    """Measure all workloads; return the report."""
+    oracle_nodes = 300 if smoke else ORACLE_NODES
+    diameter_nodes = 200 if smoke else 1000
+    engine_nodes = 200 if smoke else 1000
+    report = {
+        "smoke": smoke,
+        "workloads": {
+            "all_eccentricities": _bench_all_eccentricities(oracle_nodes),
+            "diameter_clique_chain": _bench_diameter(diameter_nodes),
+            "engine_bfs_path": _bench_engine_rounds(engine_nodes),
+        },
+    }
+    report["headline_speedup"] = report["workloads"]["all_eccentricities"][
+        "speedup"
+    ]
+    return report
+
+
+def write_report(report: dict, path: str = OUTPUT_PATH) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_graphcore_oracle_speedup():
+    """The graph-core refactor's acceptance bar: >= 5x on the n=2000
+    all-eccentricities oracle, with byte-identical results (the identity
+    is asserted inside the workload)."""
+    report = run_benchmark()
+    write_report(report)
+    assert report["headline_speedup"] >= TARGET_SPEEDUP, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI (relaxed speedup bar)",
+    )
+    parser.add_argument(
+        "--out",
+        default=OUTPUT_PATH,
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(smoke=args.smoke)
+    destination = write_report(report, args.out)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"written to {destination}")
+    bar = SMOKE_TARGET_SPEEDUP if args.smoke else TARGET_SPEEDUP
+    if report["headline_speedup"] < bar:
+        print(
+            f"FAIL: headline speedup {report['headline_speedup']}x "
+            f"is below the {bar}x bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

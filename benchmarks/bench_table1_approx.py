@@ -23,7 +23,7 @@ from repro.core.complexity import classical_approx_upper, quantum_approx_upper
 def _measure_point(task):
     """One grid point: both 3/2-approximations on one graph (batch task)."""
     name, graph = task
-    truth = graph.diameter()
+    truth = graph.compile().diameter()
     classical = run_hprw_three_halves_approximation(network_for(graph), seed=3)
     quantum = quantum_three_halves_diameter(graph, oracle_mode="reference", seed=3)
     return {

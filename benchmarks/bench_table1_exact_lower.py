@@ -76,7 +76,7 @@ def _bound_comparison_point(task):
     """One grid point of the bound comparison (batch task)."""
     name, graph = task
     result = quantum_exact_diameter(graph, oracle_mode="reference", seed=3)
-    n, diameter = graph.num_nodes, graph.diameter()
+    n, diameter = graph.num_nodes, graph.compile().diameter()
     polylog_memory = max(1, math.ceil(math.log2(n + 1)) ** 2)
     return {
         "family": name,

@@ -32,7 +32,7 @@ from repro.core.exact_diameter import quantum_exact_diameter
 def _measure_point(task):
     """One grid point: both exact algorithms on one graph (batch task)."""
     name, graph = task
-    truth = graph.diameter()
+    truth = graph.compile().diameter()
     classical = run_classical_exact_diameter(network_for(graph))
     quantum = quantum_exact_diameter(graph, oracle_mode="reference", seed=7)
     assert classical.diameter == truth

@@ -20,7 +20,7 @@ from repro.core.exact_diameter import quantum_exact_diameter
 
 
 def _correctness_trials(graph, seeds):
-    truth = graph.diameter()
+    truth = graph.compile().diameter()
     hits = 0
     for seed in seeds:
         result = quantum_exact_diameter(graph, oracle_mode="reference", seed=seed, delta=0.05)
@@ -52,7 +52,7 @@ def test_theorem1_round_scaling_vs_classical(run_once, benchmark):
     def measure():
         rows = []
         for name, graph in clique_chain_family((3, 5, 8, 12, 16)):
-            truth = graph.diameter()
+            truth = graph.compile().diameter()
             quantum = quantum_exact_diameter(graph, oracle_mode="reference", seed=5)
             classical = run_classical_exact_diameter(network_for(graph))
             rows.append(

@@ -21,7 +21,7 @@ def test_theorem4_guarantee_and_scaling(run_once, benchmark):
     def measure():
         rows = []
         for name, graph in fixed_diameter_family((36, 72, 144), diameter=6, seed=8):
-            truth = graph.diameter()
+            truth = graph.compile().diameter()
             result = quantum_three_halves_diameter(graph, oracle_mode="reference", seed=2)
             rows.append(
                 {
@@ -63,7 +63,7 @@ def test_theorem4_guarantee_and_scaling(run_once, benchmark):
 def test_theorem4_correctness_rate(run_once, benchmark):
     def measure():
         graph = fixed_diameter_family((80,), diameter=7, seed=5)[0][1]
-        truth = graph.diameter()
+        truth = graph.compile().diameter()
         valid = 0
         for seed in range(8):
             result = quantum_three_halves_diameter(graph, oracle_mode="reference", seed=seed)

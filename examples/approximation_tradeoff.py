@@ -32,7 +32,7 @@ from repro.graphs import generators
 def main() -> None:
     # An overlay-like network: 150 nodes, diameter 6.
     graph = generators.diameter_controlled_graph(150, target_diameter=6, seed=11)
-    n, true_diameter = graph.num_nodes, graph.diameter()
+    n, true_diameter = graph.num_nodes, graph.compile().diameter()
     print(f"network: {n} nodes, diameter {true_diameter}\n")
 
     two = run_classical_two_approximation(Network(graph, seed=0))

@@ -30,7 +30,7 @@ def main() -> None:
     # A chain of cliques: n = 24 nodes, diameter 7 -- a graph where the
     # diameter is much smaller than n, the regime the paper targets.
     graph = generators.clique_chain(num_cliques=4, clique_size=6)
-    n, true_diameter = graph.num_nodes, graph.diameter()
+    n, true_diameter = graph.num_nodes, graph.compile().diameter()
     print(f"graph: {n} nodes, {graph.num_edges} edges, true diameter {true_diameter}\n")
 
     classical = run_classical_exact_diameter(Network(graph, seed=0))

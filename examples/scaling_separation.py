@@ -26,7 +26,7 @@ def main() -> None:
     measurements = []
     for n in (24, 48, 96, 160):
         graph = generators.diameter_controlled_graph(n, target_diameter=6, seed=1)
-        diameter = graph.diameter()
+        diameter = graph.compile().diameter()
 
         classical = run_classical_exact_diameter(Network(graph, seed=0))
         quantum = quantum_exact_diameter(graph, oracle_mode="reference", seed=3)

@@ -120,7 +120,7 @@ def run_bfs_tree(network: Network, root: NodeId) -> BFSTreeResult:
 
     execution = network.run(
         lambda node, net: _BFSNode(
-            node, net.graph.neighbors(node), net.num_nodes, net.node_rng(node), root
+            node, net.neighbors(node), net.num_nodes, net.node_rng(node), root
         )
     )
     parent = {node: data["parent"] for node, data in execution.results.items()}

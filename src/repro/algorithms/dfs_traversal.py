@@ -183,7 +183,7 @@ def _run_tour(
 ) -> EulerTourResult:
     execution = network.run(
         lambda node, net: _EulerTourNode(
-            node, net.graph.neighbors(node), net.num_nodes, net.node_rng(node),
+            node, net.neighbors(node), net.num_nodes, net.node_rng(node),
             tree, start, budget, member,
         ),
         max_rounds=budget + 4,

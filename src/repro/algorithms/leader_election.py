@@ -71,7 +71,7 @@ def run_leader_election(network: Network) -> LeaderElectionResult:
     """
     execution = network.run(
         lambda node, net: _MaxIdFloodingNode(
-            node, net.graph.neighbors(node), net.num_nodes, net.node_rng(node)
+            node, net.neighbors(node), net.num_nodes, net.node_rng(node)
         )
     )
     leaders = set(map(identifier_key, execution.results.values()))

@@ -37,9 +37,10 @@ never checked.  Earlier revisions keyed the check off the substring
 algorithm silently lost its check) and could not express approximation
 guarantees.
 
-The sequential diameter oracle is **lazy**: ``graph.diameter()`` is the
-most expensive part of a sweep record's provenance (all-pairs BFS), so it
-is only computed -- once per graph -- when at least one algorithm in the
+The sequential diameter oracle is **lazy**: the true diameter is the most
+expensive part of a sweep record's provenance (all-pairs BFS), so it is
+only computed -- once per graph, on the compiled CSR view
+(``graph.compile().diameter()``) -- when at least one algorithm in the
 sweep *requires* it (``SweepAlgorithmInfo.needs_oracle``; by default the
 exact algorithms).  Sweeps of pure approximation algorithms leave
 :attr:`SweepRecord.diameter` as ``None`` (rendered ``-`` by
@@ -198,8 +199,10 @@ def _sweep_one_graph(
     algorithm in the table requires a correctness check.
     """
     family, graph = task
+    # The oracle runs on the compiled CSR view; the view is cached on the
+    # graph, so repeated sweeps over the same graph compile once.
     true_diameter: Optional[int] = (
-        graph.diameter() if _needs_oracle(algorithms) else None
+        graph.compile().diameter() if _needs_oracle(algorithms) else None
     )
     records: List[SweepRecord] = []
     for name, runner in algorithms.items():

@@ -77,7 +77,7 @@ def _build_graph(args: argparse.Namespace):
 
 def _cmd_diameter(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
-    truth = graph.diameter()
+    truth = graph.compile().diameter()
     rows = []
 
     classical = run_classical_exact_diameter(
@@ -98,7 +98,7 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
 
 def _cmd_approx(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
-    truth = graph.diameter()
+    truth = graph.compile().diameter()
     rows = []
 
     two = run_classical_two_approximation(

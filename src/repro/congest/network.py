@@ -105,7 +105,9 @@ class Network:
     ) -> None:
         if graph.num_nodes == 0:
             raise ValueError("cannot build a network over an empty graph")
-        if not graph.is_connected():
+        # Compiling here both performs the connectivity check on the CSR
+        # fast path and warms the cached view the engine binds per run.
+        if not graph.compile().is_connected():
             raise ValueError("the CONGEST network topology must be connected")
         self.graph = graph
         self.num_nodes = graph.num_nodes
@@ -152,6 +154,16 @@ class Network:
         self._engine.observers.remove(observer)
 
     # ------------------------------------------------------------------
+    def neighbors(self, node: NodeId):
+        """Neighbours of ``node`` as a cached tuple from the compiled view.
+
+        Algorithm factories should use this instead of
+        ``network.graph.neighbors(node)``: the tuple is prebound on the
+        CSR view (no per-call list copy) and stays valid for the
+        network's lifetime -- the topology of a network is static.
+        """
+        return self.graph.compile().neighbors(node)
+
     def node_rng(self, node: NodeId) -> random.Random:
         """Deterministic per-node random generator.
 

@@ -78,7 +78,7 @@ def empirical_optimum_mass(
     The benchmark harness compares this against the Lemma-1 lower bound to
     show how much slack the bound leaves on concrete graph families.
     """
-    eccentricities = graph.all_eccentricities()
+    eccentricities = graph.compile().all_eccentricities()
     if members is not None:
         relevant = {node: eccentricities[node] for node in members}
     else:

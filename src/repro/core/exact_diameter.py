@@ -213,7 +213,7 @@ class ExactDiameterProblem(DistributedSearchProblem):
     # ------------------------------------------------------------------
     def _eccentricities(self) -> Dict[NodeId, int]:
         if self._reference_eccentricities is None:
-            self._reference_eccentricities = self.network.graph.all_eccentricities()
+            self._reference_eccentricities = self.network.graph.compile().all_eccentricities()
         return self._reference_eccentricities
 
     def _representative_cost(self) -> ExecutionMetrics:

@@ -173,14 +173,19 @@ class ExecutionEngine:
         # The bandwidth policy is re-read from the network on every run so
         # that post-construction mutations of ``bandwidth_bits`` /
         # ``strict_bandwidth`` are honoured, as in the pre-engine simulator.
+        # The topology is re-compiled the same way: ``compile()`` returns
+        # the cached CSR view unless the graph was mutated since the last
+        # run, in which case transport and scheduler rebind fresh state.
         transport = self.transport
         transport.bandwidth_bits = network.bandwidth_bits
         transport.strict_bandwidth = network.strict_bandwidth
+        indexed = network.graph.compile()
+        transport.bind_topology(indexed)
 
         cache_misses_before = transport.cache_misses
         cache_overflows_before = transport.cache_overflows
 
-        scheduler.begin_run(algorithms)
+        scheduler.begin_run(algorithms, indexed)
         uses_wakes = scheduler.uses_wakes
 
         finished_state: Dict[NodeId, bool] = {}
@@ -214,6 +219,12 @@ class ExecutionEngine:
         request_wake = scheduler.request_wake
         has_scheduled_wakes = scheduler.has_scheduled_wakes
         inbox_pool: list = []
+        # Full-round fast path: when the scheduler hands back its
+        # every-node sequence (identity check), iterate the prezipped
+        # (node, algorithm) pairs instead of one dict lookup per node --
+        # this removes O(n) hash probes per dense round.
+        full_sequence = scheduler.all_nodes()
+        algorithm_pairs = list(algorithms.items())
 
         inboxes: Dict[NodeId, Inbox] = {}
         round_number = 0
@@ -235,8 +246,11 @@ class ExecutionEngine:
             next_inboxes: Dict[NodeId, Inbox] = {}
             any_message = False
             inboxes_get = inboxes.get
-            for node in active:
-                algorithm = algorithms[node]
+            if active is full_sequence:
+                items = algorithm_pairs
+            else:
+                items = [(node, algorithms[node]) for node in active]
+            for node, algorithm in items:
                 inbox = inboxes_get(node)
                 if inbox is None:
                     inbox = inbox_pool.pop() if inbox_pool else {}

@@ -30,10 +30,11 @@ instead of silently spinning to the round cap.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Sequence, Set
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.congest.errors import RoundLimitExceededError
 from repro.graphs.graph import NodeId
+from repro.graphs.indexed import IndexedGraph
 
 
 class Scheduler:
@@ -51,9 +52,31 @@ class Scheduler:
     #: skips the drain entirely in its hot loop.
     uses_wakes: bool = False
 
-    def begin_run(self, algorithms: Mapping[NodeId, Any]) -> None:
-        """Reset per-run state; ``algorithms`` fixes the node universe."""
+    def begin_run(
+        self,
+        algorithms: Mapping[NodeId, Any],
+        indexed: Optional[IndexedGraph] = None,
+    ) -> None:
+        """Reset per-run state; ``algorithms`` fixes the node universe.
+
+        ``indexed`` is the compiled CSR view of the topology when the
+        engine has one: schedulers prebind its frozen ``labels`` tuple
+        and label->index map instead of rebuilding them from
+        ``algorithms`` on every run.  The node universes are identical
+        by construction (the engine builds ``algorithms`` from the same
+        graph); ``indexed=None`` keeps the standalone behaviour for
+        direct scheduler use.
+        """
         raise NotImplementedError
+
+    def all_nodes(self) -> Optional[Sequence[NodeId]]:
+        """The exact sequence object :meth:`active_nodes` returns for an
+        every-node round, or ``None`` if unknown.
+
+        The engine compares the active sequence against this object *by
+        identity* to skip the per-node ``algorithms[node]`` dict lookups
+        on full rounds (every dense round, round 0 under sparse)."""
+        return None
 
     def active_nodes(
         self, round_number: int, inboxes: Mapping[NodeId, Any]
@@ -86,14 +109,22 @@ class DenseScheduler(Scheduler):
     uses_wakes = False
 
     def __init__(self) -> None:
-        self._nodes: List[NodeId] = []
+        self._nodes: Sequence[NodeId] = []
 
-    def begin_run(self, algorithms: Mapping[NodeId, Any]) -> None:
-        self._nodes = list(algorithms)
+    def begin_run(
+        self,
+        algorithms: Mapping[NodeId, Any],
+        indexed: Optional[IndexedGraph] = None,
+    ) -> None:
+        # The compiled view's frozen labels tuple spares the O(n) copy.
+        self._nodes = indexed.labels if indexed is not None else list(algorithms)
 
     def active_nodes(
         self, round_number: int, inboxes: Mapping[NodeId, Any]
     ) -> Sequence[NodeId]:
+        return self._nodes
+
+    def all_nodes(self) -> Optional[Sequence[NodeId]]:
         return self._nodes
 
 
@@ -111,13 +142,24 @@ class SparseScheduler(Scheduler):
     uses_wakes = True
 
     def __init__(self) -> None:
-        self._nodes: List[NodeId] = []
+        self._nodes: Sequence[NodeId] = []
         self._order: Dict[NodeId, int] = {}
         self._wakes: Dict[int, Set[NodeId]] = {}
 
-    def begin_run(self, algorithms: Mapping[NodeId, Any]) -> None:
-        self._nodes = list(algorithms)
-        self._order = {node: index for index, node in enumerate(self._nodes)}
+    def begin_run(
+        self,
+        algorithms: Mapping[NodeId, Any],
+        indexed: Optional[IndexedGraph] = None,
+    ) -> None:
+        if indexed is not None:
+            # Prebound CSR order: the frozen labels tuple and the
+            # label->index map are shared with the view (no per-run
+            # rebuild of either).
+            self._nodes = indexed.labels
+            self._order = indexed.index_of
+        else:
+            self._nodes = list(algorithms)
+            self._order = {node: index for index, node in enumerate(self._nodes)}
         self._wakes = {}
 
     def active_nodes(
@@ -133,6 +175,11 @@ class SparseScheduler(Scheduler):
         active = set(inboxes)
         active.update(woken)
         return sorted(active, key=self._order.__getitem__)
+
+    def all_nodes(self) -> Optional[Sequence[NodeId]]:
+        # Round 0 returns self._nodes verbatim, so the engine's identity
+        # check gives the full-round fast path there too.
+        return self._nodes
 
     def request_wake(self, node: NodeId, round_number: int) -> None:
         bucket = self._wakes.get(round_number)

@@ -5,9 +5,13 @@ outbox and its neighbour's next-round inbox:
 
 * the CONGEST contract check (only neighbours may be addressed, enforced
   with :class:`repro.congest.errors.ProtocolError`) -- the per-node
-  neighbour sets are bound once from :meth:`repro.graphs.graph.Graph.adjacency`
-  so the hot loop performs one set-membership test per message instead of a
-  ``has_edge`` call;
+  neighbour frozensets are prebound from the graph's compiled CSR view
+  (:meth:`repro.graphs.indexed.IndexedGraph.neighbor_sets`), so the hot
+  loop performs one frozenset-membership test per message instead of a
+  ``has_edge`` call.  The engine refreshes the binding at the start of
+  every run via :meth:`Transport.bind_topology`; the graph's version
+  counter makes the refresh O(1) when the topology is unchanged and
+  rebuilds it when the graph was mutated between runs;
 * size measurement via :func:`repro.congest.message.message_size_bits`,
   behind a memo cache -- the paper's algorithms send the same small tuples
   (``("bfs", d)``, ``("w", tag, delta)``, ...) over thousands of edges and
@@ -50,6 +54,7 @@ from repro.congest.errors import BandwidthExceededError, ProtocolError
 from repro.congest.message import message_size_bits
 from repro.engine.observers import MetricsPipeline
 from repro.graphs.graph import Graph, NodeId
+from repro.graphs.indexed import IndexedGraph
 
 #: Default bound on the number of memoised payload sizes; beyond it new
 #: payloads are measured without being cached (no eviction churn).
@@ -118,10 +123,13 @@ class Transport:
         self._value_cache: Dict[Any, Tuple[Any, int]] = {}
         #: Repr tier: (type, repr) -> size.
         self._size_cache: Dict[Tuple[type, str], int] = {}
-        #: Live per-node neighbour sets (one lookup per outbox, one set
-        #: membership test per message -- the graph mutates in place, so
-        #: the binding stays valid for the network's lifetime).
-        self._adjacency = graph.adjacency()
+        #: Per-node neighbour frozensets, prebound from the compiled CSR
+        #: view (one lookup per outbox, one membership test per message).
+        #: The engine refreshes the binding per run, so graph mutations
+        #: between runs are honoured.
+        self._indexed: Optional[IndexedGraph] = None
+        self._neighbor_sets: Dict[NodeId, Any] = {}
+        self.bind_topology(graph.compile())
         # Cache-effectiveness counters, cumulative across the network's
         # runs; the engine stamps per-run deltas into the run's metrics.
         # Only misses and overflows are counted (they are rare -- one per
@@ -131,6 +139,19 @@ class Transport:
         self.cache_overflows = 0
 
     # ------------------------------------------------------------------
+    def bind_topology(self, indexed: IndexedGraph) -> None:
+        """(Re)bind the per-node neighbour sets from a compiled view.
+
+        Called by the engine at the start of every run with
+        ``graph.compile()``: on an unmutated graph the compiled view is
+        the same cached object and the rebind is a no-op identity check;
+        after a mutation a fresh view arrives and the frozensets are
+        rebuilt (and cached on the view, shared with other transports).
+        """
+        if indexed is not self._indexed:
+            self._indexed = indexed
+            self._neighbor_sets = indexed.neighbor_sets()
+
     def measure(self, payload: Any) -> int:
         """Size of ``payload`` in bits, memoised across the network's runs."""
         # Value tier: hash the payload itself -- no repr on the hot path.
@@ -220,7 +241,7 @@ class Transport:
         recycles across rounds; newly needed inboxes are taken from it
         before being allocated.
         """
-        neighbors = self._adjacency.get(sender)
+        neighbors = self._neighbor_sets.get(sender)
         budget = self.bandwidth_bits
         measure = self.measure
         on_message = pipeline.on_message

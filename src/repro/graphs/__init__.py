@@ -7,6 +7,10 @@ about *static network topologies*:
   graph with exact BFS-based distance / eccentricity / diameter oracles.
   These oracles are the ground truth against which every distributed
   algorithm in the library is validated.
+* :class:`repro.graphs.indexed.IndexedGraph` -- the frozen CSR view
+  produced by :meth:`Graph.compile`: integer-indexed neighbourhoods and
+  fast-path implementations of the same oracles, used by every hot
+  consumer (engine transport, sweeps, benchmark harnesses).
 * :mod:`repro.graphs.generators` -- workload generators (paths, cycles,
   trees, grids, random graphs, and families with controlled diameter) used
   by the benchmark harnesses.
@@ -15,7 +19,8 @@ about *static network topologies*:
   paper's lower bounds (Theorems 8 and 9, and Section 6.2).
 """
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.indexed import IndexedGraph
 from repro.graphs import generators
 from repro.graphs.gadgets_hw12 import HW12Gadget
 from repro.graphs.gadgets_achk import ACHKGadget
@@ -23,6 +28,8 @@ from repro.graphs.gadgets_path import PathSubdividedGadget
 
 __all__ = [
     "Graph",
+    "GraphError",
+    "IndexedGraph",
     "generators",
     "HW12Gadget",
     "ACHKGadget",

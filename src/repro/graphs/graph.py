@@ -10,15 +10,58 @@ the answers produced by the distributed (classical and quantum) algorithms.
 Nodes are identified by arbitrary hashable labels.  Most generators use
 consecutive integers, while the lower-bound gadgets use descriptive tuples
 such as ``("l", 3)``.
+
+Determinism.  The adjacency structure is **insertion-ordered**: neighbours
+are reported in the order their edges were added, never in hash order.
+This makes every downstream consumer -- BFS discovery order, the engine's
+delivery order, sweep records -- reproducible across processes and across
+``PYTHONHASHSEED`` values even for tuple or string node labels (an earlier
+revision stored neighbours in a ``set``, whose iteration order for such
+labels is randomised per process).
+
+Compiled views.  :meth:`Graph.compile` freezes the current topology into a
+:class:`repro.graphs.indexed.IndexedGraph` -- a CSR (compressed sparse row)
+representation over dense integer indices whose oracles are several times
+faster than the adjacency-map implementations below.  The adjacency-map API
+remains the mutable construction surface (generators, gadget builders);
+every hot consumer (engine transport, sweeps, benchmark harnesses) runs on
+the compiled view.  The view is cached on the graph and invalidated by a
+version counter that every mutation bumps, so ``compile()`` is O(1) on an
+unchanged graph and never serves a stale topology.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (indexed -> graph)
+    from repro.graphs.indexed import IndexedGraph
 
 NodeId = Hashable
 Edge = Tuple[NodeId, NodeId]
+
+
+class GraphError(ValueError):
+    """An oracle was asked a question the graph cannot answer.
+
+    Raised for distance / eccentricity / diameter / radius queries on
+    disconnected graphs (or on the empty graph), and for cross-distance
+    queries between mutually unreachable nodes.  Subclasses ``ValueError``
+    so that pre-existing callers catching the historical exception keep
+    working.
+    """
 
 
 class Graph:
@@ -38,7 +81,14 @@ class Graph:
         nodes: Optional[Iterable[NodeId]] = None,
         edges: Optional[Iterable[Edge]] = None,
     ) -> None:
-        self._adj: Dict[NodeId, Set[NodeId]] = {}
+        # Inner dicts map neighbour -> None and exist purely for their
+        # insertion order + O(1) membership; a set would reintroduce
+        # hash-order nondeterminism for tuple/string labels.
+        self._adj: Dict[NodeId, Dict[NodeId, None]] = {}
+        #: Bumped on every structural mutation; the compiled view records
+        #: the version it was built from, so a stale view is never served.
+        self._version: int = 0
+        self._compiled: Optional["IndexedGraph"] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -49,10 +99,20 @@ class Graph:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _mutated(self) -> None:
+        self._version += 1
+        self._compiled = None
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; compiled views are valid for one version only."""
+        return self._version
+
     def add_node(self, node: NodeId) -> None:
         """Add ``node`` if not already present."""
         if node not in self._adj:
-            self._adj[node] = set()
+            self._adj[node] = {}
+            self._mutated()
 
     def add_edge(self, u: NodeId, v: NodeId) -> None:
         """Add the undirected edge ``{u, v}``.  Self-loops are rejected."""
@@ -60,8 +120,10 @@ class Graph:
             raise ValueError(f"self-loops are not allowed (node {u!r})")
         self.add_node(u)
         self.add_node(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        if v not in self._adj[u]:
+            self._adj[u][v] = None
+            self._adj[v][u] = None
+            self._mutated()
 
     def add_edges_from(self, edges: Iterable[Edge]) -> None:
         """Add every edge from ``edges``."""
@@ -75,13 +137,15 @@ class Graph:
         """
         if v not in self._adj.get(u, ()):  # pragma: no branch - symmetric
             raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._mutated()
 
     def copy(self) -> "Graph":
         """Return an independent copy of the graph."""
         other = Graph()
-        other._adj = {node: set(neigh) for node, neigh in self._adj.items()}
+        other._adj = {node: dict(neigh) for node, neigh in self._adj.items()}
+        other._version = 1
         return other
 
     def relabelled(self) -> Tuple["Graph", Dict[NodeId, int]]:
@@ -97,6 +161,32 @@ class Graph:
                 if mapping[u] < mapping[v]:
                     relabelled.add_edge(mapping[u], mapping[v])
         return relabelled, mapping
+
+    # ------------------------------------------------------------------
+    # Compiled (indexed) view
+    # ------------------------------------------------------------------
+    def compile(self) -> "IndexedGraph":
+        """Freeze the current topology into an indexed CSR view.
+
+        The view (:class:`repro.graphs.indexed.IndexedGraph`) maps node
+        labels to dense integers and stores neighbourhoods in compressed
+        sparse rows, which makes its BFS-based oracles several times faster
+        than the adjacency-map implementations on this class while
+        returning identical values.
+
+        The compiled view is cached: repeated calls on an unmutated graph
+        return the same object, and any mutation (``add_node`` /
+        ``add_edge`` / ``remove_edge``) invalidates the cache via the
+        version counter, so a stale view is never returned.
+        """
+        compiled = self._compiled
+        if compiled is not None and compiled.version == self._version:
+            return compiled
+        from repro.graphs.indexed import IndexedGraph
+
+        compiled = IndexedGraph.from_graph(self)
+        self._compiled = compiled
+        return compiled
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -128,7 +218,12 @@ class Graph:
         return result
 
     def neighbors(self, node: NodeId) -> List[NodeId]:
-        """Neighbours of ``node`` (raises ``KeyError`` if absent)."""
+        """Neighbours of ``node`` (raises ``KeyError`` if absent).
+
+        The list is a fresh copy in edge insertion order; hot paths should
+        prefer :meth:`repro.graphs.indexed.IndexedGraph.neighbors` on the
+        compiled view, which returns a cached tuple without copying.
+        """
         return list(self._adj[node])
 
     def degree(self, node: NodeId) -> int:
@@ -149,15 +244,15 @@ class Graph:
         """Whether the undirected edge ``{u, v}`` is in the graph."""
         return v in self._adj.get(u, ())
 
-    def adjacency(self) -> Dict[NodeId, Set[NodeId]]:
-        """The live adjacency mapping ``{node: set of neighbours}``.
+    def adjacency(self) -> Dict[NodeId, Dict[NodeId, None]]:
+        """The live adjacency mapping ``{node: neighbour -> None}``.
 
         This is the graph's internal structure, exposed read-only by
-        convention for hot paths (the transport's neighbour check binds it
-        once instead of calling :meth:`has_edge` per message).  Callers
-        must not mutate it; use :meth:`add_edge` / :meth:`remove_edge`.
-        Because the mapping is live, later mutations through the public
-        API are visible to holders of the reference.
+        convention (the inner dicts are insertion-ordered neighbour
+        "sets"; only their keys are meaningful).  Callers must not mutate
+        it; use :meth:`add_edge` / :meth:`remove_edge`.  Because the
+        mapping is live, later mutations through the public API are
+        visible to holders of the reference.
         """
         return self._adj
 
@@ -175,9 +270,21 @@ class Graph:
 
     # ------------------------------------------------------------------
     # Distance oracles (sequential reference implementations)
+    #
+    # These adjacency-map implementations are the *reference semantics*:
+    # the CSR fast paths on the compiled view are differentially tested
+    # against them.  Hot consumers should call the compiled equivalents
+    # (``graph.compile().diameter()`` etc.).
     # ------------------------------------------------------------------
     def bfs_distances(self, source: NodeId) -> Dict[NodeId, int]:
-        """Return the map ``{v: d(source, v)}`` for all reachable ``v``."""
+        """Return the map ``{v: d(source, v)}`` for all reachable ``v``.
+
+        Unreachable nodes are *absent* from the result (the documented
+        sentinel for disconnected graphs): ``len(result) < num_nodes``
+        if and only if the graph is disconnected.  Oracles that need the
+        whole graph (:meth:`eccentricity`, :meth:`diameter`, ...) raise
+        :class:`GraphError` instead.
+        """
         if source not in self._adj:
             raise KeyError(f"node {source!r} not in graph")
         dist: Dict[NodeId, int] = {source: 0}
@@ -194,8 +301,8 @@ class Graph:
         """Return a BFS tree rooted at ``source`` as a parent map.
 
         The root maps to ``None``.  Ties between potential parents are
-        broken by insertion order of the adjacency sets, which makes the
-        output deterministic for a deterministically-built graph.
+        broken by ``repr`` order, which makes the output deterministic for
+        a deterministically-built graph.
         """
         if source not in self._adj:
             raise KeyError(f"node {source!r} not in graph")
@@ -212,37 +319,50 @@ class Graph:
     def distance(self, u: NodeId, v: NodeId) -> int:
         """Exact distance between ``u`` and ``v``.
 
-        Raises ``ValueError`` if ``v`` is unreachable from ``u``.
+        Raises :class:`GraphError` if ``v`` is unreachable from ``u``.
         """
         dist = self.bfs_distances(u)
         if v not in dist:
-            raise ValueError(f"node {v!r} is not reachable from {u!r}")
+            raise GraphError(f"node {v!r} is not reachable from {u!r}")
         return dist[v]
 
     def eccentricity(self, node: NodeId) -> int:
         """Eccentricity of ``node`` (max distance to any other node).
 
-        Raises ``ValueError`` if the graph is disconnected.
+        Raises :class:`GraphError` if the graph is disconnected.
         """
         dist = self.bfs_distances(node)
         if len(dist) != self.num_nodes:
-            raise ValueError("eccentricity is undefined on a disconnected graph")
+            raise GraphError(
+                "eccentricity is undefined on a disconnected graph"
+            )
         return max(dist.values())
 
     def all_eccentricities(self) -> Dict[NodeId, int]:
-        """Eccentricity of every node (requires a connected graph)."""
+        """Eccentricity of every node.
+
+        Raises :class:`GraphError` on a disconnected graph.
+        """
         return {node: self.eccentricity(node) for node in self._adj}
 
     def diameter(self) -> int:
-        """Exact diameter (max eccentricity).  Requires a connected graph."""
+        """Exact diameter (max eccentricity).
+
+        Raises :class:`GraphError` on the empty graph and on disconnected
+        graphs.
+        """
         if self.num_nodes == 0:
-            raise ValueError("diameter is undefined on the empty graph")
+            raise GraphError("diameter is undefined on the empty graph")
         return max(self.all_eccentricities().values())
 
     def radius(self) -> int:
-        """Exact radius (min eccentricity).  Requires a connected graph."""
+        """Exact radius (min eccentricity).
+
+        Raises :class:`GraphError` on the empty graph and on disconnected
+        graphs.
+        """
         if self.num_nodes == 0:
-            raise ValueError("radius is undefined on the empty graph")
+            raise GraphError("radius is undefined on the empty graph")
         return min(self.all_eccentricities().values())
 
     def is_connected(self) -> bool:
@@ -253,14 +373,21 @@ class Graph:
         return len(self.bfs_distances(first)) == self.num_nodes
 
     def connected_components(self) -> List[Set[NodeId]]:
-        """List of connected components, each as a set of nodes."""
-        remaining = set(self._adj)
+        """List of connected components, each as a set of nodes.
+
+        Components are reported in insertion order of their first node,
+        independent of ``PYTHONHASHSEED`` (an earlier revision popped
+        sources from a ``set``, whose order is hash-randomised for tuple
+        and string labels).
+        """
+        seen: Set[NodeId] = set()
         components: List[Set[NodeId]] = []
-        while remaining:
-            source = next(iter(remaining))
+        for source in self._adj:
+            if source in seen:
+                continue
             component = set(self.bfs_distances(source))
             components.append(component)
-            remaining -= component
+            seen |= component
         return components
 
     def max_cross_distance(
@@ -269,22 +396,28 @@ class Graph:
         """Maximum distance between a node of ``left`` and a node of ``right``.
 
         This is the quantity written ``Delta(G)`` in Section 5 of the paper
-        (used by the lower-bound reductions of Definition 3).
+        (used by the lower-bound reductions of Definition 3).  Raises
+        :class:`GraphError` when a right node is unreachable from a left
+        node.
         """
         best = 0
-        right_set = set(right)
+        right_unique = dict.fromkeys(right)
         for u in left:
             dist = self.bfs_distances(u)
-            for v in right_set:
+            for v in right_unique:
                 if v not in dist:
-                    raise ValueError(f"node {v!r} unreachable from {u!r}")
+                    raise GraphError(f"node {v!r} unreachable from {u!r}")
                 if dist[v] > best:
                     best = dist[v]
         return best
 
     def induced_subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
-        """Return the subgraph induced by ``nodes``."""
-        keep = set(nodes)
+        """Return the subgraph induced by ``nodes``.
+
+        Nodes keep the order of the ``nodes`` argument (first occurrence),
+        so the result is deterministic for a deterministic input order.
+        """
+        keep = dict.fromkeys(nodes)
         sub = Graph(nodes=keep)
         for u in keep:
             for v in self._adj[u]:

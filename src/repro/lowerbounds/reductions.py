@@ -133,8 +133,12 @@ def verify_reduction_on_instance(
     distance ``Delta`` exactly, and checks them against the thresholds.
     """
     graph = reduction.graph_for_inputs(x, y)
-    diameter = graph.diameter()
-    cross = graph.max_cross_distance(reduction.left_nodes(), reduction.right_nodes())
+    # Both oracle queries run on one compiled CSR view of the gadget.
+    indexed = graph.compile()
+    diameter = indexed.diameter()
+    cross = indexed.max_cross_distance(
+        reduction.left_nodes(), reduction.right_nodes()
+    )
     disjoint = disjointness(x, y) == 1
     if disjoint:
         satisfied = (

@@ -8,7 +8,10 @@ construct the graph itself.  Construction is memoised **per worker** in
 ``(family, n, D)`` point, and consecutive tasks of a chunk share the spec,
 so each worker builds every graph it touches once rather than once per
 algorithm.  The sequential diameter oracle (the most expensive part of a
-sweep record's provenance) is memoised alongside.
+sweep record's provenance) is memoised alongside, and runs on the graph's
+compiled CSR view (:func:`build_indexed_cached`): the view is cached on
+the graph instance, so every oracle call and approximation-bound check a
+worker performs against one spec shares a single compilation.
 
 Construction is deterministic given the spec, so per-worker caching cannot
 change results -- it only removes repeated work.
@@ -21,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.graphs import generators
 from repro.graphs.graph import Graph
+from repro.graphs.indexed import IndexedGraph
 
 #: Per-process construction caches, keyed by spec.  Bounded so that a
 #: long-lived process sweeping many grids cannot grow without limit; the
@@ -76,13 +80,29 @@ def build_graph_cached(spec: GraphSpec) -> Graph:
     return graph
 
 
+def build_indexed_cached(spec: GraphSpec) -> IndexedGraph:
+    """The compiled CSR view of ``spec``'s graph, memoised in this process.
+
+    Piggybacks on :func:`build_graph_cached`: the view is cached *on the
+    graph instance* (see :meth:`repro.graphs.graph.Graph.compile`), so as
+    long as the graph stays in the per-worker cache its compilation is
+    shared by every consumer -- the diameter oracle below, the sweep's
+    approximation-bound checks, and any algorithm kernel that compiles.
+    """
+    return build_graph_cached(spec).compile()
+
+
 def graph_diameter_cached(spec: GraphSpec) -> int:
-    """The true diameter of ``spec``'s graph, memoised in this process."""
+    """The true diameter of ``spec``'s graph, memoised in this process.
+
+    Computed on the compiled view (CSR fast path), not the adjacency-map
+    reference oracle.
+    """
     diameter = _DIAMETER_CACHE.get(spec)
     if diameter is None:
         if len(_DIAMETER_CACHE) >= _CACHE_LIMIT:
             _DIAMETER_CACHE.clear()
-        diameter = _DIAMETER_CACHE[spec] = build_graph_cached(spec).diameter()
+        diameter = _DIAMETER_CACHE[spec] = build_indexed_cached(spec).diameter()
     return diameter
 
 

@@ -1,0 +1,294 @@
+"""Differential tests: the compiled CSR view vs the legacy graph oracles.
+
+The contract of ``Graph.compile()`` is that every oracle on the
+:class:`repro.graphs.indexed.IndexedGraph` returns **byte-identical**
+results to the adjacency-map reference implementation -- same values,
+same dict iteration order, same exceptions.  These tests sweep every
+generator family (plus hypothesis-generated random graphs) across seeds
+and sizes chosen to exercise all three all-eccentricities strategies
+(plain stamped BFS, bit-parallel, Takes-Kosters pruning incl. its
+bailout), and guard the compile/invalidate lifecycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.indexed import IndexedGraph
+
+
+def assert_oracles_identical(graph: Graph) -> None:
+    """Every oracle of the compiled view matches the legacy oracle,
+    including dict iteration order."""
+    view = graph.compile()
+    assert view.num_nodes == graph.num_nodes
+    assert view.num_edges == graph.num_edges
+    assert view.is_connected() == graph.is_connected()
+
+    nodes = graph.nodes()
+    assert list(view.labels) == nodes
+    for node in nodes:
+        assert view.degree(node) == graph.degree(node)
+        assert list(view.neighbors(node)) == graph.neighbors(node)
+
+    source = nodes[0]
+    legacy_dist = graph.bfs_distances(source)
+    csr_dist = view.bfs_distances(source)
+    assert csr_dist == legacy_dist
+    assert list(csr_dist) == list(legacy_dist)
+
+    legacy_components = graph.connected_components()
+    assert view.connected_components() == legacy_components
+
+    if graph.is_connected():
+        legacy_ecc = graph.all_eccentricities()
+        csr_ecc = view.all_eccentricities()
+        assert csr_ecc == legacy_ecc
+        assert list(csr_ecc) == list(legacy_ecc)
+        assert view.diameter() == graph.diameter()
+        assert view.radius() == graph.radius()
+        assert view.eccentricity(source) == graph.eccentricity(source)
+        left, right = nodes[: max(1, len(nodes) // 4)], nodes[-3:]
+        assert view.max_cross_distance(left, right) == graph.max_cross_distance(
+            left, right
+        )
+        target = nodes[-1]
+        assert view.distance(source, target) == graph.distance(source, target)
+
+
+class TestDifferentialByFamily:
+    @pytest.mark.parametrize("family", generators.SWEEP_FAMILIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_family_oracles_identical(self, family, seed):
+        for n in (8, 24, 90):
+            graph = generators.family_for_sweep(family, n, seed=seed)
+            assert_oracles_identical(graph)
+
+    def test_strategy_plain_small_graph(self):
+        # n <= 64 takes the plain stamped-BFS strategy.
+        graph = generators.family_for_sweep("random_sparse", 40, seed=5)
+        assert_oracles_identical(graph)
+
+    def test_strategy_bitparallel_small_diameter(self):
+        # n > 64 with small diameter takes the bit-parallel strategy.
+        graph = generators.family_for_sweep("random_sparse", 150, seed=5)
+        assert graph.compile().diameter() * 8 <= graph.num_nodes
+        assert_oracles_identical(graph)
+
+    def test_strategy_pruned_high_diameter(self):
+        # A path resolves in a handful of pruning sweeps.
+        graph = generators.path_graph(200)
+        assert_oracles_identical(graph)
+
+    def test_strategy_pruned_bailout_on_cycle(self):
+        # Every eccentricity of an even cycle ties, so pruning cannot
+        # resolve non-swept nodes and must bail out to plain BFS.
+        graph = generators.cycle_graph(300)
+        assert_oracles_identical(graph)
+
+    def test_tuple_labelled_graph(self):
+        graph = Graph()
+        for i in range(30):
+            graph.add_edge(("ring", i), ("ring", (i + 1) % 30))
+        graph.add_edge(("ring", 0), ("chord", 0))
+        graph.add_edge(("chord", 0), ("ring", 15))
+        assert_oracles_identical(graph)
+
+
+class TestDifferentialHypothesis:
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_connected_graphs(self, n, seed, extra):
+        import random
+
+        rng = random.Random(seed)
+        graph = Graph(nodes=range(n))
+        for node in range(1, n):
+            graph.add_edge(node, rng.randrange(node))
+        for _ in range(extra):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                graph.add_edge(u, v)
+        assert_oracles_identical(graph)
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_disconnected_graphs(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        graph = Graph(nodes=range(2 * n))
+        # Two components: a tree on 0..n-1 and a tree on n..2n-1.
+        for node in range(1, n):
+            graph.add_edge(node, rng.randrange(node))
+        for node in range(n + 1, 2 * n):
+            graph.add_edge(node, n + rng.randrange(node - n))
+        assert_oracles_identical(graph)
+        view = graph.compile()
+        assert not view.is_connected()
+        with pytest.raises(GraphError):
+            view.all_eccentricities()
+        with pytest.raises(GraphError):
+            view.diameter()
+
+
+class TestDisconnectedBehaviour:
+    """Satellite: oracles on disconnected graphs fail loudly (GraphError)
+    or use the documented absent-key sentinel, on both paths."""
+
+    @pytest.fixture
+    def split(self) -> Graph:
+        return Graph(nodes=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+
+    def test_bfs_distances_sentinel(self, split):
+        # Documented sentinel: unreachable nodes are absent.
+        for dist in (split.bfs_distances(0), split.compile().bfs_distances(0)):
+            assert dist == {0: 0, 1: 1}
+            assert 2 not in dist and 3 not in dist
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_eccentricity_raises_graph_error(self, split, compiled):
+        oracle = split.compile() if compiled else split
+        with pytest.raises(GraphError):
+            oracle.eccentricity(0)
+        with pytest.raises(GraphError):
+            oracle.all_eccentricities()
+        with pytest.raises(GraphError):
+            oracle.diameter()
+        with pytest.raises(GraphError):
+            oracle.radius()
+        with pytest.raises(GraphError):
+            oracle.distance(0, 3)
+        with pytest.raises(GraphError):
+            oracle.max_cross_distance([0], [3])
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_empty_graph_raises_graph_error(self, compiled):
+        graph = Graph()
+        oracle = graph.compile() if compiled else graph
+        with pytest.raises(GraphError):
+            oracle.diameter()
+        with pytest.raises(GraphError):
+            oracle.radius()
+
+    def test_graph_error_is_value_error(self):
+        # Back-compat: callers catching the historical ValueError still do.
+        assert issubclass(GraphError, ValueError)
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_missing_node_raises_key_error(self, compiled):
+        graph = generators.path_graph(4)
+        oracle = graph.compile() if compiled else graph
+        with pytest.raises(KeyError):
+            oracle.bfs_distances(99)
+        with pytest.raises(KeyError):
+            oracle.eccentricity(99)
+
+
+class TestCompileLifecycle:
+    """Guard: compile() caches aggressively but never serves a stale view."""
+
+    def test_compile_is_cached(self):
+        graph = generators.cycle_graph(6)
+        assert graph.compile() is graph.compile()
+
+    def test_oracle_calls_do_not_invalidate(self):
+        graph = generators.cycle_graph(6)
+        view = graph.compile()
+        graph.diameter()
+        graph.neighbors(0)
+        assert graph.compile() is view
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda g: g.add_edge(0, 3),
+            lambda g: g.remove_edge(0, 1),
+            lambda g: g.add_node(99),
+        ],
+        ids=["add_edge", "remove_edge", "add_node"],
+    )
+    def test_mutation_invalidates(self, mutate):
+        graph = generators.cycle_graph(6)
+        view = graph.compile()
+        mutate(graph)
+        fresh = graph.compile()
+        assert fresh is not view
+        assert_oracles_identical(graph)
+
+    def test_noop_mutations_keep_the_view(self):
+        graph = generators.cycle_graph(6)
+        view = graph.compile()
+        graph.add_node(0)  # already present
+        graph.add_edge(0, 1)  # already present
+        assert graph.compile() is view
+
+    def test_stale_view_never_served_after_each_mutation_step(self):
+        # The CI guard: interleave mutations and compiles and check the
+        # compiled oracle answers track the live graph at every step.
+        graph = generators.path_graph(5)  # diameter 4
+        assert graph.compile().diameter() == 4
+        graph.add_edge(0, 4)  # now a cycle: diameter 2
+        assert graph.compile().diameter() == 2
+        assert graph.compile().diameter() == graph.diameter()
+        graph.remove_edge(2, 3)  # back to a path 3-...-2, diameter 4
+        assert graph.compile().diameter() == graph.diameter() == 4
+        graph.add_node(("extra", 1))
+        assert not graph.compile().is_connected()
+        with pytest.raises(GraphError):
+            graph.compile().diameter()
+
+    def test_old_view_keeps_its_snapshot(self):
+        graph = generators.path_graph(5)
+        old = graph.compile()
+        graph.add_edge(0, 4)
+        assert old.diameter() == 4  # frozen snapshot
+        assert graph.compile().diameter() == 2
+
+    def test_copy_does_not_share_the_view(self):
+        graph = generators.path_graph(5)
+        view = graph.compile()
+        clone = graph.copy()
+        clone.add_edge(0, 4)
+        assert clone.compile() is not view
+        assert clone.compile().diameter() == 2
+        assert graph.compile() is view
+
+    def test_from_graph_records_version(self):
+        graph = generators.path_graph(3)
+        view = IndexedGraph.from_graph(graph)
+        assert view.version == graph.version
+
+
+class TestPreboundNeighbours:
+    def test_neighbor_tuples_are_cached(self):
+        graph = generators.cycle_graph(5)
+        view = graph.compile()
+        assert view.neighbors(0) is view.neighbors(0)
+        assert list(view.neighbors(0)) == graph.neighbors(0)
+
+    def test_neighbor_sets_match_topology(self):
+        graph = generators.clique_chain(3, 4)
+        sets = graph.compile().neighbor_sets()
+        assert set(sets) == set(graph.nodes())
+        for node, neighbours in sets.items():
+            assert neighbours == frozenset(graph.neighbors(node))
+
+    def test_csr_arrays_are_consistent(self):
+        graph = generators.random_connected_gnp(30, p=0.2, seed=3)
+        view = graph.compile()
+        assert len(view.offsets) == view.num_nodes + 1
+        assert view.offsets[-1] == len(view.targets)
+        for i in range(view.num_nodes):
+            assert view.degrees[i] == view.offsets[i + 1] - view.offsets[i]
+            row = view.targets[view.offsets[i] : view.offsets[i + 1]]
+            labels = [view.labels[j] for j in row]
+            assert labels == graph.neighbors(view.labels[i])

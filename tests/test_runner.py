@@ -134,15 +134,36 @@ class TestGraphSpec:
 
 
 class TestRunSweep:
-    def test_lazy_oracle_skipped_without_exact_algorithms(self):
-        calls = []
+    @staticmethod
+    def _counting_graph(calls):
+        """A graph that counts diameter-oracle calls on both paths: the
+        legacy adjacency-map oracle and the compiled CSR view (which the
+        sweep's lazy oracle uses)."""
+
+        class CountingView:
+            def __init__(self, view):
+                self._view = view
+
+            def diameter(self):
+                calls.append("csr")
+                return self._view.diameter()
+
+            def __getattr__(self, name):
+                return getattr(self._view, name)
 
         class CountingGraph(Graph):
             def diameter(self):
-                calls.append(1)
+                calls.append("legacy")
                 return super().diameter()
 
-        graph = CountingGraph(edges=generators.cycle_graph(8).edges())
+            def compile(self):
+                return CountingView(super().compile())
+
+        return CountingGraph(edges=generators.cycle_graph(8).edges())
+
+    def test_lazy_oracle_skipped_without_exact_algorithms(self):
+        calls = []
+        graph = self._counting_graph(calls)
         records = run_sweep([("cycle", graph)], {"estimate": _estimate})
         assert not calls
         assert records[0].diameter is None
@@ -150,19 +171,14 @@ class TestRunSweep:
 
     def test_oracle_computed_once_per_graph_with_exact_algorithm(self):
         calls = []
-
-        class CountingGraph(Graph):
-            def diameter(self):
-                calls.append(1)
-                return super().diameter()
-
-        graph = CountingGraph(edges=generators.cycle_graph(8).edges())
+        graph = self._counting_graph(calls)
         records = run_sweep(
             [("cycle", graph)],
             {"oracle": _oracle, "estimate": _estimate},
         )
-        # Once by the sweep's lazy oracle, once inside the oracle kernel.
-        assert len(calls) == 2
+        # Once by the sweep's lazy oracle (on the compiled view), once
+        # inside the oracle kernel (which uses the legacy oracle).
+        assert calls == ["csr", "legacy"]
         assert all(record.diameter == 4 for record in records)
         exact = [r for r in records if r.algorithm == "oracle"]
         assert all(r.correct for r in exact)
