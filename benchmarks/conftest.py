@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import ENGINE_NAMES, set_default_engine
+from repro.quantum.backend import BACKEND_NAMES, set_default_schedule_backend
 
 
 def pytest_addoption(parser):
@@ -16,6 +17,16 @@ def pytest_addoption(parser):
             "execution engine for all CONGEST networks built by the "
             "benchmarks: 'dense' (seed behaviour) or 'sparse' (event-driven; "
             "identical metrics, idle nodes skipped)"
+        ),
+    )
+    parser.addoption(
+        "--backend",
+        default=None,
+        choices=BACKEND_NAMES,
+        help=(
+            "quantum schedule backend for all quantum workloads: "
+            "'sampling' (seed behaviour) or 'batched' (precomputed "
+            "rotation statistics; identical results, faster schedules)"
         ),
     )
     parser.addoption(
@@ -56,6 +67,26 @@ def _engine_selection(request):
         yield
     finally:
         set_default_engine(previous)
+
+
+@pytest.fixture(autouse=True)
+def _backend_selection(request):
+    """Honour ``--backend`` by switching the process-wide schedule backend.
+
+    Mirrors ``--engine``: the quantum workloads resolve the backend deep
+    inside the framework, so the selection rides on the process default
+    (which the batch runner also re-applies in pool workers); the
+    previous default is restored after each test.
+    """
+    name = request.config.getoption("--backend")
+    if name is None:
+        yield
+        return
+    previous = set_default_schedule_backend(name)
+    try:
+        yield
+    finally:
+        set_default_schedule_backend(previous)
 
 
 @pytest.fixture

@@ -37,6 +37,13 @@ never checked.  Earlier revisions keyed the check off the substring
 algorithm silently lost its check) and could not express approximation
 guarantees.
 
+Algorithms whose headline value is not a diameter -- the quantum radius
+and single-source-eccentricity problems of :mod:`repro.core.problems` --
+carry their own ground-truth ``oracle`` on the registry entry; their
+guarantee is validated against that oracle's value (computed per record
+on the compiled CSR view) instead of the shared diameter oracle, which
+they consequently never force.
+
 The sequential diameter oracle is **lazy**: the true diameter is the most
 expensive part of a sweep record's provenance (all-pairs BFS), so it is
 only computed -- once per graph, on the compiled CSR view
@@ -153,13 +160,30 @@ def _needs_oracle(algorithms: Dict[str, Callable]) -> bool:
     )
 
 
+def _check_target(algorithm, graph: Graph, true_diameter: Optional[int]):
+    """The ground-truth value ``algorithm``'s guarantee is checked against.
+
+    The shared (lazy) diameter oracle by default; algorithms carrying
+    their own ``oracle`` (quantum radius / source eccentricity) get that
+    oracle's value instead, computed on the compiled CSR view.
+    """
+    if isinstance(algorithm, SweepAlgorithmInfo) and algorithm.oracle is not None:
+        return algorithm.check_target(graph)
+    return true_diameter
+
+
 def _check_value(
-    guarantee: Optional[str], value: float, true_diameter: Optional[int]
+    guarantee: Optional[str], value: float, true_diameter
 ) -> Tuple[Optional[bool], Dict[str, float]]:
     """Validate a measured value against its declared guarantee.
 
+    ``true_diameter`` is the check target -- the oracle diameter for
+    ordinary algorithms, the algorithm's own oracle value for
+    custom-oracle entries (the failed-check ``extra`` keys keep the
+    historical ``oracle_diameter`` name for export-schema stability).
+
     Returns ``(correct, extra)``: ``correct`` is ``None`` when no
-    guarantee was declared or no oracle diameter is available; ``extra``
+    guarantee was declared or no oracle target is available; ``extra``
     describes a failed check (and is empty otherwise).
     """
     if guarantee is None or true_diameter is None:
@@ -207,7 +231,9 @@ def _sweep_one_graph(
     records: List[SweepRecord] = []
     for name, runner in algorithms.items():
         rounds, value = runner(graph)
-        correct, extra = _check_value(_guarantee_of(runner), value, true_diameter)
+        correct, extra = _check_value(
+            _guarantee_of(runner), value, _check_target(runner, graph, true_diameter)
+        )
         records.append(
             SweepRecord(
                 family=family,
@@ -285,7 +311,9 @@ def _sweep_one_grid_cell(
         # of the spec carries it (matching run_sweep); the per-process
         # cache makes this one computation per spec per worker.
         true_diameter = graph_diameter_cached(spec)
-    correct, extra = _check_value(_guarantee_of(algorithm), value, true_diameter)
+    correct, extra = _check_value(
+        _guarantee_of(algorithm), value, _check_target(algorithm, graph, true_diameter)
+    )
     return SweepRecord(
         family=spec.label,
         algorithm=name,

@@ -32,11 +32,22 @@ resume it after an interruption, and export the result::
     python -m repro sweep --families cycle --sizes 48,96 --out run.jsonl
     python -m repro sweep --families cycle --sizes 48,96 --out run.jsonl --resume
     python -m repro export --store run.jsonl --format csv --out run.csv
+
+Run every registered Theorem-7 quantum problem (exact diameter, the
+3/2-approximation, exact radius, single-source eccentricity) on the
+batched schedule backend, persisting records like a sweep (the stores of
+``quantum`` and ``sweep`` are interoperable -- same task keys, same seed
+streams)::
+
+    python -m repro quantum --list
+    python -m repro quantum --families clique_chain --sizes 24,48 \
+        --backend batched --out quantum.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional, Sequence
 
@@ -49,13 +60,16 @@ from repro.analysis.sweep import run_sweep_grid, sweep_table
 from repro.analysis.tables import render_table, render_table1
 from repro.congest import Network
 from repro.core import quantum_exact_diameter, quantum_three_halves_diameter
+from repro.core.problems import QUANTUM_PROBLEMS, quantum_problem_names
 from repro.engine import ENGINE_NAMES
 from repro.graphs import generators
+from repro.quantum.backend import BACKEND_NAMES, set_default_schedule_backend
 from repro.runner import (
     BatchRunner,
     SWEEP_ALGORITHMS,
     grid,
     resolve_algorithms,
+    sweep_algorithm_for_problem,
     task_seed,
 )
 from repro.store import (
@@ -75,6 +89,40 @@ def _build_graph(args: argparse.Namespace):
     return generators.family_for_sweep(args.family, args.nodes, seed=args.seed)
 
 
+@contextlib.contextmanager
+def _schedule_backend(name: Optional[str]):
+    """Temporarily select the process-wide quantum schedule backend.
+
+    Process-wide so that the batch runner ships the selection to its pool
+    workers; restored afterwards so in-process callers of :func:`main`
+    (tests, notebooks) do not inherit a leaked default.  Results are
+    backend-independent (byte-identical), so the flag only affects
+    wall-clock.
+    """
+    if name is None:
+        yield
+        return
+    previous = set_default_schedule_backend(name)
+    try:
+        yield
+    finally:
+        set_default_schedule_backend(previous)
+
+
+def _quantum_seeds(seed: int):
+    """Independent network / schedule seed streams for a quantum run.
+
+    One user-facing ``--seed`` must not feed the graph construction, the
+    CONGEST node randomness *and* the quantum measurement randomness with
+    the same raw value (the streams would replay each other); mirror the
+    sweep command's graph-vs-algorithm split.
+    """
+    return (
+        task_seed(seed, "quantum-network-stream"),
+        task_seed(seed, "quantum-schedule-stream"),
+    )
+
+
 def _cmd_diameter(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     truth = graph.compile().diameter()
@@ -85,9 +133,10 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
     )
     rows.append(["classical exact [PRT12/HW12]", classical.diameter, classical.rounds])
 
+    network_seed, schedule_seed = _quantum_seeds(args.seed)
     quantum = quantum_exact_diameter(
-        Network(graph, engine=args.engine),
-        oracle_mode=args.oracle_mode, seed=args.seed,
+        Network(graph, seed=network_seed, engine=args.engine),
+        oracle_mode=args.oracle_mode, seed=schedule_seed, backend=args.backend,
     )
     rows.append(["quantum exact (Theorem 1)", quantum.diameter, quantum.rounds])
 
@@ -110,9 +159,10 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     )
     rows.append(["classical 3/2-approx [HPRW14]", classical.estimate, classical.rounds])
     if args.quantum:
+        network_seed, schedule_seed = _quantum_seeds(args.seed)
         quantum = quantum_three_halves_diameter(
-            Network(graph, engine=args.engine),
-            oracle_mode=args.oracle_mode, seed=args.seed,
+            Network(graph, seed=network_seed, engine=args.engine),
+            oracle_mode=args.oracle_mode, seed=schedule_seed, backend=args.backend,
         )
         rows.append(["quantum 3/2-approx (Theorem 4)", quantum.estimate, quantum.rounds])
 
@@ -126,7 +176,14 @@ def _parse_csv(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _run_grid_command(args: argparse.Namespace, algorithms) -> int:
+    """The shared execution path of the ``sweep`` and ``quantum`` commands.
+
+    Both commands run a ``(families x sizes) x algorithms`` grid with
+    identical validation, seed streams, store semantics and exit codes --
+    sharing the body is what keeps their task keys interoperable (a store
+    written by one can be resumed by the other).
+    """
     families = _parse_csv(args.families)
     for family in families:
         if family not in generators.SWEEP_FAMILIES and family != "controlled":
@@ -141,7 +198,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     try:
         sizes = [int(item) for item in _parse_csv(args.sizes)]
-        algorithms = resolve_algorithms(_parse_csv(args.algorithms))
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -155,14 +211,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     runner = BatchRunner(jobs=args.jobs)
     store = ExperimentStore(args.out) if args.out is not None else None
     try:
-        records = run_sweep_grid(
-            specs,
-            algorithms,
-            runner=runner,
-            base_seed=base_seed,
-            store=store,
-            resume=args.resume,
-        )
+        with _schedule_backend(args.backend):
+            records = run_sweep_grid(
+                specs,
+                algorithms,
+                runner=runner,
+                base_seed=base_seed,
+                store=store,
+                resume=args.resume,
+            )
     except ExperimentStoreError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -174,6 +231,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"\n{len(failed)} correctness check(s) FAILED", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        algorithms = resolve_algorithms(_parse_csv(args.algorithms))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return _run_grid_command(args, algorithms)
+
+
+def _cmd_quantum(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [
+            [name, info.theorem, info.guarantee, info.description]
+            for name, info in sorted(QUANTUM_PROBLEMS.items())
+        ]
+        print(render_table(rows, header=["problem", "paper", "guarantee", "description"]))
+        return 0
+    problem_names = (
+        list(quantum_problem_names())
+        if args.problems == "all"
+        else _parse_csv(args.problems)
+    )
+    try:
+        algorithms = dict(
+            sweep_algorithm_for_problem(problem) for problem in problem_names
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return _run_grid_command(args, algorithms)
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -245,6 +334,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "(default: the process default, dense)"
             ),
         )
+        sub.add_argument(
+            "--backend", default=None, choices=BACKEND_NAMES,
+            help=(
+                "quantum schedule backend: 'sampling' re-derives the "
+                "Grover statistics every round, 'batched' precomputes "
+                "them; results are identical for a fixed seed "
+                "(default: the process default, sampling)"
+            ),
+        )
 
     diameter_parser = subparsers.add_parser(
         "diameter", help="exact diameter: classical baseline vs Theorem 1"
@@ -308,7 +406,71 @@ def build_parser() -> argparse.ArgumentParser:
             "record set is identical to an uninterrupted run)"
         ),
     )
+    sweep_parser.add_argument(
+        "--backend", default=None, choices=BACKEND_NAMES,
+        help=(
+            "quantum schedule backend for quantum algorithms in the grid "
+            "(results are backend-independent; default: sampling)"
+        ),
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    quantum_parser = subparsers.add_parser(
+        "quantum",
+        help="run registered Theorem-7 quantum problems over a "
+        "(family x size) grid with full sweep/store semantics",
+        description=(
+            "Run registered distributed quantum optimization problems "
+            "(see --list) over a graph grid.  Records, provenance, "
+            "checkpoint/resume and export behave exactly like 'sweep' -- "
+            "the two commands share task keys and seed streams, so their "
+            "stores are interoperable."
+        ),
+    )
+    quantum_parser.add_argument(
+        "--problems", default="all",
+        help=(
+            "comma-separated problem names, or 'all'; available: "
+            + ", ".join(sorted(QUANTUM_PROBLEMS))
+        ),
+    )
+    quantum_parser.add_argument(
+        "--families", default="clique_chain",
+        help="comma-separated graph families (default: clique_chain)",
+    )
+    quantum_parser.add_argument(
+        "--sizes", default="24",
+        help="comma-separated node counts (default: 24)",
+    )
+    quantum_parser.add_argument(
+        "--diameter", type=int, default=None,
+        help="target diameter (only for --families controlled)",
+    )
+    quantum_parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    quantum_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial, 0 = one per CPU)",
+    )
+    quantum_parser.add_argument(
+        "--backend", default=None, choices=BACKEND_NAMES,
+        help=(
+            "quantum schedule backend; results are byte-identical across "
+            "backends, only wall-clock changes (default: sampling)"
+        ),
+    )
+    quantum_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="persist records (plus run provenance) to this JSONL store",
+    )
+    quantum_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted run from the --out store",
+    )
+    quantum_parser.add_argument(
+        "--list", action="store_true",
+        help="list the registered quantum problems and exit",
+    )
+    quantum_parser.set_defaults(handler=_cmd_quantum)
 
     export_parser = subparsers.add_parser(
         "export",

@@ -7,6 +7,12 @@
   ``O~((n D)^(1/3) + D)``-round quantum 3/2-approximation;
 * :mod:`repro.core.coverage` -- the window sets ``S(u)`` of Definition 2 and
   the coverage bound of Lemma 1 that drives ``P_opt >= d / 2n``;
+* :mod:`repro.core.radius` -- quantum exact radius (Theorem 7 pointed at
+  a minimum) and :mod:`repro.core.source_ecc` -- quantum single-source
+  eccentricity, the framework's calibration workload;
+* :mod:`repro.core.problems` -- the quantum problem registry: named,
+  picklable Theorem-7 workloads the sweep/store/CLI layers consume like
+  classical algorithms;
 * :mod:`repro.core.complexity` -- the round-complexity formulas of every
   entry of Table 1, used by the benchmark harnesses for the
   paper-versus-measured comparison.
@@ -27,12 +33,35 @@ from repro.core.exact_diameter import (
     QuantumDiameterResult,
     quantum_exact_diameter,
 )
+from repro.core.problems import (
+    QUANTUM_PROBLEMS,
+    QuantumProblemInfo,
+    QuantumProblemRun,
+    quantum_problem_names,
+    register_quantum_problem,
+    resolve_quantum_problem,
+)
+from repro.core.radius import QuantumRadiusResult, quantum_exact_radius
+from repro.core.source_ecc import (
+    QuantumSourceEccentricityResult,
+    quantum_source_eccentricity,
+)
 
 __all__ = [
     "quantum_exact_diameter",
     "QuantumDiameterResult",
     "quantum_three_halves_diameter",
     "QuantumApproxDiameterResult",
+    "quantum_exact_radius",
+    "QuantumRadiusResult",
+    "quantum_source_eccentricity",
+    "QuantumSourceEccentricityResult",
+    "QUANTUM_PROBLEMS",
+    "QuantumProblemInfo",
+    "QuantumProblemRun",
+    "register_quantum_problem",
+    "resolve_quantum_problem",
+    "quantum_problem_names",
     "window_set",
     "coverage_probability",
     "popt_lower_bound",

@@ -41,6 +41,7 @@ from repro.qcongest.framework import (
 )
 from repro.qcongest.setup import run_setup_broadcast
 from repro.quantum.cost_model import QuantumResourceCount, leader_memory_bits
+from repro.runner.batch import task_seed
 
 from repro.core.exact_diameter import ORACLE_CONGEST, ORACLE_REFERENCE
 
@@ -180,6 +181,7 @@ def quantum_three_halves_diameter(
     seed: int = 0,
     budget_constant: float = 4.0,
     runner: Optional["BatchRunner"] = None,
+    backend: Optional[str] = None,
 ) -> QuantumApproxDiameterResult:
     """Compute a 3/2-approximation of the diameter (Theorem 4 / Figure 3).
 
@@ -187,11 +189,21 @@ def quantum_three_halves_diameter(
     ``Theta(n^{2/3} / d^{1/3})`` with ``d = ecc(leader)``.  ``runner``
     optionally dispatches the quantum phase's independent branch
     evaluations through a process pool in ``"congest"`` oracle mode; the
-    result is identical to a serial run.
+    result is identical to a serial run.  ``backend`` selects the quantum
+    schedule simulator (see :mod:`repro.quantum.backend`; all backends
+    return identical results for a fixed seed).
+
+    The user-facing ``seed`` feeds two *independent* streams: the
+    [HPRW14] preparation's sampling randomness and the quantum schedule's
+    measurement randomness.  Earlier revisions seeded both with the raw
+    value, so the schedule's measurement draws replayed the preparation's
+    sampling draws verbatim (the same aliasing the sweep layer fixed for
+    its ``--seed`` in the graph-vs-algorithm split).
     """
     if isinstance(network, Graph):
         network = Network(network)
-    rng = random.Random(seed)
+    rng = random.Random(task_seed(seed, "theorem4-schedule-stream"))
+    preparation_seed = task_seed(seed, "theorem4-preparation-stream")
     n = network.num_nodes
     metrics = ExecutionMetrics()
 
@@ -205,7 +217,7 @@ def quantum_three_halves_diameter(
         s = default_s_parameter(n, leader_ecc.eccentricity)
 
     preparation = run_hprw_preparation(
-        network, s=s, seed=seed, leader=election.leader
+        network, s=s, seed=preparation_seed, leader=election.leader
     )
     metrics = metrics.merged(preparation.metrics)
 
@@ -215,7 +227,7 @@ def quantum_three_halves_diameter(
     problem = BallEccentricityProblem(network, preparation, oracle_mode=oracle_mode)
     optimization = run_distributed_quantum_optimization(
         problem, delta=delta, rng=rng, budget_constant=budget_constant,
-        runner=runner,
+        runner=runner, backend=backend,
     )
     metrics = metrics.merged(optimization.metrics)
 

@@ -241,6 +241,7 @@ def quantum_exact_diameter(
     leader: Optional[NodeId] = None,
     budget_constant: float = 4.0,
     runner: Optional["BatchRunner"] = None,
+    backend: Optional[str] = None,
 ) -> QuantumDiameterResult:
     """Compute the diameter with the quantum algorithm of Theorem 1.
 
@@ -268,6 +269,11 @@ def quantum_exact_diameter(
         Optional :class:`repro.runner.batch.BatchRunner`; in ``"congest"``
         oracle mode the independent branch evaluations are dispatched
         through its process pool with results identical to a serial run.
+    backend:
+        Quantum schedule backend (:mod:`repro.quantum.backend`):
+        ``"sampling"``, ``"batched"``, a backend instance, or ``None``
+        for the process default.  Backends return identical results for a
+        fixed seed; only wall-clock differs.
 
     Returns
     -------
@@ -286,6 +292,7 @@ def quantum_exact_diameter(
         rng=random.Random(seed),
         budget_constant=budget_constant,
         runner=runner,
+        backend=backend,
     )
     return QuantumDiameterResult(
         diameter=int(optimization.best_value),

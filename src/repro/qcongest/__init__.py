@@ -20,8 +20,15 @@ amplitude vector over branches.  The framework
 (:mod:`repro.qcongest.framework`) measures the CONGEST round cost of the
 Initialization / Setup / Evaluation procedures by actually running them on
 the simulator, simulates the amplitude-amplification schedule exactly
-(including its failure probability), and reports total rounds, messages and
+(including its failure probability) through a pluggable schedule backend
+(:mod:`repro.quantum.backend` -- the sampling reference or the batched
+fast path, byte-identical), and reports total rounds, messages and
 per-node memory.
+
+Concrete instantiations -- exact diameter (Theorem 1), the
+3/2-approximation (Theorem 4), exact radius and single-source
+eccentricity -- live in :mod:`repro.core` and are registered as named,
+picklable problems in :mod:`repro.core.problems`.
 """
 
 from repro.qcongest.branch_state import DistributedSuperposition

@@ -9,10 +9,12 @@ procedures.  The framework
 2. measures the round cost of one **Setup** application and of one
    **Evaluation** application by running the corresponding distributed
    procedures;
-3. simulates the quantum maximum-finding schedule *exactly* (via
-   :func:`repro.quantum.maximum_finding.find_maximum`, which reproduces the
-   amplitude-amplification measurement statistics), counting every Setup and
-   Evaluation application;
+3. simulates the quantum maximum-finding schedule *exactly* through a
+   pluggable :class:`repro.quantum.backend.ScheduleBackend` (the
+   ``"sampling"`` reference simulation or the ``"batched"`` precomputed
+   one -- both reproduce the amplitude-amplification measurement
+   statistics bit for bit), counting every Setup and Evaluation
+   application;
 4. converts the counts into total CONGEST rounds with the cost model of
    Theorem 7 (``T0 + #calls * T``) and reports per-node memory.
 
@@ -49,12 +51,14 @@ from typing import (
     Mapping,
     Optional,
     Tuple,
+    Union,
 )
 
 from repro.congest.metrics import ExecutionMetrics
 from repro.engine import RunLogObserver
+from repro.quantum.backend import ScheduleBackend, resolve_schedule_backend
 from repro.quantum.cost_model import QuantumCostModel, QuantumResourceCount
-from repro.quantum.maximum_finding import MaximumFindingResult, find_maximum
+from repro.quantum.maximum_finding import MaximumFindingResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runner.batch import BatchRunner
@@ -155,6 +159,7 @@ def run_distributed_quantum_optimization(
     rng: Optional[random.Random] = None,
     budget_constant: float = 4.0,
     runner: Optional["BatchRunner"] = None,
+    backend: Optional[Union[str, ScheduleBackend]] = None,
 ) -> DistributedOptimizationResult:
     """Run Theorem 7's distributed quantum optimization for ``problem``.
 
@@ -166,8 +171,16 @@ def run_distributed_quantum_optimization(
     over a :class:`repro.runner.batch.BatchRunner` process pool when the
     problem declares ``supports_parallel_evaluation``; the result is
     identical to the serial run (see the module docstring).
+
+    ``backend`` selects the quantum schedule simulator
+    (:mod:`repro.quantum.backend`): ``"sampling"`` (the reference per-call
+    simulation), ``"batched"`` (precomputed rotation statistics), a
+    :class:`~repro.quantum.backend.ScheduleBackend` instance, or ``None``
+    for the process-wide default.  Backends are proven byte-identical, so
+    the choice affects wall-clock only.
     """
     rng = rng if rng is not None else random.Random(0)
+    schedule_backend = resolve_schedule_backend(backend)
 
     # When the problem exposes the CONGEST network it simulates on, observe
     # every run it performs during the optimization through the engine's
@@ -227,7 +240,7 @@ def run_distributed_quantum_optimization(
             return value
 
         eps = problem.optimum_mass_lower_bound()
-        outcome: MaximumFindingResult = find_maximum(
+        outcome: MaximumFindingResult = schedule_backend.run_maximum_finding(
             amplitudes,
             value_of=value_of,
             eps=eps,

@@ -20,6 +20,15 @@ provides those primitives in the *centralized* setting, with two faces:
   distributed layer can convert query counts into CONGEST rounds
   (:mod:`repro.quantum.cost_model`).
 
+Both faces are served through a pluggable **schedule backend**
+(:mod:`repro.quantum.backend`): the ``"sampling"`` backend is the
+per-call reference simulation, the ``"batched"`` backend precomputes the
+exact Grover rotation statistics over the whole search space and serves
+every amplification round from per-threshold tables.  The two are proven
+byte-identical for a fixed seed, so backend choice (CLI ``--backend``,
+:func:`~repro.quantum.backend.set_default_schedule_backend`) trades
+nothing but wall-clock.
+
 A small dense state-vector simulator (:mod:`repro.quantum.state`) is also
 provided for register-level unit checks such as the CNOT-copy operation of
 Section 2 (``|u>|v> -> |u>|u xor v>``), which is how the Setup procedure
@@ -33,9 +42,24 @@ from repro.quantum.amplitude_amplification import (
     optimal_grover_iterations,
     theorem6_query_budget,
 )
+from repro.quantum.backend import (
+    BACKEND_NAMES,
+    SCHEDULE_BACKENDS,
+    BatchedScheduleBackend,
+    SamplingScheduleBackend,
+    ScheduleBackend,
+    get_default_schedule_backend,
+    resolve_schedule_backend,
+    set_default_schedule_backend,
+    validate_backend_name,
+)
 from repro.quantum.cost_model import QuantumCostModel, QuantumResourceCount
 from repro.quantum.grover import GroverSearchResult, grover_search
-from repro.quantum.maximum_finding import MaximumFindingResult, find_maximum
+from repro.quantum.maximum_finding import (
+    MaximumFindingResult,
+    find_maximum,
+    uniform_amplitudes,
+)
 from repro.quantum.state import StateVector, cnot_copy_register
 
 __all__ = [
@@ -44,9 +68,19 @@ __all__ = [
     "theorem6_query_budget",
     "amplitude_amplification_search",
     "AmplificationOutcome",
+    "ScheduleBackend",
+    "SamplingScheduleBackend",
+    "BatchedScheduleBackend",
+    "SCHEDULE_BACKENDS",
+    "BACKEND_NAMES",
+    "resolve_schedule_backend",
+    "get_default_schedule_backend",
+    "set_default_schedule_backend",
+    "validate_backend_name",
     "grover_search",
     "GroverSearchResult",
     "find_maximum",
+    "uniform_amplitudes",
     "MaximumFindingResult",
     "QuantumCostModel",
     "QuantumResourceCount",

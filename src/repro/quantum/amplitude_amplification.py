@@ -21,6 +21,13 @@ This module provides:
   an unknown ``P_M``: it reproduces the measurement statistics exactly
   (success and failure included) while counting every oracle application,
   so the distributed layer can convert the count into CONGEST rounds.
+
+This sampling simulation doubles as the reference implementation of the
+``"sampling"`` schedule backend (:mod:`repro.quantum.backend`); the
+``"batched"`` backend replays the identical schedule from precomputed
+rotation statistics and must stay bit-compatible with the loop in
+:func:`amplitude_amplification_search` -- the differential suite enforces
+it, but edit the two together.
 """
 
 from __future__ import annotations

@@ -9,6 +9,10 @@ the (exactly simulated) amplitude-amplification schedule; this module turns
 those counts into round counts, message counts and per-node memory
 estimates, which is what the benchmark harnesses report next to the paper's
 formulas.
+
+The counts arrive from whichever schedule backend ran the simulation
+(:mod:`repro.quantum.backend`); since backends are byte-identical, the
+cost model is backend-agnostic by construction.
 """
 
 from __future__ import annotations

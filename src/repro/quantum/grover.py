@@ -1,41 +1,38 @@
 """Grover search over an explicit item collection.
 
-A thin convenience layer over
-:func:`repro.quantum.amplitude_amplification.amplitude_amplification_search`
-for the common case of a uniform superposition over a finite collection and
-a boolean oracle.  It exists mostly for the unit tests and the quickstart
-example; the distributed algorithms use the maximum-finding routine of
+A thin convenience layer over the schedule-backend API
+(:mod:`repro.quantum.backend`) for the common case of a uniform
+superposition over a finite collection and a boolean oracle.  It exists
+mostly for the unit tests and the quickstart example; the distributed
+algorithms use the maximum-finding routine of
 :mod:`repro.quantum.maximum_finding` directly.
+
+Earlier revisions carried their own copy of the uniform-amplitude
+construction and a private result dataclass that drifted from
+:class:`repro.quantum.amplitude_amplification.AmplificationOutcome`; the
+module is now a pure re-export: amplitudes come from
+:func:`repro.quantum.maximum_finding.uniform_amplitudes`, the search runs
+through whichever :class:`~repro.quantum.backend.ScheduleBackend` the
+caller (or the process default) selects, and the result *is* an
+``AmplificationOutcome`` under its historical name.
 """
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass
-from typing import Callable, Hashable, Optional, Sequence
+from typing import Callable, Hashable, Optional, Sequence, Union
 
-from repro.quantum.amplitude_amplification import (
-    AmplificationOutcome,
-    amplitude_amplification_search,
-)
+from repro.quantum.amplitude_amplification import AmplificationOutcome
+from repro.quantum.backend import ScheduleBackend, resolve_schedule_backend
+from repro.quantum.maximum_finding import uniform_amplitudes
 
 Item = Hashable
 
-
-@dataclass
-class GroverSearchResult:
-    """Result of one Grover search."""
-
-    found: Optional[Item]
-    setup_calls: int
-    oracle_calls: int
-    measurements: int
-
-    @property
-    def succeeded(self) -> bool:
-        """Whether a marked item was found."""
-        return self.found is not None
+#: The historical result type of :func:`grover_search`.  A Grover search
+#: *is* one amplitude-amplification search, so the result type is the
+#: same dataclass (``found`` / ``setup_calls`` / ``oracle_calls`` /
+#: ``measurements`` / ``succeeded``); the alias keeps the public name.
+GroverSearchResult = AmplificationOutcome
 
 
 def grover_search(
@@ -43,6 +40,7 @@ def grover_search(
     oracle: Callable[[Item], bool],
     rng: Optional[random.Random] = None,
     delta: float = 0.05,
+    backend: Optional[Union[str, ScheduleBackend]] = None,
 ) -> GroverSearchResult:
     """Search ``items`` for an element satisfying ``oracle``.
 
@@ -50,22 +48,18 @@ def grover_search(
     Theorem 6 is ``eps = 1 / len(items)`` (a single marked item).  With
     ``m`` marked items the expected number of oracle calls is
     ``O(sqrt(len(items) / m))``.
+
+    ``backend`` selects the schedule simulator (name, instance, or
+    ``None`` for the process default); all backends return identical
+    results for a fixed ``rng`` seed.
     """
     if not items:
         raise ValueError("the item collection must be non-empty")
     rng = rng if rng is not None else random.Random(0)
-    amplitude = 1.0 / math.sqrt(len(items))
-    amplitudes = {item: amplitude for item in items}
-    outcome: AmplificationOutcome = amplitude_amplification_search(
-        amplitudes,
+    return resolve_schedule_backend(backend).run_search(
+        uniform_amplitudes(items),
         is_marked=oracle,
         rng=rng,
         eps=1.0 / len(items),
         delta=delta,
-    )
-    return GroverSearchResult(
-        found=outcome.found,
-        setup_calls=outcome.setup_calls,
-        oracle_calls=outcome.oracle_calls,
-        measurements=outcome.measurements,
     )

@@ -12,6 +12,13 @@ statistics of every amplitude-amplification attempt follow the true Grover
 rotation), and counts every application of ``Setup`` and of the ``Evaluation``
 oracle.  The distributed layer (Theorem 7) multiplies those counts by the
 CONGEST round cost of the corresponding distributed procedures.
+
+:func:`find_maximum` is the **reference** schedule simulation -- the
+``"sampling"`` backend of :mod:`repro.quantum.backend` delegates here
+verbatim, and the ``"batched"`` backend is differentially tested to
+replicate its randomness consumption, float reductions and results bit
+for bit.  Treat any change to the loop below as a change to the backend
+contract: the batched implementation must be updated in lockstep.
 """
 
 from __future__ import annotations

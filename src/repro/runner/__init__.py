@@ -25,11 +25,14 @@ parallel branch evaluation.
 from repro.runner.algorithms import (
     EXACT,
     GUARANTEES,
+    QUANTUM_SWEEP_NAMES,
     SWEEP_ALGORITHMS,
     THREE_HALVES,
     TWO_APPROX,
     SweepAlgorithmInfo,
+    quantum_problem_kernel,
     resolve_algorithms,
+    sweep_algorithm_for_problem,
 )
 from repro.runner.batch import BatchRunner, resolve_jobs, task_seed
 from repro.runner.spec import (
@@ -51,6 +54,9 @@ __all__ = [
     "clear_worker_caches",
     "SWEEP_ALGORITHMS",
     "SweepAlgorithmInfo",
+    "quantum_problem_kernel",
+    "QUANTUM_SWEEP_NAMES",
+    "sweep_algorithm_for_problem",
     "EXACT",
     "TWO_APPROX",
     "THREE_HALVES",

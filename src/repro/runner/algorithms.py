@@ -58,6 +58,15 @@ class SweepAlgorithmInfo:
     do, and approximation guarantees are checked opportunistically when
     the oracle is available anyway.
 
+    ``oracle`` optionally replaces the correctness *target*: by default a
+    guarantee is validated against the graph's true diameter, but an
+    algorithm computing a different quantity (the quantum radius and
+    source-eccentricity problems of :mod:`repro.core.problems`) supplies
+    its own module-level ground-truth callable ``(graph) -> float`` here.
+    Custom-oracle algorithms never force the shared diameter oracle (it
+    would be checked against the wrong quantity); their target is
+    computed per record on the compiled CSR view.
+
     Instances are callable and delegate to the kernel, so existing code
     that treats registry values as plain callables keeps working.
     """
@@ -65,6 +74,7 @@ class SweepAlgorithmInfo:
     kernel: SweepAlgorithm
     guarantee: Optional[str] = None
     force_oracle: Optional[bool] = None
+    oracle: Optional[Callable[[Graph], float]] = None
 
     def __post_init__(self) -> None:
         if self.guarantee is not None and self.guarantee not in GUARANTEES:
@@ -75,10 +85,17 @@ class SweepAlgorithmInfo:
 
     @property
     def needs_oracle(self) -> bool:
-        """Whether this algorithm forces the diameter oracle to run."""
+        """Whether this algorithm forces the *diameter* oracle to run."""
         if self.force_oracle is not None:
             return self.force_oracle
-        return self.guarantee == EXACT
+        return self.guarantee == EXACT and self.oracle is None
+
+    def check_target(self, graph: Graph) -> Optional[float]:
+        """The ground-truth value this algorithm's guarantee is checked
+        against, when it differs from the shared diameter oracle."""
+        if self.oracle is None:
+            return None
+        return float(self.oracle(graph))
 
     def __call__(self, *args, **kwargs) -> Tuple[int, float]:
         return self.kernel(*args, **kwargs)
@@ -111,30 +128,76 @@ def hprw_three_halves(graph: Graph, seed: int) -> Tuple[int, float]:
     return result.rounds, float(result.estimate)
 
 
+def quantum_problem_kernel(
+    graph: Graph, seed: int, problem: str = "exact_diameter"
+) -> Tuple[int, float]:
+    """Run a registered quantum problem (reference oracle mode) as a sweep cell.
+
+    The per-cell ``seed`` feeds two *independent* streams -- the CONGEST
+    network's node randomness and the quantum schedule's measurement
+    randomness -- derived with :func:`repro.runner.batch.task_seed`.
+    Earlier revisions passed the raw seed to both, correlating leader
+    election tie-breaks with the schedule's measurement draws (the same
+    aliasing PR 3 fixed for the sweep's graph-vs-algorithm seed split).
+    The schedule backend is the process default
+    (:func:`repro.quantum.backend.get_default_schedule_backend`), which
+    the batch runner re-applies in its pool workers, so ``--backend``
+    selections reach parallel sweeps too.
+    """
+    from repro.congest.network import Network
+    from repro.core.problems import resolve_quantum_problem
+    from repro.runner.batch import task_seed
+
+    info = resolve_quantum_problem(problem)
+    network_seed = task_seed(seed, "quantum-network-stream")
+    schedule_seed = task_seed(seed, "quantum-schedule-stream")
+    run = info.solve(
+        Network(graph, seed=network_seed),
+        oracle_mode="reference",
+        seed=schedule_seed,
+    )
+    return run.rounds, run.value
+
+
 def quantum_exact(graph: Graph, seed: int) -> Tuple[int, float]:
     """Quantum exact diameter (Theorem 1), reference oracle mode."""
-    from repro.congest.network import Network
-    from repro.core.exact_diameter import quantum_exact_diameter
-
-    result = quantum_exact_diameter(
-        Network(graph, seed=seed), oracle_mode="reference", seed=seed
-    )
-    return result.rounds, float(result.diameter)
+    return quantum_problem_kernel(graph, seed, problem="exact_diameter")
 
 
 def quantum_three_halves(graph: Graph, seed: int) -> Tuple[int, float]:
     """Quantum 3/2-approximation (Theorem 4), reference oracle mode."""
-    from repro.congest.network import Network
-    from repro.core.approx_diameter import quantum_three_halves_diameter
+    return quantum_problem_kernel(graph, seed, problem="three_halves")
 
-    result = quantum_three_halves_diameter(
-        Network(graph, seed=seed), oracle_mode="reference", seed=seed
-    )
-    return result.rounds, float(result.estimate)
+
+def quantum_radius(graph: Graph, seed: int) -> Tuple[int, float]:
+    """Quantum exact radius (Theorem-7 instantiation), reference oracle mode."""
+    return quantum_problem_kernel(graph, seed, problem="radius")
+
+
+def quantum_source_ecc(graph: Graph, seed: int) -> Tuple[int, float]:
+    """Quantum single-source eccentricity, reference oracle mode."""
+    return quantum_problem_kernel(graph, seed, problem="source_ecc")
+
+
+def _radius_oracle(graph: Graph) -> float:
+    """Ground truth for ``quantum_radius`` (compiled CSR view)."""
+    from repro.core.problems import radius_oracle
+
+    return radius_oracle(graph)
+
+
+def _source_ecc_oracle(graph: Graph) -> float:
+    """Ground truth for ``quantum_source_ecc`` (compiled CSR view)."""
+    from repro.core.problems import source_eccentricity_oracle
+
+    return source_eccentricity_oracle(graph)
 
 
 #: The registry the CLI ``sweep`` command and the batched grids draw from.
-#: Values carry the correctness metadata the sweep layer keys off.
+#: Values carry the correctness metadata the sweep layer keys off.  The
+#: ``quantum_*`` entries are shims over the problem registry of
+#: :mod:`repro.core.problems` (``repro quantum`` enumerates the same
+#: problems directly).
 SWEEP_ALGORITHMS: Dict[str, SweepAlgorithmInfo] = {
     "classical_exact": SweepAlgorithmInfo(classical_exact, guarantee=EXACT),
     "two_approx": SweepAlgorithmInfo(two_approx, guarantee=TWO_APPROX),
@@ -145,7 +208,61 @@ SWEEP_ALGORITHMS: Dict[str, SweepAlgorithmInfo] = {
     "quantum_three_halves": SweepAlgorithmInfo(
         quantum_three_halves, guarantee=THREE_HALVES
     ),
+    "quantum_radius": SweepAlgorithmInfo(
+        quantum_radius, guarantee=EXACT, oracle=_radius_oracle
+    ),
+    "quantum_source_ecc": SweepAlgorithmInfo(
+        quantum_source_ecc, guarantee=EXACT, oracle=_source_ecc_oracle
+    ),
 }
+
+#: Problem-registry name -> sweep-registry name.  ``repro quantum`` uses
+#: this to run registered problems through ``run_sweep_grid`` under the
+#: same algorithm names as ``repro sweep``, so stores, exports and resume
+#: are interoperable between the two commands.
+QUANTUM_SWEEP_NAMES: Dict[str, str] = {
+    "exact_diameter": "quantum_exact",
+    "three_halves": "quantum_three_halves",
+    "radius": "quantum_radius",
+    "source_ecc": "quantum_source_ecc",
+}
+
+
+def sweep_algorithm_for_problem(problem: str) -> Tuple[str, SweepAlgorithmInfo]:
+    """The sweep-registry ``(name, entry)`` for a registered quantum problem.
+
+    The four built-in problems map to their fixed
+    :data:`SWEEP_ALGORITHMS` entries (:data:`QUANTUM_SWEEP_NAMES`).
+    Problems registered at runtime via
+    :func:`repro.core.problems.register_quantum_problem` get an
+    on-the-fly entry named ``quantum_<problem>`` whose kernel is a
+    picklable :func:`functools.partial` of
+    :func:`quantum_problem_kernel`, carrying the problem's own guarantee
+    and ground-truth oracle.  A runtime problem whose derived name would
+    shadow an existing sweep algorithm is rejected: silently returning
+    the unrelated built-in entry would run the wrong kernel and validate
+    against the wrong oracle.
+    """
+    import functools
+
+    from repro.core.problems import resolve_quantum_problem
+
+    problem_info = resolve_quantum_problem(problem)
+    canonical = QUANTUM_SWEEP_NAMES.get(problem)
+    if canonical is not None:
+        return canonical, SWEEP_ALGORITHMS[canonical]
+    sweep_name = f"quantum_{problem}"
+    if sweep_name in SWEEP_ALGORITHMS:
+        raise ValueError(
+            f"quantum problem {problem!r} derives sweep name {sweep_name!r}, "
+            "which already names a different sweep algorithm; register the "
+            "problem under a non-colliding name"
+        )
+    return sweep_name, SweepAlgorithmInfo(
+        functools.partial(quantum_problem_kernel, problem=problem),
+        guarantee=problem_info.guarantee,
+        oracle=problem_info.oracle,
+    )
 
 
 def resolve_algorithms(names) -> Dict[str, SweepAlgorithmInfo]:

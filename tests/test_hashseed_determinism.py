@@ -103,3 +103,97 @@ def test_sweep_records_identical_across_hash_seeds():
         if key == "hash_randomised":
             continue
         assert first[key] == second[key], f"{key} differs across PYTHONHASHSEED"
+
+
+#: The quantum scenario: the full Theorem-7 stack -- both schedule
+#: backends, the seed-stream split of the quantum kernels, all four
+#: registered problems, a tuple-labelled graph, and a quantum sweep with
+#: the custom-oracle correctness gate.  Everything derives randomness
+#: from CRC-based task seeds and insertion-ordered adjacency, so the JSON
+#: must be verbatim-identical across hash seeds.
+_QUANTUM_SCRIPT = r"""
+import json
+import sys
+
+from repro.analysis.sweep import run_sweep_grid
+from repro.congest.network import Network
+from repro.core import quantum_exact_diameter, quantum_exact_radius
+from repro.core.problems import QUANTUM_PROBLEMS
+from repro.graphs.graph import Graph
+from repro.runner import GraphSpec, resolve_algorithms
+
+graph = Graph()
+for i in range(10):
+    graph.add_edge(("ring", i), ("ring", (i + 1) % 10))
+graph.add_edge(("ring", 0), ("chord", "x"))
+graph.add_edge(("chord", "x"), ("ring", 5))
+
+runs = {}
+for backend in ("sampling", "batched"):
+    result = quantum_exact_diameter(
+        Network(graph, seed=2, bandwidth_bits=160), oracle_mode="reference",
+        seed=7, backend=backend
+    )
+    runs[backend] = [
+        result.diameter, result.rounds, repr(result.leader),
+        result.counts.setup_calls, result.counts.evaluation_calls,
+        result.counts.measurements,
+    ]
+
+radius = quantum_exact_radius(
+    Network(graph, seed=2, bandwidth_bits=160), oracle_mode="reference", seed=3
+)
+
+problems = {}
+for name, info in sorted(QUANTUM_PROBLEMS.items()):
+    run = info.solve(Network(graph, seed=1, bandwidth_bits=160),
+                     oracle_mode="reference", seed=5, backend="batched")
+    problems[name] = [run.value, run.rounds, run.counts.evaluation_calls]
+
+records = run_sweep_grid(
+    (GraphSpec(family="clique_chain", num_nodes=12, seed=4),),
+    resolve_algorithms(["quantum_exact", "quantum_radius", "quantum_source_ecc"]),
+    base_seed=9,
+)
+
+out = {
+    "hash_randomised": sys.flags.hash_randomization,
+    "backend_runs": runs,
+    "radius": [radius.radius, repr(radius.center), radius.rounds],
+    "problems": problems,
+    "records": [[r.family, r.algorithm, r.num_nodes, r.diameter, r.rounds,
+                 r.value, r.correct, sorted(r.extra.items())] for r in records],
+}
+print(json.dumps(out, sort_keys=True))
+"""
+
+
+def test_quantum_stack_identical_across_hash_seeds():
+    """Regression for the quantum seed-stream isolation work: schedule,
+    network and graph streams are derived with CRC task seeds, so the
+    whole quantum stack (both backends, all registered problems, quantum
+    sweep records) must be reproducible under hash randomisation."""
+    env = dict(os.environ)
+
+    def run(seed: str) -> dict:
+        env["PYTHONHASHSEED"] = seed
+        existing = os.environ.get("PYTHONPATH")
+        env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+        result = subprocess.run(
+            [sys.executable, "-c", _QUANTUM_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return json.loads(result.stdout)
+
+    first = run("1")
+    second = run("4242")
+    assert first["hash_randomised"] == second["hash_randomised"] == 1
+    # The two backends must agree inside each subprocess as well.
+    assert first["backend_runs"]["sampling"] == first["backend_runs"]["batched"]
+    for key in first:
+        if key == "hash_randomised":
+            continue
+        assert first[key] == second[key], f"{key} differs across PYTHONHASHSEED"

@@ -1,0 +1,368 @@
+"""Differential tests: the batched schedule backend == the sampling one.
+
+The batched backend's contract is *byte identity* with the reference
+sampling simulation for a fixed seed -- same values, same Setup /
+Evaluation / measurement counts, same conditioned samples -- across every
+registered problem, graph family and execution path (including the
+BatchRunner parallel branch evaluation).  These tests mirror the
+dense==sparse engine differential suite of PR 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest.network import Network
+from repro.core.problems import QUANTUM_PROBLEMS
+from repro.graphs import generators
+from repro.quantum.backend import (
+    BACKEND_NAMES,
+    SCHEDULE_BACKENDS,
+    BatchedScheduleBackend,
+    SamplingScheduleBackend,
+    get_default_schedule_backend,
+    resolve_schedule_backend,
+    set_default_schedule_backend,
+    validate_backend_name,
+)
+from repro.quantum.grover import grover_search
+from repro.quantum.maximum_finding import find_maximum, uniform_amplitudes
+from repro.runner.batch import BatchRunner
+
+settings.register_profile(
+    "repro-backends",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro-backends")
+
+SAMPLING = SCHEDULE_BACKENDS["sampling"]
+BATCHED = SCHEDULE_BACKENDS["batched"]
+
+#: The graph families the sweep layer exercises, at differential sizes.
+FAMILY_GRAPHS = [
+    ("cycle", generators.cycle_graph(17)),
+    ("path", generators.path_graph(13)),
+    ("clique_chain", generators.clique_chain(3, 4)),
+    ("random_sparse", generators.family_for_sweep("random_sparse", 30, seed=4)),
+    ("random_tree", generators.random_tree(21, seed=8)),
+]
+
+
+class TestBackendRegistry:
+    def test_names_and_instances(self):
+        assert BACKEND_NAMES == ("batched", "sampling")
+        assert isinstance(SAMPLING, SamplingScheduleBackend)
+        assert isinstance(BATCHED, BatchedScheduleBackend)
+
+    def test_resolution(self):
+        assert resolve_schedule_backend(None).name == get_default_schedule_backend()
+        assert resolve_schedule_backend("batched") is BATCHED
+        assert resolve_schedule_backend(BATCHED) is BATCHED
+        with pytest.raises(ValueError):
+            resolve_schedule_backend("bogus")
+        with pytest.raises(ValueError):
+            validate_backend_name("")
+
+    def test_default_toggle_returns_previous(self):
+        previous = set_default_schedule_backend("batched")
+        try:
+            assert previous == "sampling"
+            assert get_default_schedule_backend() == "batched"
+            assert resolve_schedule_backend(None) is BATCHED
+        finally:
+            set_default_schedule_backend(previous)
+        assert get_default_schedule_backend() == "sampling"
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_schedule_backend("bogus")
+        assert get_default_schedule_backend() == "sampling"
+
+
+class TestMaximumFindingDifferential:
+    def _assert_identical(self, values, eps, seeds=40, delta=0.1):
+        amplitudes = uniform_amplitudes(values)
+        for seed in range(seeds):
+            sampling = SAMPLING.run_maximum_finding(
+                amplitudes, values.__getitem__, eps=eps,
+                delta=delta, rng=random.Random(seed),
+            )
+            batched = BATCHED.run_maximum_finding(
+                amplitudes, values.__getitem__, eps=eps,
+                delta=delta, rng=random.Random(seed),
+            )
+            assert sampling == batched, f"seed {seed}: {sampling} != {batched}"
+
+    def test_distinct_values(self):
+        self._assert_identical({i: i for i in range(50)}, eps=1 / 50)
+
+    def test_few_distinct_values(self):
+        self._assert_identical({i: (i * 7) % 5 for i in range(60)}, eps=5 / 120)
+
+    def test_constant_function(self):
+        self._assert_identical({i: 3.0 for i in range(20)}, eps=0.5)
+
+    def test_negative_values(self):
+        """The radius problem optimizes -ecc; thresholds are negative."""
+        self._assert_identical({i: -((i * 11) % 9) for i in range(40)}, eps=1 / 40)
+
+    def test_single_item(self):
+        self._assert_identical({"only": 7.0}, eps=1.0, seeds=10)
+
+    def test_tiny_delta_long_schedule(self):
+        self._assert_identical(
+            {i: (i * 13) % 23 for i in range(64)}, eps=1 / 128,
+            seeds=15, delta=0.01,
+        )
+
+    def test_matches_reference_find_maximum(self):
+        """The sampling backend *is* find_maximum; batched matches both."""
+        values = {i: (i * 5) % 17 for i in range(32)}
+        amplitudes = uniform_amplitudes(values)
+        for seed in (0, 7, 23):
+            reference = find_maximum(
+                amplitudes, values.__getitem__, eps=1 / 32,
+                rng=random.Random(seed),
+            )
+            batched = BATCHED.run_maximum_finding(
+                amplitudes, values.__getitem__, eps=1 / 32,
+                rng=random.Random(seed),
+            )
+            assert batched == reference
+
+    def test_value_of_called_once_per_item_in_reference_order(self):
+        """Both backends evaluate every item exactly once, best-item first."""
+        values = {i: (i * 3) % 11 for i in range(25)}
+        amplitudes = uniform_amplitudes(values)
+        for backend in (SAMPLING, BATCHED):
+            calls = []
+
+            def value_of(item):
+                calls.append(item)
+                return values[item]
+
+            backend.run_maximum_finding(
+                amplitudes, value_of, eps=1 / 25, rng=random.Random(9)
+            )
+            assert len(calls) == len(values)
+            assert sorted(calls) == sorted(values)
+            if backend is SAMPLING:
+                reference_order = calls
+        assert calls == reference_order
+
+    def test_validation_matches_reference(self):
+        for backend in (SAMPLING, BATCHED):
+            with pytest.raises(ValueError):
+                backend.run_maximum_finding({}, lambda x: 0.0, eps=0.5)
+            with pytest.raises(ValueError):
+                backend.run_maximum_finding({0: 1.0}, lambda x: 0.0, eps=0.0)
+            with pytest.raises(ValueError, match="normalised"):
+                backend.run_maximum_finding(
+                    {0: 1.0, 1: 1.0}, lambda x: 0.0, eps=0.5,
+                    rng=random.Random(0),
+                )
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=-50, max_value=50), min_size=1, max_size=60
+        ),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+        eps_denominator=st.integers(min_value=1, max_value=200),
+    )
+    def test_property_identical_results(self, values, seed, eps_denominator):
+        table = {index: float(value) for index, value in enumerate(values)}
+        amplitudes = uniform_amplitudes(table)
+        eps = 1.0 / eps_denominator
+        sampling = SAMPLING.run_maximum_finding(
+            table and amplitudes, table.__getitem__, eps=eps,
+            rng=random.Random(seed),
+        )
+        batched = BATCHED.run_maximum_finding(
+            amplitudes, table.__getitem__, eps=eps, rng=random.Random(seed)
+        )
+        assert sampling == batched
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.05, max_value=1.0), min_size=2, max_size=30
+        ),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_property_nonuniform_amplitudes(self, weights, seed):
+        """Identity holds for arbitrary (normalised) Setup amplitudes."""
+        norm = math.sqrt(sum(weight ** 2 for weight in weights))
+        amplitudes = {
+            index: weight / norm for index, weight in enumerate(weights)
+        }
+        values = {index: float((index * 7) % 5) for index in amplitudes}
+        sampling = SAMPLING.run_maximum_finding(
+            amplitudes, values.__getitem__, eps=0.25, rng=random.Random(seed)
+        )
+        batched = BATCHED.run_maximum_finding(
+            amplitudes, values.__getitem__, eps=0.25, rng=random.Random(seed)
+        )
+        assert sampling == batched
+
+
+class TestSearchDifferential:
+    def test_grover_search_identical_across_backends(self):
+        items = list(range(40))
+        for seed in range(30):
+            outcomes = [
+                grover_search(
+                    items, lambda x: x % 13 == 4,
+                    rng=random.Random(seed), backend=backend,
+                )
+                for backend in ("sampling", "batched")
+            ]
+            assert outcomes[0] == outcomes[1]
+
+    def test_empty_marked_set(self):
+        items = list(range(24))
+        for seed in range(10):
+            outcomes = [
+                grover_search(
+                    items, lambda x: False,
+                    rng=random.Random(seed), backend=backend,
+                )
+                for backend in ("sampling", "batched")
+            ]
+            assert outcomes[0] == outcomes[1]
+            assert outcomes[0].found is None
+
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        marked_stride=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_property_search_identical(self, n, marked_stride, seed):
+        """Identity extends to the failure paths: when float noise pushes
+        the marked mass past 1.0 (everything marked), both backends raise
+        the same rotation-domain error."""
+        items = list(range(n))
+        predicate = lambda x: x % marked_stride == 0  # noqa: E731
+        outcomes = []
+        for backend in (SAMPLING, BATCHED):
+            try:
+                outcome = backend.run_search(
+                    uniform_amplitudes(items), predicate,
+                    rng=random.Random(seed), eps=1.0 / n, delta=0.05,
+                )
+            except ValueError as error:
+                outcome = (type(error), str(error))
+            outcomes.append(outcome)
+        assert outcomes[0] == outcomes[1]
+
+
+def _optimization_fields(result):
+    """The comparable fields of a DistributedOptimizationResult."""
+    optimization = result.optimization
+    return (
+        optimization.best_item,
+        optimization.best_value,
+        optimization.counts,
+        optimization.metrics.rounds,
+        optimization.metrics.messages,
+        optimization.initialization_rounds,
+        optimization.setup_rounds_per_call,
+        optimization.evaluation_rounds_per_call,
+        optimization.distinct_evaluations,
+        optimization.simulated_runs,
+        optimization.simulated_rounds,
+    )
+
+
+class TestProblemsDifferential:
+    """Batched == sampling across all registered problems and families."""
+
+    @pytest.mark.parametrize("family,graph", FAMILY_GRAPHS, ids=[f for f, _ in FAMILY_GRAPHS])
+    @pytest.mark.parametrize("problem", sorted(QUANTUM_PROBLEMS))
+    def test_registered_problem_identical(self, problem, family, graph):
+        info = QUANTUM_PROBLEMS[problem]
+        runs = {}
+        for backend in ("sampling", "batched"):
+            runs[backend] = info.solve(
+                Network(graph, seed=2),
+                oracle_mode="reference",
+                seed=5,
+                backend=backend,
+            )
+        sampling, batched = runs["sampling"], runs["batched"]
+        assert sampling.value == batched.value
+        assert sampling.rounds == batched.rounds
+        assert sampling.counts == batched.counts
+        assert _optimization_fields(sampling) == _optimization_fields(batched)
+
+    @pytest.mark.parametrize("problem", sorted(QUANTUM_PROBLEMS))
+    def test_congest_oracle_identical(self, problem):
+        """Identity also holds under end-to-end CONGEST evaluation."""
+        graph = generators.clique_chain(3, 3)
+        info = QUANTUM_PROBLEMS[problem]
+        runs = {
+            backend: info.solve(
+                Network(graph, seed=1), oracle_mode="congest",
+                seed=3, backend=backend,
+            )
+            for backend in ("sampling", "batched")
+        }
+        assert runs["sampling"].value == runs["batched"].value
+        assert runs["sampling"].rounds == runs["batched"].rounds
+        assert runs["sampling"].counts == runs["batched"].counts
+        assert (
+            _optimization_fields(runs["sampling"])
+            == _optimization_fields(runs["batched"])
+        )
+
+    def test_parallel_branch_evaluation_identical(self):
+        """The BatchRunner congest path is backend-independent too."""
+        from repro.core.exact_diameter import quantum_exact_diameter
+
+        graph = generators.clique_chain(3, 3)
+        runner = BatchRunner(jobs=2)
+        results = {}
+        for backend in ("sampling", "batched"):
+            results[backend] = quantum_exact_diameter(
+                Network(graph, seed=4), oracle_mode="congest",
+                seed=6, runner=runner, backend=backend,
+            )
+        sampling, batched = results["sampling"], results["batched"]
+        assert sampling.diameter == batched.diameter
+        assert sampling.rounds == batched.rounds
+        assert sampling.counts == batched.counts
+        assert (
+            sampling.optimization.simulated_runs
+            == batched.optimization.simulated_runs
+        )
+        assert (
+            sampling.optimization.simulated_rounds
+            == batched.optimization.simulated_rounds
+        )
+
+    def test_parallel_sweep_records_identical_across_backends(self):
+        """run_sweep_grid over quantum kernels: serial sampling == parallel
+        batched, record for record (the strongest cross-layer identity)."""
+        from repro.analysis.sweep import run_sweep_grid
+        from repro.runner import GraphSpec, resolve_algorithms
+
+        specs = (
+            GraphSpec(family="cycle", num_nodes=12, seed=3),
+            GraphSpec(family="clique_chain", num_nodes=16, seed=3),
+        )
+        algorithms = resolve_algorithms(
+            ["quantum_exact", "quantum_radius", "quantum_source_ecc"]
+        )
+        previous = set_default_schedule_backend("sampling")
+        try:
+            serial = run_sweep_grid(specs, algorithms, jobs=1, base_seed=7)
+            set_default_schedule_backend("batched")
+            parallel = run_sweep_grid(specs, algorithms, jobs=2, base_seed=7)
+        finally:
+            set_default_schedule_backend(previous)
+        assert serial == parallel
