@@ -20,6 +20,7 @@ engine refactor promises)::
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import time
@@ -65,9 +66,12 @@ def _time_multi_source(graph, sources, engine):
     return elapsed, result
 
 
-def run_benchmark(path_nodes: int = PATH_NODES) -> dict:
+def run_benchmark(path_nodes: int = PATH_NODES, smoke: bool = False) -> dict:
     """Measure both engines on the two headline workloads; return the report."""
-    report = {"workloads": {}}
+    if smoke:
+        path_nodes = min(path_nodes, 400)
+    num_cliques, clique_size = (12, 4) if smoke else (40, 5)
+    report = {"smoke": smoke, "workloads": {}}
 
     # Workload 1: single-source BFS on the path gadget (the acceptance
     # criterion: sparse must be >= 3x faster with identical metrics).
@@ -89,7 +93,7 @@ def run_benchmark(path_nodes: int = PATH_NODES) -> dict:
 
     # Workload 2: pipelined multi-source BFS on a clique chain (self-wake
     # driven queue draining; denser activity, smaller but real win).
-    chain = generators.clique_chain(num_cliques=40, clique_size=5)
+    chain = generators.clique_chain(num_cliques=num_cliques, clique_size=clique_size)
     sources = chain.nodes()[:8]
     dense_seconds, dense_ms = _time_multi_source(chain, sources, "dense")
     sparse_seconds, sparse_ms = _time_multi_source(chain, sources, "sparse")
@@ -125,8 +129,25 @@ def test_sparse_engine_speedup():
     assert report["headline_speedup"] >= 3.0, report
 
 
-if __name__ == "__main__":
-    outcome = run_benchmark()
-    destination = write_report(outcome)
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI (no speedup bar enforced here)",
+    )
+    parser.add_argument(
+        "--out",
+        default=OUTPUT_PATH,
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    outcome = run_benchmark(smoke=args.smoke)
+    destination = write_report(outcome, args.out)
     print(json.dumps(outcome, indent=2, sort_keys=True))
     print(f"written to {destination}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ import pytest
 
 from repro.engine import ENGINE_NAMES, set_default_engine
 from repro.quantum.backend import BACKEND_NAMES, set_default_schedule_backend
+from repro.tier import TIER_NAMES, set_default_tier
 
 
 def pytest_addoption(parser):
@@ -27,6 +28,15 @@ def pytest_addoption(parser):
             "quantum schedule backend for all quantum workloads: "
             "'sampling' (seed behaviour) or 'batched' (precomputed "
             "rotation statistics; identical results, faster schedules)"
+        ),
+    )
+    parser.addoption(
+        "--tier",
+        default=None,
+        choices=TIER_NAMES,
+        help=(
+            "compute tier for the graph oracles: 'stdlib' (seed behaviour) "
+            "or 'numpy' (vectorized bitset kernels; byte-identical results)"
         ),
     )
     parser.addoption(
@@ -87,6 +97,25 @@ def _backend_selection(request):
         yield
     finally:
         set_default_schedule_backend(previous)
+
+
+@pytest.fixture(autouse=True)
+def _tier_selection(request):
+    """Honour ``--tier`` by switching the process-wide compute tier.
+
+    Mirrors ``--engine``/``--backend``: the oracles resolve the tier deep
+    inside the graph core (which the batch runner also re-applies in pool
+    workers); the previous default is restored after each test.
+    """
+    name = request.config.getoption("--tier")
+    if name is None:
+        yield
+        return
+    previous = set_default_tier(name)
+    try:
+        yield
+    finally:
+        set_default_tier(previous)
 
 
 @pytest.fixture

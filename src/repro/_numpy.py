@@ -1,0 +1,63 @@
+"""Guarded numpy import shared by every numpy-dependent subsystem.
+
+numpy is a *declared but optional* dependency (the ``repro[numpy]``
+extra in ``pyproject.toml``): the stdlib compute tier, the CONGEST
+simulator and the quantum schedule backends never touch it, while the
+``numpy`` compute tier (:mod:`repro.tier`, :mod:`repro.graphs.vector`,
+the vector execution engine) and the curve-fitting helpers
+(:mod:`repro.analysis.fitting`) require it.  Those subsystems import
+numpy through :func:`require_numpy` so a missing install fails with one
+actionable message naming the extra instead of a bare
+``ModuleNotFoundError`` deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Name of the optional-dependency extra declared in ``pyproject.toml``.
+NUMPY_EXTRA = "numpy"
+
+#: Version floor mirrored from ``pyproject.toml`` (kept here so the
+#: error message stays accurate without parsing packaging metadata).
+NUMPY_REQUIREMENT = "numpy>=1.22"
+
+
+def missing_numpy_message(feature: str) -> str:
+    """The actionable error text for a numpy-dependent ``feature``."""
+    return (
+        f"{feature} requires numpy, which is not installed; "
+        f"install the {NUMPY_EXTRA!r} extra "
+        f"(pip install 'repro[{NUMPY_EXTRA}]') or {NUMPY_REQUIREMENT} "
+        "directly, or keep using the pure-stdlib tier (--tier stdlib, "
+        "the default)"
+    )
+
+
+def numpy_or_none():
+    """The :mod:`numpy` module, or ``None`` when it is not installed."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def require_numpy(feature: str = "this feature"):
+    """Import and return :mod:`numpy`, raising an actionable error if absent.
+
+    The raised :class:`ImportError` names the feature that needed numpy
+    and the ``repro[numpy]`` extra that provides it, so CLI users see a
+    remedy instead of a traceback ending in ``No module named 'numpy'``.
+    """
+    try:
+        import numpy
+    except ImportError as exc:
+        raise ImportError(missing_numpy_message(feature)) from exc
+    return numpy
+
+
+def numpy_version_or_none() -> Optional[str]:
+    """numpy's version string for provenance records, or ``None``."""
+    module = numpy_or_none()
+    return None if module is None else getattr(module, "__version__", "unknown")

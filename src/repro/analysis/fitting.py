@@ -20,7 +20,12 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    from repro._numpy import missing_numpy_message
+
+    raise ImportError(missing_numpy_message("the scaling-fit analysis"))
 
 
 @dataclass

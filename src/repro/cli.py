@@ -48,6 +48,9 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import importlib.util
+import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -79,6 +82,7 @@ from repro.store import (
     export_records,
     render_records,
 )
+from repro.tier import TIER_NAMES, set_default_tier
 
 
 def _build_graph(args: argparse.Namespace):
@@ -109,6 +113,26 @@ def _schedule_backend(name: Optional[str]):
         set_default_schedule_backend(previous)
 
 
+@contextlib.contextmanager
+def _compute_tier(name: Optional[str]):
+    """Temporarily select the process-wide compute tier.
+
+    Mirrors :func:`_schedule_backend`: process-wide so the batch runner
+    ships the selection to its pool workers, restored afterwards so
+    in-process callers of :func:`main` do not inherit a leaked default.
+    Results are tier-independent (byte-identical), so the flag only
+    affects wall-clock.
+    """
+    if name is None:
+        yield
+        return
+    previous = set_default_tier(name)
+    try:
+        yield
+    finally:
+        set_default_tier(previous)
+
+
 def _quantum_seeds(seed: int):
     """Independent network / schedule seed streams for a quantum run.
 
@@ -124,21 +148,24 @@ def _quantum_seeds(seed: int):
 
 
 def _cmd_diameter(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    truth = graph.compile().diameter()
-    rows = []
+    with _compute_tier(args.tier):
+        graph = _build_graph(args)
+        truth = graph.compile().diameter()
+        rows = []
 
-    classical = run_classical_exact_diameter(
-        Network(graph, seed=args.seed, engine=args.engine)
-    )
-    rows.append(["classical exact [PRT12/HW12]", classical.diameter, classical.rounds])
+        classical = run_classical_exact_diameter(
+            Network(graph, seed=args.seed, engine=args.engine)
+        )
+        rows.append(
+            ["classical exact [PRT12/HW12]", classical.diameter, classical.rounds]
+        )
 
-    network_seed, schedule_seed = _quantum_seeds(args.seed)
-    quantum = quantum_exact_diameter(
-        Network(graph, seed=network_seed, engine=args.engine),
-        oracle_mode=args.oracle_mode, seed=schedule_seed, backend=args.backend,
-    )
-    rows.append(["quantum exact (Theorem 1)", quantum.diameter, quantum.rounds])
+        network_seed, schedule_seed = _quantum_seeds(args.seed)
+        quantum = quantum_exact_diameter(
+            Network(graph, seed=network_seed, engine=args.engine),
+            oracle_mode=args.oracle_mode, seed=schedule_seed, backend=args.backend,
+        )
+        rows.append(["quantum exact (Theorem 1)", quantum.diameter, quantum.rounds])
 
     print(f"graph: n={graph.num_nodes}, m={graph.num_edges}, true diameter={truth}")
     print(render_table(rows, header=["algorithm", "answer", "rounds"]))
@@ -146,25 +173,31 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
 
 
 def _cmd_approx(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    truth = graph.compile().diameter()
-    rows = []
+    with _compute_tier(args.tier):
+        graph = _build_graph(args)
+        truth = graph.compile().diameter()
+        rows = []
 
-    two = run_classical_two_approximation(
-        Network(graph, seed=args.seed, engine=args.engine)
-    )
-    rows.append(["2-approximation", two.estimate, two.rounds])
-    classical = run_hprw_three_halves_approximation(
-        Network(graph, seed=args.seed, engine=args.engine), seed=args.seed
-    )
-    rows.append(["classical 3/2-approx [HPRW14]", classical.estimate, classical.rounds])
-    if args.quantum:
-        network_seed, schedule_seed = _quantum_seeds(args.seed)
-        quantum = quantum_three_halves_diameter(
-            Network(graph, seed=network_seed, engine=args.engine),
-            oracle_mode=args.oracle_mode, seed=schedule_seed, backend=args.backend,
+        two = run_classical_two_approximation(
+            Network(graph, seed=args.seed, engine=args.engine)
         )
-        rows.append(["quantum 3/2-approx (Theorem 4)", quantum.estimate, quantum.rounds])
+        rows.append(["2-approximation", two.estimate, two.rounds])
+        classical = run_hprw_three_halves_approximation(
+            Network(graph, seed=args.seed, engine=args.engine), seed=args.seed
+        )
+        rows.append(
+            ["classical 3/2-approx [HPRW14]", classical.estimate, classical.rounds]
+        )
+        if args.quantum:
+            network_seed, schedule_seed = _quantum_seeds(args.seed)
+            quantum = quantum_three_halves_diameter(
+                Network(graph, seed=network_seed, engine=args.engine),
+                oracle_mode=args.oracle_mode, seed=schedule_seed,
+                backend=args.backend,
+            )
+            rows.append(
+                ["quantum 3/2-approx (Theorem 4)", quantum.estimate, quantum.rounds]
+            )
 
     print(f"graph: n={graph.num_nodes}, true diameter={truth}")
     print(render_table(rows, header=["algorithm", "estimate", "rounds"]))
@@ -211,7 +244,7 @@ def _run_grid_command(args: argparse.Namespace, algorithms) -> int:
     runner = BatchRunner(jobs=args.jobs)
     store = ExperimentStore(args.out) if args.out is not None else None
     try:
-        with _schedule_backend(args.backend):
+        with _schedule_backend(args.backend), _compute_tier(args.tier):
             records = run_sweep_grid(
                 specs,
                 algorithms,
@@ -292,6 +325,103 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The benchmark harnesses ``repro bench`` runs, in order:
+#: ``(name, harness file, baseline key)``.  Every harness exposes
+#: ``run_benchmark(smoke=...) -> dict`` with a ``headline_speedup`` entry.
+BENCH_HARNESSES = (
+    ("engine", "bench_engine_overhead.py"),
+    ("graphcore", "bench_graphcore.py"),
+    ("quantum", "bench_quantum.py"),
+    ("runner", "bench_runner_scaling.py"),
+    ("vector", "bench_vector.py"),
+)
+
+#: A harness has regressed when its headline speedup drops more than this
+#: fraction below the committed baseline.
+BENCH_REGRESSION_TOLERANCE = 0.25
+
+
+def _load_harness(path: str):
+    """Import a benchmark harness from its file path.
+
+    ``benchmarks/`` is intentionally not a package (the harnesses run
+    standalone and under pytest), so the modules are loaded by location.
+    """
+    name = "repro_bench_" + os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load benchmark harness {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    bench_dir = args.dir
+    if not os.path.isdir(bench_dir):
+        print(
+            f"benchmark directory {bench_dir!r} not found "
+            "(run from the repository root or pass --dir)",
+            file=sys.stderr,
+        )
+        return 2
+    mode = "smoke" if args.smoke else "full"
+    baselines = {}
+    if os.path.exists(args.baselines):
+        with open(args.baselines, "r", encoding="utf-8") as handle:
+            baselines = json.load(handle)
+    known = baselines.get(mode, {})
+
+    rows = []
+    measured = {}
+    regressions = []
+    for name, filename in BENCH_HARNESSES:
+        path = os.path.join(bench_dir, filename)
+        if not os.path.exists(path):
+            print(f"skipping {name}: {path} not found", file=sys.stderr)
+            continue
+        harness = _load_harness(path)
+        report = harness.run_benchmark(smoke=args.smoke)
+        speedup = report["headline_speedup"]
+        measured[name] = speedup
+        baseline = known.get(name)
+        if baseline is None:
+            status = "no baseline"
+        else:
+            floor = baseline * (1.0 - BENCH_REGRESSION_TOLERANCE)
+            if speedup < floor:
+                status = f"REGRESSED (floor {floor:.2f}x)"
+                regressions.append(name)
+            else:
+                status = "ok"
+        rows.append(
+            [
+                name,
+                f"{speedup}x",
+                f"{baseline}x" if baseline is not None else "-",
+                status,
+            ]
+        )
+
+    print(render_table(rows, header=["harness", "headline", "baseline", "status"]))
+    if args.update:
+        baselines[mode] = measured
+        with open(args.baselines, "w", encoding="utf-8") as handle:
+            json.dump(baselines, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baselines ({mode}) written to {args.baselines}", file=sys.stderr)
+        return 0
+    if regressions:
+        print(
+            f"{len(regressions)} harness(es) regressed more than "
+            f"{int(BENCH_REGRESSION_TOLERANCE * 100)}%: "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     diameter = args.diameter if args.diameter is not None else max(1, args.nodes // 100)
     print(render_table1(n=args.nodes, diameter=diameter, memory_qubits=args.memory))
@@ -341,6 +471,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "Grover statistics every round, 'batched' precomputes "
                 "them; results are identical for a fixed seed "
                 "(default: the process default, sampling)"
+            ),
+        )
+        sub.add_argument(
+            "--tier", default=None, choices=TIER_NAMES,
+            help=(
+                "compute tier for the graph oracles: 'stdlib' (reference) "
+                "or 'numpy' (vectorized bitset kernels; byte-identical "
+                "results, default: the process default, stdlib)"
             ),
         )
 
@@ -413,6 +551,13 @@ def build_parser() -> argparse.ArgumentParser:
             "(results are backend-independent; default: sampling)"
         ),
     )
+    sweep_parser.add_argument(
+        "--tier", default=None, choices=TIER_NAMES,
+        help=(
+            "compute tier for the correctness-gate oracles (results are "
+            "tier-independent; default: stdlib)"
+        ),
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     quantum_parser = subparsers.add_parser(
@@ -459,6 +604,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     quantum_parser.add_argument(
+        "--tier", default=None, choices=TIER_NAMES,
+        help=(
+            "compute tier for the correctness-gate oracles (results are "
+            "tier-independent; default: stdlib)"
+        ),
+    )
+    quantum_parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="persist records (plus run provenance) to this JSONL store",
     )
@@ -490,6 +642,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="destination file (default: stdout)",
     )
     export_parser.set_defaults(handler=_cmd_export)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the benchmark harnesses and diff their headline "
+        "speedups against committed baselines",
+        description=(
+            "Run every benchmark harness (see benchmarks/) and compare "
+            "each headline speedup against the committed baselines file.  "
+            "A harness that drops more than 25%% below its baseline fails "
+            "the command (exit 1).  Use --update after an intentional "
+            "perf change to rewrite the baselines."
+        ),
+    )
+    bench_parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload sizes (the CI configuration)",
+    )
+    bench_parser.add_argument(
+        "--dir", default="benchmarks", metavar="PATH",
+        help="directory holding the harness files (default: benchmarks)",
+    )
+    bench_parser.add_argument(
+        "--baselines", default="BENCH_baselines.json", metavar="PATH",
+        help="baseline speedups file (default: BENCH_baselines.json)",
+    )
+    bench_parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baselines from this run instead of comparing",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     table_parser = subparsers.add_parser(
         "table1", help="print Table 1 evaluated at a given (n, D)"

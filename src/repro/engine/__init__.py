@@ -39,6 +39,7 @@ from repro.engine.scheduler import (
     DenseScheduler,
     Scheduler,
     SparseScheduler,
+    VectorScheduler,
     make_scheduler,
 )
 from repro.engine.transport import Transport
@@ -55,6 +56,7 @@ __all__ = [
     "Scheduler",
     "DenseScheduler",
     "SparseScheduler",
+    "VectorScheduler",
     "SCHEDULERS",
     "make_scheduler",
     "Transport",

@@ -138,9 +138,14 @@ class ExecutionEngine:
             scheduler = self.scheduler
         else:
             scheduler = make_scheduler(self.scheduler.name)
+        run_loop = (
+            self._run_loop_vector
+            if getattr(scheduler, "vectorized", False)
+            else self._run_loop
+        )
         self._run_depth += 1
         try:
-            return self._run_loop(
+            return run_loop(
                 network, algorithms, scheduler, ExecutionResult,
                 max_rounds, exact_rounds, record_traffic,
             )
@@ -302,6 +307,171 @@ class ExecutionEngine:
         # cache hits of this run are the messages that were not misses
         # (clamped: a nested run's misses land in this delta while its
         # messages do not).
+        misses = transport.cache_misses - cache_misses_before
+        metrics.size_cache_misses = misses
+        metrics.size_cache_hits = max(0, metrics.messages - misses)
+        metrics.size_cache_overflows = (
+            transport.cache_overflows - cache_overflows_before
+        )
+        pipeline.on_run_end(metrics)
+        results = {node: algorithm.result() for node, algorithm in algorithms.items()}
+        return result_type(
+            results=results,
+            metrics=metrics,
+            traffic=traffic_observer.traffic if traffic_observer is not None else None,
+        )
+
+
+    def _run_loop_vector(
+        self,
+        network,
+        algorithms: Dict[NodeId, NodeAlgorithm],
+        scheduler: Scheduler,
+        result_type,
+        max_rounds: int,
+        exact_rounds: Optional[int],
+        record_traffic: bool,
+    ):
+        """The array-indexed round loop of the ``vector`` engine.
+
+        Dense semantics (every node runs every round), restructured
+        around node *indices* instead of labels: per-node state lives in
+        flat lists addressed by CSR index -- inbox slot arrays that the
+        transport's :meth:`~repro.engine.transport.Transport.deliver_vector`
+        fills in place, prebound wake-request lists (no per-activation
+        ``getattr``), finished flags (no dict probes) -- and an outbox
+        that shares one payload object across its targets (the
+        ``broadcast`` shape) is measured and observed once per batch.
+        Results, metrics and event streams are byte-identical to
+        :meth:`_run_loop` under the dense scheduler; the differential
+        tests hold all three engines equal.
+        """
+        core = CoreMetricsObserver(bandwidth_limit_bits=network.bandwidth_bits)
+        traffic_observer = TrafficLogObserver() if record_traffic else None
+        observers = [core]
+        if traffic_observer is not None:
+            observers.append(traffic_observer)
+        if self._run_depth == 1:
+            observers.extend(self.observers)
+        pipeline = MetricsPipeline(observers)
+
+        transport = self.transport
+        transport.bandwidth_bits = network.bandwidth_bits
+        transport.strict_bandwidth = network.strict_bandwidth
+        indexed = network.graph.compile()
+        transport.bind_topology(indexed)
+
+        cache_misses_before = transport.cache_misses
+        cache_overflows_before = transport.cache_overflows
+
+        scheduler.begin_run(algorithms, indexed)
+
+        labels = indexed.labels
+        n = len(labels)
+        algos = [algorithms[label] for label in labels]
+
+        finished_flags = []
+        unfinished = 0
+        for algorithm in algos:
+            finished = algorithm.finished
+            finished_flags.append(finished)
+            if not finished:
+                unfinished += 1
+            # Wakes requested during construction are drained exactly as
+            # in the dense loop; the vector policy ignores them.
+            algorithm.consume_wake_requests()
+        # Prebound wake lists -- bound *after* the initial drain, which
+        # replaces each algorithm's list object.  The loop clears these
+        # in place (``del wakes[:]``) so the bindings stay valid, which
+        # removes the per-activation ``getattr`` of the dense loop.
+        wake_lists = [
+            getattr(algorithm, "_wake_requests", None) for algorithm in algos
+        ]
+
+        pipeline.on_run_start(network)
+
+        deliver_vector = transport.deliver_vector
+        # Single-observer fast path: the common un-instrumented run has
+        # exactly the core observer, so events skip the pipeline fan-out
+        # loop (same calls, one layer fewer).
+        if len(observers) == 1:
+            on_memory_sample = core.on_memory_sample
+        else:
+            on_memory_sample = pipeline.on_memory_sample
+        on_round_end = pipeline.on_round_end
+        inbox_pool: list = []
+        node_range = range(n)
+
+        # Ping-pong inbox slot arrays: ``slots[i]`` is node i's inbox for
+        # the current round (``None`` = nothing received), ``touched``
+        # the indices holding one.  After a round the consumed slots are
+        # nulled (O(touched)) and the arrays swap.
+        slots: list = [None] * n
+        touched: list = []
+        next_slots: list = [None] * n
+        next_touched: list = []
+
+        round_number = 0
+        while True:
+            if exact_rounds is not None and round_number >= exact_rounds:
+                break
+            if (
+                exact_rounds is None
+                and round_number > 0
+                and not touched
+                and unfinished == 0
+            ):
+                break
+            if round_number >= max_rounds:
+                raise RoundLimitExceededError(
+                    f"algorithm did not terminate within {max_rounds} rounds"
+                )
+
+            any_message = False
+            for index in node_range:
+                algorithm = algos[index]
+                inbox = slots[index]
+                if inbox is None:
+                    inbox = inbox_pool.pop() if inbox_pool else {}
+                outbox = algorithm.on_round(round_number, inbox)
+                if outbox:
+                    any_message = True
+                    deliver_vector(
+                        round_number, labels[index], outbox, next_slots,
+                        next_touched, pipeline, inbox_pool,
+                    )
+                # Recycle the consumed inbox (after delivery, in case the
+                # algorithm returned its inbox as the outbox); same
+                # ownership contract as the dense loop.
+                if inbox:
+                    inbox.clear()
+                inbox_pool.append(inbox)
+                memory = algorithm.memory_bits()
+                if memory is not None:
+                    on_memory_sample(labels[index], memory)
+                finished = algorithm.finished
+                if finished != finished_flags[index]:
+                    finished_flags[index] = finished
+                    unfinished += -1 if finished else 1
+                wakes = wake_lists[index]
+                if wakes:
+                    # Drained like every engine so requests cannot pile
+                    # up; cleared in place to keep the binding valid.
+                    del wakes[:]
+            on_round_end(round_number)
+
+            round_number += 1
+            for index in touched:
+                slots[index] = None
+            touched.clear()
+            slots, next_slots = next_slots, slots
+            touched, next_touched = next_touched, touched
+
+            if exact_rounds is None and not any_message and unfinished == 0:
+                break
+
+        metrics = core.metrics
+        metrics.rounds = round_number
         misses = transport.cache_misses - cache_misses_before
         metrics.size_cache_misses = misses
         metrics.size_cache_hits = max(0, metrics.messages - misses)

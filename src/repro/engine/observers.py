@@ -16,7 +16,7 @@ without touching the engine's hot loop.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.congest.metrics import ExecutionMetrics
 from repro.graphs.graph import NodeId
@@ -51,6 +51,29 @@ class MetricsObserver:
         budget (in strict mode the transport raises immediately after the
         observers have seen the message).
         """
+
+    def on_broadcast(
+        self,
+        round_number: int,
+        sender: NodeId,
+        targets: Sequence[NodeId],
+        payload: Any,
+        size_bits: int,
+        violation: bool,
+    ) -> None:
+        """Called when the vector transport delivers one shared payload to
+        ``targets`` in a single batch (a ``NodeAlgorithm.broadcast``).
+
+        The default implementation replays the batch as per-target
+        :meth:`on_message` calls in target order, so observers that only
+        override ``on_message`` see byte-identical event streams under
+        every engine; accounting observers override this with an O(1)
+        batched update instead.
+        """
+        for target in targets:
+            self.on_message(
+                round_number, sender, target, payload, size_bits, violation
+            )
 
     def on_memory_sample(self, node: NodeId, memory_bits: int) -> None:
         """Called with each non-``None`` ``memory_bits()`` sample."""
@@ -92,6 +115,20 @@ class MetricsPipeline:
                 round_number, sender, receiver, payload, size_bits, violation
             )
 
+    def on_broadcast(
+        self,
+        round_number: int,
+        sender: NodeId,
+        targets: Sequence[NodeId],
+        payload: Any,
+        size_bits: int,
+        violation: bool,
+    ) -> None:
+        for observer in self.observers:
+            observer.on_broadcast(
+                round_number, sender, targets, payload, size_bits, violation
+            )
+
     def on_memory_sample(self, node: NodeId, memory_bits: int) -> None:
         for observer in self.observers:
             observer.on_memory_sample(node, memory_bits)
@@ -128,6 +165,21 @@ class CoreMetricsObserver(MetricsObserver):
         if violation:
             metrics.bandwidth_violations += 1
 
+    def on_broadcast(
+        self, round_number, sender, targets, payload, size_bits, violation
+    ) -> None:
+        # The O(1) batched form of ``on_message`` applied ``len(targets)``
+        # times: every counter update is additive, so the batch lands on
+        # exactly the totals the per-message replay would produce.
+        metrics = self.metrics
+        count = len(targets)
+        metrics.messages += count
+        metrics.total_bits += size_bits * count
+        if size_bits > metrics.max_edge_bits_per_round:
+            metrics.max_edge_bits_per_round = size_bits
+        if violation:
+            metrics.bandwidth_violations += count
+
     def on_memory_sample(self, node, memory_bits) -> None:
         if memory_bits > self.metrics.max_node_memory_bits:
             self.metrics.max_node_memory_bits = memory_bits
@@ -148,6 +200,15 @@ class TrafficLogObserver(MetricsObserver):
         self, round_number, sender, receiver, payload, size_bits, violation
     ) -> None:
         self.traffic.append((round_number, sender, receiver, size_bits))
+
+    def on_broadcast(
+        self, round_number, sender, targets, payload, size_bits, violation
+    ) -> None:
+        # Same entries in the same (target) order as the per-message
+        # replay, appended in one ``extend``.
+        self.traffic.extend(
+            (round_number, sender, target, size_bits) for target in targets
+        )
 
 
 class StitchedTrafficObserver(MetricsObserver):
@@ -175,6 +236,16 @@ class StitchedTrafficObserver(MetricsObserver):
     ) -> None:
         self.traffic.append(
             (self._offset + round_number, sender, receiver, size_bits)
+        )
+        if round_number > self._phase_last_round:
+            self._phase_last_round = round_number
+
+    def on_broadcast(
+        self, round_number, sender, targets, payload, size_bits, violation
+    ) -> None:
+        rebased = self._offset + round_number
+        self.traffic.extend(
+            (rebased, sender, target, size_bits) for target in targets
         )
         if round_number > self._phase_last_round:
             self._phase_last_round = round_number

@@ -129,6 +129,7 @@ class Transport:
         #: between runs are honoured.
         self._indexed: Optional[IndexedGraph] = None
         self._neighbor_sets: Dict[NodeId, Any] = {}
+        self._index_of: Dict[NodeId, int] = {}
         self.bind_topology(graph.compile())
         # Cache-effectiveness counters, cumulative across the network's
         # runs; the engine stamps per-run deltas into the run's metrics.
@@ -151,6 +152,7 @@ class Transport:
         if indexed is not self._indexed:
             self._indexed = indexed
             self._neighbor_sets = indexed.neighbor_sets()
+            self._index_of = indexed.index_of
 
     def measure(self, payload: Any) -> int:
         """Size of ``payload`` in bits, memoised across the network's runs."""
@@ -267,4 +269,96 @@ class Transport:
                 else:
                     inbox = {}
                 next_inboxes[target] = inbox
+            inbox[sender] = payload
+
+    # ------------------------------------------------------------------
+    def deliver_vector(
+        self,
+        round_number: int,
+        sender: NodeId,
+        outbox: Dict[NodeId, Any],
+        next_slots: List[Optional[Dict[NodeId, Any]]],
+        touched: List[int],
+        pipeline: MetricsPipeline,
+        inbox_pool: List[Dict[NodeId, Any]],
+    ) -> None:
+        """Index-addressed delivery with a batched broadcast fast path.
+
+        The vector engine's counterpart of :meth:`deliver`:
+        ``next_slots`` is a node-index-addressed inbox array (``None`` =
+        no messages yet) and ``touched`` records which indices gained an
+        inbox this round.  Observable behaviour -- metrics, traffic
+        entries and their order, exceptions -- is byte-identical to
+        :meth:`deliver`.
+
+        Fast path: ``NodeAlgorithm.broadcast`` reuses *one* payload
+        object for every neighbour, so an outbox whose payloads are all
+        the same object (by identity) and whose targets are all valid
+        neighbours is measured **once** and reported to the pipeline as
+        a single :meth:`MetricsPipeline.on_broadcast` batch.  Outboxes
+        with per-target payloads, a non-neighbour target or a strict
+        bandwidth overrun take the exact per-message path below (nothing
+        has been observed at that point, so the replay starts clean).
+        """
+        if not outbox:
+            return
+        neighbors = self._neighbor_sets.get(sender)
+        budget = self.bandwidth_bits
+        index_of = self._index_of
+        shared = None
+        if neighbors is not None:
+            iterator = iter(outbox.values())
+            shared = next(iterator)
+            for payload in iterator:
+                if payload is not shared:
+                    shared = None
+                    break
+        if shared is not None:
+            valid = True
+            for target in outbox:
+                if target not in neighbors:
+                    valid = False
+                    break
+            if valid:
+                size = self.measure(shared)
+                violation = size > budget
+                if not (violation and self.strict_bandwidth):
+                    targets = list(outbox)
+                    pipeline.on_broadcast(
+                        round_number, sender, targets, shared, size, violation
+                    )
+                    for target in targets:
+                        index = index_of[target]
+                        inbox = next_slots[index]
+                        if inbox is None:
+                            inbox = inbox_pool.pop() if inbox_pool else {}
+                            next_slots[index] = inbox
+                            touched.append(index)
+                        inbox[sender] = shared
+                    return
+
+        # Exact per-message path: same event order and exceptions as
+        # :meth:`deliver`, writing into index slots instead of a dict.
+        measure = self.measure
+        on_message = pipeline.on_message
+        for target, payload in outbox.items():
+            if neighbors is None or target not in neighbors:
+                raise ProtocolError(
+                    f"node {sender!r} tried to send to non-neighbour {target!r}"
+                )
+            size = measure(payload)
+            violation = size > budget
+            on_message(round_number, sender, target, payload, size, violation)
+            if violation and self.strict_bandwidth:
+                raise BandwidthExceededError(
+                    f"round {round_number}: node {sender!r} sent "
+                    f"{size} bits to {target!r} "
+                    f"(budget {budget} bits)"
+                )
+            index = index_of[target]
+            inbox = next_slots[index]
+            if inbox is None:
+                inbox = inbox_pool.pop() if inbox_pool else {}
+                next_slots[index] = inbox
+                touched.append(index)
             inbox[sender] = payload

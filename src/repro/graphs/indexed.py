@@ -515,7 +515,15 @@ class IndexedGraph:
         return ecc
 
     def _eccentricities_indexed(self) -> List[int]:
-        """Index-ordered eccentricities, computed once and cached."""
+        """Index-ordered eccentricities, computed once and cached.
+
+        Strategy dispatch is tier-aware: under the ``numpy`` compute
+        tier (:mod:`repro.tier`) the moderate-diameter band of the
+        bitset regime goes to the batched Takes-Kosters kernel of
+        :mod:`repro.graphs.vector` (see :meth:`_all_ecc_vector_dispatch`);
+        every strategy is exact, so the tier can never change the
+        result -- only how fast it is computed.
+        """
         cached = self._ecc_cache
         if cached is not None:
             return cached
@@ -526,15 +534,61 @@ class IndexedGraph:
             result = self._all_ecc_plain()
         else:
             diameter_bound = self._double_sweep()
-            if (
-                n <= self._BITPARALLEL_MAX_NODES
-                and diameter_bound * 8 <= n
-            ):
-                result = self._all_ecc_bitparallel()
-            else:
-                result = self._all_ecc_pruned()
+            result = None
+            from repro.tier import active_numpy
+
+            np = active_numpy()
+            if np is not None:
+                result = self._all_ecc_vector_dispatch(np, diameter_bound)
+            if result is None:
+                if (
+                    n <= self._BITPARALLEL_MAX_NODES
+                    and diameter_bound * 8 <= n
+                ):
+                    result = self._all_ecc_bitparallel()
+                else:
+                    result = self._all_ecc_pruned()
         self._ecc_cache = result
         return result
+
+    def _all_ecc_vector_dispatch(
+        self, np, diameter_bound: int
+    ) -> Optional[List[int]]:
+        """numpy-tier strategy selection; ``None`` defers to stdlib.
+
+        The vector kernel (batched 64-source Takes-Kosters over the CSR
+        arrays, :mod:`repro.graphs.vector`) takes over exactly where the
+        stdlib choices degrade:
+
+        * the *moderate-diameter* band of the bitset regime
+          (``VECTOR_MIN_BOUND <= bound`` and ``bound * 8 <= n``), where
+          the big-int bitset pays one full edge pass per level and the
+          diameter makes that expensive -- the kernel keeps the stdlib
+          bitset as its stall fallback, so tie-heavy topologies where
+          the batched bounds cannot converge cost at most two probe
+          blocks extra;
+        * small-diameter graphs *above* ``_BITPARALLEL_MAX_NODES``,
+          where the n^2-bit bitset no longer fits and stdlib falls back
+          to pruning (which degrades to n BFS sweeps on unstructured
+          graphs); brute-force 64-wide BFS blocks are the memory-frugal
+          equivalent of the bitset and need no fallback.
+
+        Tiny diameters stay on the big-int bitset (already near memory
+        bandwidth) and the high-diameter regime stays on Takes-Kosters
+        pruning; the tier only ever changes execution speed.
+        """
+        from repro.graphs import vector
+
+        n = len(self.labels)
+        if diameter_bound * 8 > n:
+            return None
+        if n > self._BITPARALLEL_MAX_NODES:
+            return vector.all_eccentricities_vector(self, np)
+        if diameter_bound >= vector.VECTOR_MIN_BOUND:
+            return vector.all_eccentricities_vector(
+                self, np, fallback=self._all_ecc_bitparallel
+            )
+        return None
 
     def all_eccentricities(self) -> Dict[NodeId, int]:
         """Eccentricity of every node (insertion order), CSR fast path.

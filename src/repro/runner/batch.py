@@ -15,8 +15,8 @@ output.  :class:`BatchRunner` guarantees that by construction:
   computes the same answer no matter which worker runs it;
 * the shared callable and context object are shipped to each worker **once**
   (via the pool initializer), not once per task, and workers inherit the
-  parent's process-wide default engine and quantum schedule-backend
-  selections;
+  parent's process-wide default engine, quantum schedule-backend and
+  compute-tier selections;
 * worker exceptions propagate to the caller (the pool is torn down and the
   original exception is re-raised), so a failing task cannot be silently
   dropped from the aggregate.
@@ -71,25 +71,28 @@ def task_seed(base_seed: int, *components: Any) -> int:
 
 
 def _worker_initializer(
-    function, context, engine_name: str, backend_name: str
+    function, context, engine_name: str, backend_name: str, tier_name: str
 ) -> None:
     """Install the shared task callable and context in a pool worker.
 
     Runs once per worker process, so the (potentially large) context --
     an algorithm table, a pickled search problem -- is transferred and
     deserialised once per worker instead of once per task.  The parent's
-    default-engine and default-schedule-backend selections are re-applied
-    because ``spawn``-style workers do not inherit process-wide globals
-    (and quantum sweep kernels read the backend default; see
+    default-engine, default-schedule-backend and default-compute-tier
+    selections are re-applied because ``spawn``-style workers do not
+    inherit process-wide globals (and quantum sweep kernels read the
+    backend default; see
     :func:`repro.runner.algorithms.quantum_problem_kernel`).
     """
     from repro.engine import set_default_engine
     from repro.quantum.backend import set_default_schedule_backend
+    from repro.tier import set_default_tier
 
     _WORKER_STATE["function"] = function
     _WORKER_STATE["context"] = context
     set_default_engine(engine_name)
     set_default_schedule_backend(backend_name)
+    set_default_tier(tier_name)
 
 
 def _invoke_task(task):
@@ -185,6 +188,7 @@ class BatchRunner:
     def _map_parallel(self, function, tasks: Sequence, context) -> List:
         from repro.engine import get_default_engine
         from repro.quantum.backend import get_default_schedule_backend
+        from repro.tier import get_default_tier
 
         workers = min(self.jobs, len(tasks))
         chunk = self.chunk_size
@@ -199,6 +203,7 @@ class BatchRunner:
                 context,
                 get_default_engine(),
                 get_default_schedule_backend(),
+                get_default_tier(),
             ),
         )
         try:
@@ -214,6 +219,7 @@ class BatchRunner:
     def _imap_parallel(self, function, tasks: Sequence, context) -> Iterator:
         from repro.engine import get_default_engine
         from repro.quantum.backend import get_default_schedule_backend
+        from repro.tier import get_default_tier
 
         workers = min(self.jobs, len(tasks))
         chunk = self.chunk_size
@@ -228,6 +234,7 @@ class BatchRunner:
                 context,
                 get_default_engine(),
                 get_default_schedule_backend(),
+                get_default_tier(),
             ),
         )
         try:

@@ -211,3 +211,114 @@ class TestStoreCommands:
         exit_code = main(["export", "--store", str(empty)])
         assert exit_code == 2
         assert "no records" in capsys.readouterr().err
+
+
+class TestTierFlag:
+    def test_tier_option_parsed(self):
+        args = build_parser().parse_args(["diameter", "--tier", "numpy"])
+        assert args.tier == "numpy"
+        args = build_parser().parse_args(["sweep", "--tier", "stdlib"])
+        assert args.tier == "stdlib"
+        args = build_parser().parse_args(["quantum", "--tier", "numpy"])
+        assert args.tier == "numpy"
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["diameter", "--tier", "cupy"])
+
+    def test_diameter_output_identical_across_tiers(self, capsys):
+        pytest.importorskip("numpy")
+        from repro.tier import get_default_tier
+
+        command = ["diameter", "--family", "clique_chain", "--nodes", "12",
+                   "--seed", "1"]
+        default_before = get_default_tier()
+        assert main(command) == 0
+        stdlib_output = capsys.readouterr().out
+        assert main(command + ["--tier", "numpy"]) == 0
+        assert capsys.readouterr().out == stdlib_output
+        # the flag must not leak into the process default
+        assert get_default_tier() == default_before
+
+    def test_sweep_output_identical_across_tiers(self, capsys):
+        pytest.importorskip("numpy")
+        command = ["sweep", "--families", "clique_chain", "--sizes", "10,12",
+                   "--algorithms", "classical_exact", "--seed", "3"]
+        assert main(command) == 0
+        stdlib_output = capsys.readouterr().out
+        assert main(command + ["--tier", "numpy"]) == 0
+        assert capsys.readouterr().out == stdlib_output
+
+
+#: A stub harness: fast, deterministic, controlled via an env variable.
+_STUB_HARNESS = """\
+import os
+
+
+def run_benchmark(smoke=False):
+    return {"headline_speedup": float(os.environ.get("STUB_SPEEDUP", "4.0")),
+            "smoke": smoke}
+"""
+
+
+class TestBenchCommand:
+    def _bench_dir(self, tmp_path):
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_engine_overhead.py").write_text(_STUB_HARNESS)
+        return bench_dir
+
+    def test_missing_dir(self, capsys, tmp_path):
+        exit_code = main(["bench", "--dir", str(tmp_path / "nope")])
+        assert exit_code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_update_then_compare_ok(self, capsys, tmp_path, monkeypatch):
+        bench_dir = self._bench_dir(tmp_path)
+        baselines = tmp_path / "BENCH_baselines.json"
+        monkeypatch.setenv("STUB_SPEEDUP", "4.0")
+        assert main(["bench", "--smoke", "--dir", str(bench_dir),
+                     "--baselines", str(baselines), "--update"]) == 0
+        capsys.readouterr()
+        payload = json.loads(baselines.read_text())
+        assert payload["smoke"]["engine"] == 4.0
+
+        # within tolerance: 3.1 > 4.0 * 0.75
+        monkeypatch.setenv("STUB_SPEEDUP", "3.1")
+        assert main(["bench", "--smoke", "--dir", str(bench_dir),
+                     "--baselines", str(baselines)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_fails(self, capsys, tmp_path, monkeypatch):
+        bench_dir = self._bench_dir(tmp_path)
+        baselines = tmp_path / "BENCH_baselines.json"
+        monkeypatch.setenv("STUB_SPEEDUP", "4.0")
+        assert main(["bench", "--smoke", "--dir", str(bench_dir),
+                     "--baselines", str(baselines), "--update"]) == 0
+        capsys.readouterr()
+        monkeypatch.setenv("STUB_SPEEDUP", "2.9")  # < 4.0 * 0.75
+        assert main(["bench", "--smoke", "--dir", str(bench_dir),
+                     "--baselines", str(baselines)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "regressed" in captured.err
+
+    def test_no_baseline_passes(self, capsys, tmp_path, monkeypatch):
+        bench_dir = self._bench_dir(tmp_path)
+        monkeypatch.setenv("STUB_SPEEDUP", "1.0")
+        assert main(["bench", "--smoke", "--dir", str(bench_dir),
+                     "--baselines", str(tmp_path / "none.json")]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_full_and_smoke_baselines_are_separate(self, tmp_path, monkeypatch):
+        bench_dir = self._bench_dir(tmp_path)
+        baselines = tmp_path / "BENCH_baselines.json"
+        monkeypatch.setenv("STUB_SPEEDUP", "4.0")
+        assert main(["bench", "--smoke", "--dir", str(bench_dir),
+                     "--baselines", str(baselines), "--update"]) == 0
+        monkeypatch.setenv("STUB_SPEEDUP", "9.0")
+        assert main(["bench", "--dir", str(bench_dir),
+                     "--baselines", str(baselines), "--update"]) == 0
+        payload = json.loads(baselines.read_text())
+        assert payload["smoke"]["engine"] == 4.0
+        assert payload["full"]["engine"] == 9.0
