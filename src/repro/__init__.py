@@ -20,7 +20,11 @@ The library contains, from the ground up:
   the Theorem-10 two-party reduction and the Theorem-11 block-staircase
   simulation;
 * analysis helpers (:mod:`repro.analysis`) used by the benchmark harnesses
-  to regenerate Table 1 and the figure-level experiments.
+  to regenerate Table 1 and the figure-level experiments;
+* deterministic fault injection (:mod:`repro.faults`): seeded message
+  loss/delay, fail-pause node crash/restart and edge churn layered over
+  the engine, with retry/backoff counterparts of the building blocks in
+  :mod:`repro.algorithms.resilient`.
 
 Quick start::
 
@@ -35,7 +39,17 @@ Quick start::
     print(quantum.diameter, quantum.rounds, classical.diameter, classical.rounds)
 """
 
-from repro import algorithms, analysis, congest, core, graphs, lowerbounds, qcongest, quantum
+from repro import (
+    algorithms,
+    analysis,
+    congest,
+    core,
+    faults,
+    graphs,
+    lowerbounds,
+    qcongest,
+    quantum,
+)
 
 __version__ = "1.0.0"
 
@@ -46,6 +60,7 @@ __all__ = [
     "quantum",
     "qcongest",
     "core",
+    "faults",
     "lowerbounds",
     "analysis",
     "__version__",

@@ -38,6 +38,11 @@ from repro.algorithms.eccentricity import run_eccentricity
 from repro.algorithms.evaluation import EvaluationResult, run_evaluation_procedure
 from repro.algorithms.leader_election import LeaderElectionResult, run_leader_election
 from repro.algorithms.multi_source_bfs import run_multi_source_bfs
+from repro.algorithms.resilient import (
+    ResilientBFSResult,
+    run_resilient_bfs,
+    run_resilient_two_approximation,
+)
 from repro.algorithms.waves import WaveScheduleEntry, run_distance_waves
 
 __all__ = [
@@ -62,4 +67,7 @@ __all__ = [
     "run_classical_two_approximation",
     "run_hprw_three_halves_approximation",
     "ApproxDiameterResult",
+    "run_resilient_bfs",
+    "run_resilient_two_approximation",
+    "ResilientBFSResult",
 ]

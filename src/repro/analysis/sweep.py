@@ -54,6 +54,18 @@ exact algorithms).  Sweeps of pure approximation algorithms leave
 :func:`sweep_table`); when the oracle is available anyway, approximation
 guarantees are validated opportunistically.
 
+Fault injection: when the process-default fault model
+(:mod:`repro.faults`) is non-null -- set via ``run_sweep_grid``'s
+``fault_model`` parameter, the ``repro sweep --loss/--crash/--churn``
+flags or :func:`repro.faults.set_default_fault_model` -- the networks the
+kernels build inject message loss, delays, crashes and churn.  Under
+faults, non-convergence is an *expected outcome*, not a bug: simulator
+aborts (round/timeout limits, quiescence stalls) and unreached-node
+errors are captured into the record as ``success=False`` with a
+``failure_reason`` instead of aborting the whole sweep.  Task keys and
+grid signatures incorporate the fault model's description, so faulty and
+fault-free sweeps never alias in a store.
+
 Checkpoint/resume: :func:`run_sweep_grid` optionally persists every
 record to a :class:`repro.store.ExperimentStore` as it completes, and
 with ``resume=True`` skips cells whose task keys are already in the
@@ -71,6 +83,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.congest.errors import CongestSimulationError
+from repro.faults import FaultModel, get_default_fault_model, set_default_fault_model
 from repro.graphs.graph import Graph
 from repro.runner.algorithms import (
     EXACT,
@@ -100,6 +114,12 @@ class SweepRecord:
     Failed checks describe the mismatch in ``extra``
     (``oracle_diameter``, ``value_minus_oracle`` and, for non-integral
     exact values, ``nonintegral_value``).
+
+    ``success`` is ``False`` when the run did not converge -- only
+    possible under an active fault model, where the simulator abort (or
+    unreached-node error) is captured into ``failure_reason`` instead of
+    propagating.  Failed cells carry ``value=-1.0``, ``correct=None``
+    and the rounds completed before the abort.
     """
 
     family: str
@@ -110,27 +130,37 @@ class SweepRecord:
     value: float
     correct: Optional[bool] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    success: bool = True
+    failure_reason: Optional[str] = None
 
 
 def sweep_table(records: Iterable[SweepRecord]) -> str:
-    """Render a list of sweep records as an aligned text table."""
+    """Render a list of sweep records as an aligned text table.
+
+    A ``status`` column (``ok``/``failed``) appears only when some record
+    failed to converge, so fault-free tables render exactly as before.
+    """
     records = list(records)
     if not records:
         return "(no records)"
+    with_status = any(not record.success for record in records)
     header = ["family", "algorithm", "n", "D", "rounds", "value", "correct"]
+    if with_status:
+        header = header + ["status"]
     rows = [header]
     for record in records:
-        rows.append(
-            [
-                record.family,
-                record.algorithm,
-                str(record.num_nodes),
-                "-" if record.diameter is None else str(record.diameter),
-                str(record.rounds),
-                f"{record.value:g}",
-                "-" if record.correct is None else str(record.correct),
-            ]
-        )
+        row = [
+            record.family,
+            record.algorithm,
+            str(record.num_nodes),
+            "-" if record.diameter is None else str(record.diameter),
+            str(record.rounds),
+            f"{record.value:g}",
+            "-" if record.correct is None else str(record.correct),
+        ]
+        if with_status:
+            row.append("ok" if record.success else "failed")
+        rows.append(row)
     widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
     lines = []
     for index, row in enumerate(rows):
@@ -213,6 +243,29 @@ def _check_value(
     return correct, extra
 
 
+def _run_cell(kernel, *args) -> Tuple[int, float, bool, Optional[str]]:
+    """Invoke one measurement kernel, degrading gracefully under faults.
+
+    Returns ``(rounds, value, success, failure_reason)``.  With the null
+    fault model the kernel call is not wrapped at all -- an exception is a
+    bug and propagates exactly as before.  Under an active fault model,
+    simulator aborts (:class:`repro.congest.errors.CongestSimulationError`:
+    round/timeout limits, quiescence stalls) and the unreached-node
+    ``RuntimeError`` of the BFS-based drivers are expected outcomes and
+    become failed records; the rounds completed before a round-limit
+    abort are recovered from the enriched exception.
+    """
+    if get_default_fault_model().is_null:
+        rounds, value = kernel(*args)
+        return rounds, value, True, None
+    try:
+        rounds, value = kernel(*args)
+    except (CongestSimulationError, RuntimeError) as error:
+        rounds = getattr(error, "rounds_completed", None) or 0
+        return rounds, -1.0, False, f"{type(error).__name__}: {error}"
+    return rounds, value, True, None
+
+
 def _sweep_one_graph(
     algorithms: Dict[str, Callable[[Graph], Tuple[int, float]]],
     task: Tuple[str, Graph],
@@ -230,10 +283,15 @@ def _sweep_one_graph(
     )
     records: List[SweepRecord] = []
     for name, runner in algorithms.items():
-        rounds, value = runner(graph)
-        correct, extra = _check_value(
-            _guarantee_of(runner), value, _check_target(runner, graph, true_diameter)
-        )
+        rounds, value, success, failure_reason = _run_cell(runner, graph)
+        if success:
+            correct, extra = _check_value(
+                _guarantee_of(runner),
+                value,
+                _check_target(runner, graph, true_diameter),
+            )
+        else:
+            correct, extra = None, {}
         records.append(
             SweepRecord(
                 family=family,
@@ -244,6 +302,8 @@ def _sweep_one_graph(
                 value=value,
                 correct=correct,
                 extra=extra,
+                success=success,
+                failure_reason=failure_reason,
             )
         )
     return records
@@ -304,16 +364,21 @@ def _sweep_one_grid_cell(
     graph = build_graph_cached(spec)
     seed = task_seed(base_seed, spec, name)
     algorithm = algorithms[name]
-    rounds, value = algorithm(graph, seed)
+    rounds, value, success, failure_reason = _run_cell(algorithm, graph, seed)
     true_diameter: Optional[int] = None
     if _needs_oracle(algorithms):
         # Some algorithm of this sweep needs the oracle, so every record
         # of the spec carries it (matching run_sweep); the per-process
         # cache makes this one computation per spec per worker.
         true_diameter = graph_diameter_cached(spec)
-    correct, extra = _check_value(
-        _guarantee_of(algorithm), value, _check_target(algorithm, graph, true_diameter)
-    )
+    if success:
+        correct, extra = _check_value(
+            _guarantee_of(algorithm),
+            value,
+            _check_target(algorithm, graph, true_diameter),
+        )
+    else:
+        correct, extra = None, {}
     return SweepRecord(
         family=spec.label,
         algorithm=name,
@@ -323,33 +388,50 @@ def _sweep_one_grid_cell(
         value=value,
         correct=correct,
         extra=extra,
+        success=success,
+        failure_reason=failure_reason,
     )
 
 
-def sweep_task_key(spec: GraphSpec, algorithm: str, base_seed: int) -> str:
+def sweep_task_key(
+    spec: GraphSpec,
+    algorithm: str,
+    base_seed: int,
+    fault: Optional[FaultModel] = None,
+) -> str:
     """The stable identity of one grid cell, used for checkpoint/resume.
 
     Derives from the cell's *inputs* only (never from execution order or
     timing), so a resumed run recognises completed cells regardless of
-    worker count or interruption point.
+    worker count or interruption point.  A non-null ``fault`` model is
+    part of the cell's identity (a lossy record must never satisfy a
+    fault-free resume); the null model contributes nothing, so every
+    pre-fault store remains resumable.
     """
-    return (
+    key = (
         f"{spec.family}|n={spec.num_nodes}|D={spec.diameter}"
         f"|graph_seed={spec.seed}|algorithm={algorithm}|base_seed={base_seed}"
     )
+    if fault is not None and not fault.is_null:
+        key += f"|fault={fault.describe()}"
+    return key
 
 
 def grid_signature(
-    specs: Sequence[GraphSpec], algorithm_names: Sequence[str], base_seed: int
+    specs: Sequence[GraphSpec],
+    algorithm_names: Sequence[str],
+    base_seed: int,
+    fault: Optional[FaultModel] = None,
 ) -> str:
     """A digest identifying a grid, stored in run headers.
 
     Resuming into a store written for a *different* grid would silently
     mix incompatible records, so :func:`run_sweep_grid` refuses when the
-    signatures disagree.
+    signatures disagree.  The fault model participates through the task
+    keys (see :func:`sweep_task_key`).
     """
     keys = [
-        sweep_task_key(spec, name, base_seed)
+        sweep_task_key(spec, name, base_seed, fault)
         for spec in specs
         for name in algorithm_names
     ]
@@ -364,6 +446,7 @@ def run_sweep_grid(
     base_seed: int = 0,
     store=None,
     resume: bool = False,
+    fault_model: Optional[FaultModel] = None,
 ) -> List[SweepRecord]:
     """Sweep a ``specs x algorithms`` grid, one record per cell.
 
@@ -374,6 +457,12 @@ def run_sweep_grid(
     depend on worker assignment or execution order.  Cells are submitted
     spec-major so chunk neighbours share the per-worker graph cache.
 
+    ``fault_model`` (a :class:`repro.faults.FaultModel` or registry name)
+    installs a process-default fault model for the duration of the grid
+    (restored afterwards); ``None`` leaves whatever default is active.
+    The batch runner re-applies the default in its pool workers, so
+    parallel faulty sweeps stay byte-identical to serial ones.
+
     ``store`` (a :class:`repro.store.ExperimentStore`) persists every
     record as it completes, together with a run-provenance header and a
     completion footer.  With ``resume=True``, cells whose task keys are
@@ -382,14 +471,30 @@ def run_sweep_grid(
     sweep into a non-empty store requires ``resume=True`` (or a new
     file) -- mixing grids is refused via :func:`grid_signature`.
     """
+    if fault_model is not None:
+        previous = set_default_fault_model(fault_model)
+        try:
+            return run_sweep_grid(
+                specs,
+                algorithms,
+                jobs=jobs,
+                runner=runner,
+                base_seed=base_seed,
+                store=store,
+                resume=resume,
+            )
+        finally:
+            set_default_fault_model(previous)
+
     if runner is None:
         runner = BatchRunner(jobs=jobs)
+    fault = get_default_fault_model()
     tasks = [(spec, name) for spec in specs for name in algorithms]
     context = (algorithms, base_seed)
     if store is None:
         return runner.map(_sweep_one_grid_cell, tasks, context=context)
 
-    signature = grid_signature(specs, list(algorithms), base_seed)
+    signature = grid_signature(specs, list(algorithms), base_seed, fault)
     started = time.perf_counter()
     completed = store.begin_sweep(
         specs=specs,
@@ -399,7 +504,7 @@ def run_sweep_grid(
         jobs=runner.jobs,
         resume=resume,
     )
-    keys = [sweep_task_key(spec, name, base_seed) for spec, name in tasks]
+    keys = [sweep_task_key(spec, name, base_seed, fault) for spec, name in tasks]
     results: List[Optional[SweepRecord]] = [completed.get(key) for key in keys]
     pending = [index for index, record in enumerate(results) if record is None]
     # zip() pulls from imap lazily, so every record is persisted the moment

@@ -65,6 +65,7 @@ from repro.congest import Network
 from repro.core import quantum_exact_diameter, quantum_three_halves_diameter
 from repro.core.problems import QUANTUM_PROBLEMS, quantum_problem_names
 from repro.engine import ENGINE_NAMES
+from repro.faults import FaultModel, set_default_fault_model
 from repro.graphs import generators
 from repro.quantum.backend import BACKEND_NAMES, set_default_schedule_backend
 from repro.runner import (
@@ -131,6 +132,53 @@ def _compute_tier(name: Optional[str]):
         yield
     finally:
         set_default_tier(previous)
+
+
+@contextlib.contextmanager
+def _fault_model(model: Optional[FaultModel]):
+    """Temporarily select the process-wide default fault model.
+
+    Mirrors :func:`_schedule_backend`: process-wide so the batch runner
+    ships the model to its pool workers, restored afterwards so
+    in-process callers of :func:`main` do not inherit a leaked default.
+    Unlike the backend/tier selections this one *changes* results -- that
+    is the point -- but deterministically: the same flags and seeds
+    reproduce the same faulty records.
+    """
+    if model is None:
+        yield
+        return
+    previous = set_default_fault_model(model)
+    try:
+        yield
+    finally:
+        set_default_fault_model(previous)
+
+
+def _fault_model_from_args(args: argparse.Namespace) -> Optional[FaultModel]:
+    """Build the fault model selected by the ``--loss/--crash/...`` flags.
+
+    Returns ``None`` (leave the process default alone) when no flag asks
+    for an actual fault: probabilities at zero and no fault timeout.  May
+    raise ``ValueError`` for out-of-range values (reported as usage
+    errors by the caller).
+    """
+    if not (
+        args.loss or args.delay or args.crash or args.churn
+        or args.fault_timeout is not None
+    ):
+        return None
+    return FaultModel(
+        loss=args.loss,
+        delay=args.delay,
+        max_delay=args.max_delay,
+        crash=args.crash,
+        crash_window=args.crash_window,
+        down_rounds=args.down_rounds,
+        churn=args.churn,
+        timeout=args.fault_timeout,
+        seed=args.fault_seed,
+    )
 
 
 def _quantum_seeds(seed: int):
@@ -241,10 +289,16 @@ def _run_grid_command(args: argparse.Namespace, algorithms) -> int:
     graph_seed = task_seed(args.seed, "sweep-graph-stream")
     base_seed = task_seed(args.seed, "sweep-algorithm-stream")
     specs = grid(families, sizes, diameter=args.diameter, seed=graph_seed)
+    try:
+        fault = _fault_model_from_args(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     runner = BatchRunner(jobs=args.jobs)
     store = ExperimentStore(args.out) if args.out is not None else None
     try:
-        with _schedule_backend(args.backend), _compute_tier(args.tier):
+        with _schedule_backend(args.backend), _compute_tier(args.tier), \
+                _fault_model(fault):
             records = run_sweep_grid(
                 specs,
                 algorithms,
@@ -259,10 +313,21 @@ def _run_grid_command(args: argparse.Namespace, algorithms) -> int:
     print(sweep_table(records))
     if store is not None:
         print(f"\n{len(records)} record(s) persisted to {args.out}", file=sys.stderr)
+    unconverged = [r for r in records if not r.success]
+    if unconverged:
+        print(
+            f"\n{len(unconverged)} run(s) did not converge under the fault "
+            "model (success=False)",
+            file=sys.stderr,
+        )
     failed = [r for r in records if r.correct is False]
     if failed:
         print(f"\n{len(failed)} correctness check(s) FAILED", file=sys.stderr)
-        return 1
+        # Under an active fault model a wrong value is an expected,
+        # *reported* outcome (success/correct land in the records), not a
+        # bug in the algorithms -- only fault-free sweeps gate on it.
+        if fault is None:
+            return 1
     return 0
 
 
@@ -330,6 +395,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 #: ``run_benchmark(smoke=...) -> dict`` with a ``headline_speedup`` entry.
 BENCH_HARNESSES = (
     ("engine", "bench_engine_overhead.py"),
+    ("faults", "bench_faults.py"),
     ("graphcore", "bench_graphcore.py"),
     ("quantum", "bench_quantum.py"),
     ("runner", "bench_runner_scaling.py"),
@@ -482,6 +548,60 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_fault_options(sub: argparse.ArgumentParser) -> None:
+        """Deterministic fault-injection flags (see :mod:`repro.faults`).
+
+        All probabilities default to 0; with every flag at its default
+        the null model applies and execution is byte-identical to a
+        fault-free run.
+        """
+        sub.add_argument(
+            "--loss", type=float, default=0.0, metavar="P",
+            help="per-message loss probability (default: 0)",
+        )
+        sub.add_argument(
+            "--delay", type=float, default=0.0, metavar="P",
+            help="per-message extra-latency probability (default: 0)",
+        )
+        sub.add_argument(
+            "--max-delay", type=int, default=1, metavar="R",
+            help="max extra rounds a delayed message waits (default: 1)",
+        )
+        sub.add_argument(
+            "--crash", type=float, default=0.0, metavar="P",
+            help="per-node crash probability (fail-pause; default: 0)",
+        )
+        sub.add_argument(
+            "--crash-window", type=int, default=32, metavar="R",
+            help="crashes happen within the first R rounds (default: 32)",
+        )
+        sub.add_argument(
+            "--down-rounds", type=int, default=0, metavar="R",
+            help=(
+                "rounds a crashed node stays down before restarting "
+                "with its state intact (0 = never restarts; default: 0)"
+            ),
+        )
+        sub.add_argument(
+            "--churn", type=float, default=0.0, metavar="P",
+            help="per-edge per-round outage probability (default: 0)",
+        )
+        sub.add_argument(
+            "--fault-timeout", type=int, default=None, metavar="ROUNDS",
+            help=(
+                "abort any single run after this many rounds (recorded "
+                "as a failed cell instead of hanging until the generic "
+                "round cap)"
+            ),
+        )
+        sub.add_argument(
+            "--fault-seed", type=int, default=0,
+            help=(
+                "seed of the fault randomness stream, independent of the "
+                "graph and algorithm seeds (default: 0)"
+            ),
+        )
+
     diameter_parser = subparsers.add_parser(
         "diameter", help="exact diameter: classical baseline vs Theorem 1"
     )
@@ -558,6 +678,7 @@ def build_parser() -> argparse.ArgumentParser:
             "tier-independent; default: stdlib)"
         ),
     )
+    add_fault_options(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     quantum_parser = subparsers.add_parser(
@@ -622,6 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list the registered quantum problems and exit",
     )
+    add_fault_options(quantum_parser)
     quantum_parser.set_defaults(handler=_cmd_quantum)
 
     export_parser = subparsers.add_parser(

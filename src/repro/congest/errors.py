@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class CongestSimulationError(Exception):
     """Base class for all simulator errors."""
@@ -14,7 +16,45 @@ class BandwidthExceededError(CongestSimulationError):
 
 
 class RoundLimitExceededError(CongestSimulationError):
-    """The algorithm did not terminate within the allowed number of rounds."""
+    """The algorithm did not terminate within the allowed number of rounds.
+
+    Carries structured progress data (when built via :meth:`for_run`) so
+    that timeout-under-faults failures are diagnosable: the sweep layer
+    reads :attr:`rounds_completed` into its failure records instead of
+    parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        max_rounds: Optional[int] = None,
+        rounds_completed: Optional[int] = None,
+        messages_sent: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.max_rounds = max_rounds
+        self.rounds_completed = rounds_completed
+        self.messages_sent = messages_sent
+
+    @classmethod
+    def for_run(
+        cls, max_rounds: int, rounds_completed: int, messages_sent: int
+    ) -> "RoundLimitExceededError":
+        """The round-cap abort of the engine's run loops.
+
+        One construction site for every loop, so the (enriched) message
+        is identical across the dense, sparse, vector and fault-aware
+        paths and states how far the execution got before the cap.
+        """
+        return cls(
+            f"algorithm did not terminate within {max_rounds} rounds "
+            f"({rounds_completed} round(s) completed, "
+            f"{messages_sent} message(s) sent)",
+            max_rounds=max_rounds,
+            rounds_completed=rounds_completed,
+            messages_sent=messages_sent,
+        )
 
 
 class ProtocolError(CongestSimulationError):

@@ -13,6 +13,12 @@ round-complexity formulas, so the simulator records:
   in non-strict mode, e.g. for the congestion ablation);
 * ``max_node_memory_bits`` -- the largest per-node working-memory footprint
   reported by the algorithms (when they implement ``memory_bits``);
+* ``dropped_messages`` / ``delayed_messages`` / ``node_crashes`` /
+  ``node_restarts`` / ``churned_edge_rounds`` -- degradation counters of
+  the fault layer (:mod:`repro.faults`): messages lost (to loss, churn or
+  a crashed receiver), messages that arrived late, crash and restart
+  events, and (edge, round) pairs in which a churned edge was down.  All
+  zero under the null fault model;
 * ``size_cache_hits`` / ``size_cache_misses`` / ``size_cache_overflows`` --
   effectiveness of the transport's payload-size memo cache during the run
   (a hit skips re-measuring a payload; an overflow is a payload measured
@@ -40,6 +46,12 @@ class ExecutionMetrics:
     bandwidth_limit_bits: Optional[int] = None
     bandwidth_violations: int = 0
     max_node_memory_bits: int = 0
+    # Fault-layer degradation counters (zero under the null fault model).
+    dropped_messages: int = 0
+    delayed_messages: int = 0
+    node_crashes: int = 0
+    node_restarts: int = 0
+    churned_edge_rounds: int = 0
     # Cache-effectiveness diagnostics.  Excluded from equality: they
     # describe *how* the simulation executed (cold vs warm memo cache,
     # serial vs pool-worker layout), not *what* it computed, so two
@@ -70,6 +82,12 @@ class ExecutionMetrics:
             max_node_memory_bits=max(
                 self.max_node_memory_bits, other.max_node_memory_bits
             ),
+            dropped_messages=self.dropped_messages + other.dropped_messages,
+            delayed_messages=self.delayed_messages + other.delayed_messages,
+            node_crashes=self.node_crashes + other.node_crashes,
+            node_restarts=self.node_restarts + other.node_restarts,
+            churned_edge_rounds=self.churned_edge_rounds
+            + other.churned_edge_rounds,
             size_cache_hits=self.size_cache_hits + other.size_cache_hits,
             size_cache_misses=self.size_cache_misses + other.size_cache_misses,
             size_cache_overflows=self.size_cache_overflows
@@ -97,6 +115,11 @@ class ExecutionMetrics:
             bandwidth_limit_bits=self.bandwidth_limit_bits,
             bandwidth_violations=self.bandwidth_violations * repetitions,
             max_node_memory_bits=self.max_node_memory_bits,
+            dropped_messages=self.dropped_messages * repetitions,
+            delayed_messages=self.delayed_messages * repetitions,
+            node_crashes=self.node_crashes * repetitions,
+            node_restarts=self.node_restarts * repetitions,
+            churned_edge_rounds=self.churned_edge_rounds * repetitions,
             size_cache_hits=self.size_cache_hits * repetitions,
             size_cache_misses=self.size_cache_misses * repetitions,
             size_cache_overflows=self.size_cache_overflows * repetitions,

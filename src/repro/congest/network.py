@@ -93,6 +93,13 @@ class Network:
         round loop) or ``"sparse"`` (event-driven, idle nodes are skipped).
         ``None`` uses the process-wide default
         (:func:`repro.engine.set_default_engine`).
+    fault_model:
+        A :class:`repro.faults.FaultModel` (or registry name) injected
+        into every run of this network: seeded message loss/delay, node
+        crash/restart and edge churn.  ``None`` uses the process-wide
+        default (:func:`repro.faults.set_default_fault_model`), which is
+        the null model unless changed -- and the null model is
+        byte-identical to the fault-free simulator.
     """
 
     def __init__(
@@ -102,6 +109,7 @@ class Network:
         strict_bandwidth: bool = True,
         seed: Optional[int] = None,
         engine: Optional[str] = None,
+        fault_model=None,
     ) -> None:
         if graph.num_nodes == 0:
             raise ValueError("cannot build a network over an empty graph")
@@ -120,6 +128,13 @@ class Network:
         self.bandwidth_bits = bandwidth_bits
         self.strict_bandwidth = strict_bandwidth
         self._seed = seed if seed is not None else 0
+
+        # Resolved at construction time (like the engine), so a network
+        # keeps its fault configuration even if the process default is
+        # flipped between runs.
+        from repro.faults import resolve_fault_model
+
+        self.fault_model = resolve_fault_model(fault_model)
 
         # Imported lazily: repro.engine depends on the sibling congest
         # modules, so a module-level import here would be circular.

@@ -154,6 +154,42 @@ class NodeAlgorithm:
         return requests
 
     # ------------------------------------------------------------------
+    # Retry/backoff helpers (graceful degradation under faults)
+    # ------------------------------------------------------------------
+    def wake_after(self, round_number: int, delay: int) -> int:
+        """Schedule a self-wake ``delay`` rounds after ``round_number``.
+
+        Returns the absolute target round, which the caller should store
+        and compare against ``round_number`` in later ``on_round`` calls:
+        the dense scheduler polls every node every round, the sparse one
+        wakes the node exactly at the target, and checking ``round_number
+        >= target`` makes both behave identically.  ``delay`` is clamped
+        to at least 1 (a node cannot re-run within its own round).
+        """
+        target = round_number + max(1, int(delay))
+        self.wake_at(target)
+        return target
+
+    def retry_backoff(
+        self,
+        round_number: int,
+        attempt: int,
+        base: int = 1,
+        factor: int = 2,
+        cap: int = 64,
+    ) -> int:
+        """Schedule a retry wake with exponential backoff.
+
+        Attempt 0 wakes after ``base`` rounds, attempt 1 after ``base *
+        factor`` rounds, and so on, capped at ``cap`` rounds.  Returns
+        the absolute round of the scheduled wake (see :meth:`wake_after`).
+        Used by fault-tolerant algorithms to re-request messages that a
+        lossy network may have dropped, without flooding every round.
+        """
+        delay = min(cap, base * factor ** max(0, attempt))
+        return self.wake_after(round_number, delay)
+
+    # ------------------------------------------------------------------
     # Conveniences for subclasses
     # ------------------------------------------------------------------
     def broadcast(self, payload: Any) -> Outbox:

@@ -28,6 +28,7 @@ from repro.engine.engine import (
 )
 from repro.engine.observers import (
     CoreMetricsObserver,
+    FaultObserver,
     MetricsObserver,
     MetricsPipeline,
     RunLogObserver,
@@ -63,6 +64,7 @@ __all__ = [
     "MetricsObserver",
     "MetricsPipeline",
     "CoreMetricsObserver",
+    "FaultObserver",
     "TrafficLogObserver",
     "StitchedTrafficObserver",
     "RunLogObserver",

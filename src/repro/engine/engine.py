@@ -11,8 +11,13 @@
   measurable event (core accounting, traffic logs, custom observers).
 
 ``Network`` keeps its public ``run`` signature and delegates here; new
-execution policies (async rounds, faulty links, dynamic topologies) are
-additional schedulers/transports, not rewrites of the loop.
+execution policies are additional schedulers/transports, not rewrites of
+the loop.  Faulty links and dynamic topologies are in: a network built
+with a non-null :class:`repro.faults.FaultModel` routes through
+:meth:`ExecutionEngine._run_loop_faulty`, which layers message
+loss/delay, fail-pause crash/restart and per-round edge churn over the
+same scheduler/transport structure (the null model keeps the clean
+loops, byte-identical to the pre-fault engine).
 
 Internally the engine represents inboxes *sparsely*: the inbox mapping of a
 round contains exactly the nodes that received at least one message, so the
@@ -28,6 +33,7 @@ from repro.congest.errors import RoundLimitExceededError
 from repro.congest.node import Inbox, NodeAlgorithm
 from repro.engine.observers import (
     CoreMetricsObserver,
+    FaultObserver,
     MetricsObserver,
     MetricsPipeline,
     TrafficLogObserver,
@@ -102,6 +108,11 @@ class ExecutionEngine:
         self.transport = transport
         self.observers: list = list(observers)
         self._run_depth = 0
+        # Per-engine counter of fault-aware runs: each run of a faulty
+        # network salts its fault stream with this index, so multi-phase
+        # algorithms (one ``run`` per phase) draw fresh, reproducible
+        # fault patterns per phase instead of replaying round-0 fates.
+        self._fault_runs = 0
 
     @property
     def name(self) -> str:
@@ -138,13 +149,28 @@ class ExecutionEngine:
             scheduler = self.scheduler
         else:
             scheduler = make_scheduler(self.scheduler.name)
-        run_loop = (
-            self._run_loop_vector
-            if getattr(scheduler, "vectorized", False)
-            else self._run_loop
-        )
+        # The fault model only reroutes execution when it injects
+        # something: the null model takes the exact pre-fault code paths,
+        # which is what keeps it byte-identical to the fault-free
+        # simulator (values, metrics, traffic logs, error messages).
+        fault_model = getattr(network, "fault_model", None)
+        if fault_model is not None and fault_model.is_null:
+            fault_model = None
         self._run_depth += 1
         try:
+            if fault_model is not None:
+                run_index = self._fault_runs
+                self._fault_runs += 1
+                return self._run_loop_faulty(
+                    network, algorithms, scheduler, ExecutionResult,
+                    max_rounds, exact_rounds, record_traffic,
+                    fault_model, run_index,
+                )
+            run_loop = (
+                self._run_loop_vector
+                if getattr(scheduler, "vectorized", False)
+                else self._run_loop
+            )
             return run_loop(
                 network, algorithms, scheduler, ExecutionResult,
                 max_rounds, exact_rounds, record_traffic,
@@ -243,8 +269,8 @@ class ExecutionEngine:
                         break
                     scheduler.check_quiescent(round_number, unfinished)
             if round_number >= max_rounds:
-                raise RoundLimitExceededError(
-                    f"algorithm did not terminate within {max_rounds} rounds"
+                raise RoundLimitExceededError.for_run(
+                    max_rounds, round_number, core.metrics.messages
                 )
 
             active = active_nodes(round_number, inboxes)
@@ -423,8 +449,8 @@ class ExecutionEngine:
             ):
                 break
             if round_number >= max_rounds:
-                raise RoundLimitExceededError(
-                    f"algorithm did not terminate within {max_rounds} rounds"
+                raise RoundLimitExceededError.for_run(
+                    max_rounds, round_number, core.metrics.messages
                 )
 
             any_message = False
@@ -469,6 +495,241 @@ class ExecutionEngine:
 
             if exact_rounds is None and not any_message and unfinished == 0:
                 break
+
+        metrics = core.metrics
+        metrics.rounds = round_number
+        misses = transport.cache_misses - cache_misses_before
+        metrics.size_cache_misses = misses
+        metrics.size_cache_hits = max(0, metrics.messages - misses)
+        metrics.size_cache_overflows = (
+            transport.cache_overflows - cache_overflows_before
+        )
+        pipeline.on_run_end(metrics)
+        results = {node: algorithm.result() for node, algorithm in algorithms.items()}
+        return result_type(
+            results=results,
+            metrics=metrics,
+            traffic=traffic_observer.traffic if traffic_observer is not None else None,
+        )
+
+
+    def _run_loop_faulty(
+        self,
+        network,
+        algorithms: Dict[NodeId, NodeAlgorithm],
+        scheduler: Scheduler,
+        result_type,
+        max_rounds: int,
+        exact_rounds: Optional[int],
+        record_traffic: bool,
+        fault_model,
+        run_index: int,
+    ):
+        """The fault-aware round loop (any scheduler, non-null model only).
+
+        A sibling of :meth:`_run_loop` -- kept separate so the clean
+        loops stay byte-identical to the pre-fault engine -- with four
+        additions threaded through the same structure:
+
+        * the resolved :class:`repro.faults.FaultPlan` decides message
+          fates inside :meth:`repro.engine.transport.Transport.deliver_faulty`
+          (drop / delay / on-time) and which nodes are down;
+        * delayed messages live in ``pending`` keyed by absolute arrival
+          round and are merged into the inboxes of that round (a normal
+          message from the same sender wins -- it is newer); in-flight
+          deliveries keep the run alive in every termination check, which
+          is how the sparse scheduler's wake logic accounts for them;
+        * crashed nodes are filtered out of the active set (fail-pause:
+          their state is kept) and restarts are pre-registered as
+          scheduler wakes so the sparse policy re-runs a restarted node;
+        * a :class:`repro.engine.observers.FaultObserver` accounts
+          degradation events into the run's metrics, and the model's
+          ``timeout`` tightens ``max_rounds`` so stuck runs fail fast.
+
+        The vector scheduler is handled here through its dense semantics
+        (label-keyed inboxes, per-message delivery): fault decisions are
+        per-message anyway, so the broadcast fast path does not apply.
+        All fault decisions are stateless hashes of their coordinates
+        (see :mod:`repro.faults`), so the dense, sparse and vector
+        engines produce identical faulty executions.
+        """
+        core = CoreMetricsObserver(bandwidth_limit_bits=network.bandwidth_bits)
+        traffic_observer = TrafficLogObserver() if record_traffic else None
+        observers = [core, FaultObserver(core.metrics)]
+        if traffic_observer is not None:
+            observers.append(traffic_observer)
+        if self._run_depth == 1:
+            observers.extend(self.observers)
+        pipeline = MetricsPipeline(observers)
+
+        transport = self.transport
+        transport.bandwidth_bits = network.bandwidth_bits
+        transport.strict_bandwidth = network.strict_bandwidth
+        indexed = network.graph.compile()
+        transport.bind_topology(indexed)
+
+        plan = fault_model.resolve(network._seed, indexed, run_index)
+        if fault_model.timeout is not None:
+            max_rounds = min(max_rounds, fault_model.timeout)
+        # Crash/restart event schedules, inverted to round -> nodes in the
+        # deterministic CSR label order the plan was built in.
+        crash_events: Dict[int, list] = {}
+        for node, at in plan.crash_round.items():
+            crash_events.setdefault(at, []).append(node)
+        restart_events: Dict[int, list] = {}
+        for node, at in plan.restart_round.items():
+            restart_events.setdefault(at, []).append(node)
+        has_crashes = bool(plan.crash_round)
+        has_churn = fault_model.churn > 0.0
+
+        cache_misses_before = transport.cache_misses
+        cache_overflows_before = transport.cache_overflows
+
+        scheduler.begin_run(algorithms, indexed)
+        uses_wakes = scheduler.uses_wakes
+
+        finished_state: Dict[NodeId, bool] = {}
+        unfinished = 0
+        for node, algorithm in algorithms.items():
+            finished = algorithm.finished
+            finished_state[node] = finished
+            if not finished:
+                unfinished += 1
+            requests = algorithm.consume_wake_requests()
+            if uses_wakes and requests:
+                for request in requests:
+                    scheduler.request_wake(
+                        node, 0 if request is None else max(0, request)
+                    )
+        if uses_wakes:
+            # Restarted nodes must run at their restart round even with an
+            # empty inbox; registering the wakes up-front also keeps
+            # ``has_scheduled_wakes`` true through the outage, so the
+            # sparse termination logic cannot declare quiescence while a
+            # restart is still ahead.
+            for node, at in plan.restart_round.items():
+                scheduler.request_wake(node, at)
+
+        pipeline.on_run_start(network)
+
+        deliver_faulty = transport.deliver_faulty
+        on_memory_sample = pipeline.on_memory_sample
+        on_round_end = pipeline.on_round_end
+        on_node_crashed = pipeline.on_node_crashed
+        on_node_restarted = pipeline.on_node_restarted
+        on_edge_churned = pipeline.on_edge_churned
+        active_nodes = scheduler.active_nodes
+        request_wake = scheduler.request_wake
+        has_scheduled_wakes = scheduler.has_scheduled_wakes
+        node_down = plan.node_down
+        inbox_pool: list = []
+        full_sequence = scheduler.all_nodes()
+        algorithm_pairs = list(algorithms.items())
+
+        #: In-flight delayed messages: arrival round -> [(sender, target,
+        #: payload)] in delivery order.
+        pending: Dict[int, list] = {}
+
+        inboxes: Dict[NodeId, Inbox] = {}
+        round_number = 0
+        while True:
+            # Delayed deliveries scheduled for this round re-enter the
+            # inboxes before any termination check or scheduling decision.
+            # ``setdefault``: an on-time message from the same sender was
+            # sent later and wins over a delayed (older) one; among
+            # delayed messages the earliest-sent wins.
+            arrivals = pending.pop(round_number, None)
+            if arrivals:
+                for sender, target, payload in arrivals:
+                    inbox = inboxes.get(target)
+                    if inbox is None:
+                        inbox = inbox_pool.pop() if inbox_pool else {}
+                        inboxes[target] = inbox
+                    inbox.setdefault(sender, payload)
+
+            if exact_rounds is not None and round_number >= exact_rounds:
+                break
+            if exact_rounds is None and round_number > 0:
+                pending_wakes = has_scheduled_wakes()
+                if not inboxes and not pending_wakes and not pending:
+                    if unfinished == 0:
+                        break
+                    if not plan.restarts_pending(round_number):
+                        scheduler.check_quiescent(round_number, unfinished)
+            if round_number >= max_rounds:
+                raise RoundLimitExceededError.for_run(
+                    max_rounds, round_number, core.metrics.messages
+                )
+
+            for node in crash_events.pop(round_number, ()):
+                on_node_crashed(round_number, node)
+            for node in restart_events.pop(round_number, ()):
+                on_node_restarted(round_number, node)
+            if has_churn:
+                for u, v in plan.churned_edges(round_number):
+                    on_edge_churned(round_number, u, v)
+
+            active = active_nodes(round_number, inboxes)
+            # Down nodes neither run nor drain their wakes (fail-pause);
+            # their inboxes are already empty -- the transport drops
+            # messages whose receiver is down at arrival.
+            if has_crashes:
+                items = [
+                    (node, algorithms[node])
+                    for node in active
+                    if not node_down(round_number, node)
+                ]
+            elif active is full_sequence:
+                items = algorithm_pairs
+            else:
+                items = [(node, algorithms[node]) for node in active]
+
+            next_inboxes: Dict[NodeId, Inbox] = {}
+            any_message = False
+            inboxes_get = inboxes.get
+            for node, algorithm in items:
+                inbox = inboxes_get(node)
+                if inbox is None:
+                    inbox = inbox_pool.pop() if inbox_pool else {}
+                outbox = algorithm.on_round(round_number, inbox)
+                if outbox:
+                    any_message = True
+                    deliver_faulty(
+                        round_number, node, outbox, next_inboxes, pipeline,
+                        inbox_pool, plan, pending,
+                    )
+                if inbox:
+                    inbox.clear()
+                inbox_pool.append(inbox)
+                memory = algorithm.memory_bits()
+                if memory is not None:
+                    on_memory_sample(node, memory)
+                finished = algorithm.finished
+                if finished != finished_state[node]:
+                    finished_state[node] = finished
+                    unfinished += -1 if finished else 1
+                if getattr(algorithm, "_wake_requests", None):
+                    requests = algorithm.consume_wake_requests()
+                    if uses_wakes:
+                        for request in requests:
+                            request_wake(
+                                node,
+                                round_number + 1
+                                if request is None
+                                else max(request, round_number + 1),
+                            )
+            on_round_end(round_number)
+
+            round_number += 1
+            inboxes = next_inboxes
+
+            if exact_rounds is None and not any_message:
+                if (
+                    unfinished == 0
+                    and not has_scheduled_wakes()
+                    and not pending
+                ):
+                    break
 
         metrics = core.metrics
         metrics.rounds = round_number

@@ -84,6 +84,40 @@ class MetricsObserver:
     def on_run_end(self, metrics: ExecutionMetrics) -> None:
         """Called once when a run completes normally (not on error)."""
 
+    # -- fault-layer events (only emitted by fault-aware runs) ----------
+    def on_message_dropped(
+        self, round_number: int, sender: NodeId, receiver: NodeId, reason: str
+    ) -> None:
+        """A sent message was discarded by the fault plan.
+
+        ``reason`` is ``"loss"`` (random message loss), ``"churn"`` (the
+        edge was down this round) or ``"crash"`` (the receiver is down at
+        the arrival round).  The message was still *sent* -- it consumed
+        bandwidth and was reported through :meth:`on_message` first.
+        """
+
+    def on_message_delayed(
+        self,
+        round_number: int,
+        sender: NodeId,
+        receiver: NodeId,
+        arrival_round: int,
+    ) -> None:
+        """A sent message was delayed to arrive at ``arrival_round``
+        (instead of ``round_number + 1``)."""
+
+    def on_node_crashed(self, round_number: int, node: NodeId) -> None:
+        """``node`` crashed at the top of ``round_number`` (fail-pause)."""
+
+    def on_node_restarted(self, round_number: int, node: NodeId) -> None:
+        """``node`` restarted at the top of ``round_number`` with its
+        pre-crash state intact."""
+
+    def on_edge_churned(
+        self, round_number: int, u: NodeId, v: NodeId
+    ) -> None:
+        """The edge ``{u, v}`` is down for the duration of ``round_number``."""
+
 
 class MetricsPipeline:
     """An ordered fan-out of observers.
@@ -141,6 +175,36 @@ class MetricsPipeline:
         for observer in self.observers:
             observer.on_run_end(metrics)
 
+    def on_message_dropped(
+        self, round_number: int, sender: NodeId, receiver: NodeId, reason: str
+    ) -> None:
+        for observer in self.observers:
+            observer.on_message_dropped(round_number, sender, receiver, reason)
+
+    def on_message_delayed(
+        self,
+        round_number: int,
+        sender: NodeId,
+        receiver: NodeId,
+        arrival_round: int,
+    ) -> None:
+        for observer in self.observers:
+            observer.on_message_delayed(
+                round_number, sender, receiver, arrival_round
+            )
+
+    def on_node_crashed(self, round_number: int, node: NodeId) -> None:
+        for observer in self.observers:
+            observer.on_node_crashed(round_number, node)
+
+    def on_node_restarted(self, round_number: int, node: NodeId) -> None:
+        for observer in self.observers:
+            observer.on_node_restarted(round_number, node)
+
+    def on_edge_churned(self, round_number: int, u: NodeId, v: NodeId) -> None:
+        for observer in self.observers:
+            observer.on_edge_churned(round_number, u, v)
+
 
 class CoreMetricsObserver(MetricsObserver):
     """The accounting the seed simulator performed inline.
@@ -183,6 +247,39 @@ class CoreMetricsObserver(MetricsObserver):
     def on_memory_sample(self, node, memory_bits) -> None:
         if memory_bits > self.metrics.max_node_memory_bits:
             self.metrics.max_node_memory_bits = memory_bits
+
+
+class FaultObserver(MetricsObserver):
+    """Account fault-layer events into an :class:`ExecutionMetrics`.
+
+    Attached by the engine's fault-aware run loop next to the
+    :class:`CoreMetricsObserver` (sharing its metrics object), so faulty
+    runs report their degradation -- dropped/delayed messages, crash and
+    restart events, churned (edge, round) pairs -- alongside the ordinary
+    cost counters.  Never attached under the null fault model.
+    """
+
+    def __init__(self, metrics: ExecutionMetrics) -> None:
+        self.metrics = metrics
+
+    def on_message_dropped(
+        self, round_number, sender, receiver, reason
+    ) -> None:
+        self.metrics.dropped_messages += 1
+
+    def on_message_delayed(
+        self, round_number, sender, receiver, arrival_round
+    ) -> None:
+        self.metrics.delayed_messages += 1
+
+    def on_node_crashed(self, round_number, node) -> None:
+        self.metrics.node_crashes += 1
+
+    def on_node_restarted(self, round_number, node) -> None:
+        self.metrics.node_restarts += 1
+
+    def on_edge_churned(self, round_number, u, v) -> None:
+        self.metrics.churned_edge_rounds += 1
 
 
 class TrafficLogObserver(MetricsObserver):

@@ -272,6 +272,81 @@ class Transport:
             inbox[sender] = payload
 
     # ------------------------------------------------------------------
+    def deliver_faulty(
+        self,
+        round_number: int,
+        sender: NodeId,
+        outbox: Dict[NodeId, Any],
+        next_inboxes: Dict[NodeId, Dict[NodeId, Any]],
+        pipeline: MetricsPipeline,
+        inbox_pool: Optional[List[Dict[NodeId, Any]]],
+        plan,
+        pending: Dict[int, List[Tuple[NodeId, NodeId, Any]]],
+    ) -> None:
+        """:meth:`deliver` with the fault plan consulted per message.
+
+        The clean prefix is identical to :meth:`deliver` -- neighbour
+        contract, measurement, :meth:`MetricsPipeline.on_message`, strict
+        bandwidth -- because a faulty network does not change what a node
+        *sends*: every message consumes bandwidth and appears in traffic
+        logs whether or not it arrives.  After accounting, the plan
+        decides the fate, checked in physical order: a churned (down)
+        edge carries nothing; then random loss; then the arrival-time
+        crash check (a delayed message arriving while its receiver is
+        down is lost too); then delay, which parks the message in
+        ``pending`` (keyed by absolute arrival round -- the engine merges
+        it into the inboxes of that round) instead of ``next_inboxes``.
+        """
+        neighbors = self._neighbor_sets.get(sender)
+        budget = self.bandwidth_bits
+        measure = self.measure
+        on_message = pipeline.on_message
+        next_inboxes_get = next_inboxes.get
+        edge_down = plan.edge_down
+        message_fate = plan.message_fate
+        node_down = plan.node_down
+        for target, payload in outbox.items():
+            if neighbors is None or target not in neighbors:
+                raise ProtocolError(
+                    f"node {sender!r} tried to send to non-neighbour {target!r}"
+                )
+            size = measure(payload)
+            violation = size > budget
+            on_message(round_number, sender, target, payload, size, violation)
+            if violation and self.strict_bandwidth:
+                raise BandwidthExceededError(
+                    f"round {round_number}: node {sender!r} sent "
+                    f"{size} bits to {target!r} "
+                    f"(budget {budget} bits)"
+                )
+            if edge_down(round_number, sender, target):
+                pipeline.on_message_dropped(round_number, sender, target, "churn")
+                continue
+            fate = message_fate(round_number, sender, target)
+            if fate < 0:
+                pipeline.on_message_dropped(round_number, sender, target, "loss")
+                continue
+            arrival = round_number + 1 + fate
+            if node_down(arrival, target):
+                pipeline.on_message_dropped(round_number, sender, target, "crash")
+                continue
+            if fate:
+                pipeline.on_message_delayed(round_number, sender, target, arrival)
+                bucket = pending.get(arrival)
+                if bucket is None:
+                    bucket = pending[arrival] = []
+                bucket.append((sender, target, payload))
+                continue
+            inbox = next_inboxes_get(target)
+            if inbox is None:
+                if inbox_pool:
+                    inbox = inbox_pool.pop()
+                else:
+                    inbox = {}
+                next_inboxes[target] = inbox
+            inbox[sender] = payload
+
+    # ------------------------------------------------------------------
     def deliver_vector(
         self,
         round_number: int,

@@ -1,0 +1,402 @@
+"""Deterministic fault injection for the CONGEST simulator.
+
+The paper assumes a static, lossless, synchronous network.  Real networks
+are none of those things, so this module adds a *seeded, deterministic*
+fault layer the engine consults while delivering messages and scheduling
+nodes:
+
+* **message loss** -- every (round, sender, receiver) message is dropped
+  independently with probability :attr:`FaultModel.loss`;
+* **message delay** -- with probability :attr:`FaultModel.delay` a message
+  takes ``1 + d`` rounds instead of one, ``d`` uniform in
+  ``[1, max_delay]``; delayed messages re-enter the inbox at the scheduled
+  arrival round (the engine keeps an in-flight map and the sparse
+  scheduler's termination logic counts it);
+* **node crashes** -- each node independently crashes with probability
+  :attr:`FaultModel.crash` at a round uniform in ``[1, crash_window]``
+  (never round 0, so initiators always get to start the algorithm).  The
+  failure mode is *fail-pause*: a down node neither runs nor receives,
+  but keeps its local state; with ``down_rounds > 0`` it restarts after
+  that many rounds, otherwise it stays down forever;
+* **edge churn** -- every edge is independently *down* in each round with
+  probability :attr:`FaultModel.churn`; messages crossing a down edge are
+  dropped (the topology itself is unchanged, so the CONGEST neighbour
+  contract still holds).
+
+Determinism.  Fault decisions are **stateless hashes**, not draws from a
+sequential RNG stream: each decision is a pure function of the fault seed
+and the event's coordinates (round, sender, receiver / node / edge),
+computed with the same CRC idiom as :func:`repro.runner.batch.task_seed`.
+This makes faulty executions independent of *evaluation order* -- the
+dense, sparse and vector engines consult the plan in different orders yet
+produce identical executions -- and independent of
+``PYTHONHASHSEED``.  The fault seed itself is derived from the network
+seed, the model's :attr:`FaultModel.seed` and a per-engine run counter,
+so it is isolated from the graph-construction and algorithm seed streams
+(faults never replay algorithm randomness) while multi-phase algorithms
+(one ``Network.run`` per phase) see fresh, reproducible draws per phase.
+
+Selection follows the engine/backend/tier idiom
+(:func:`repro.engine.set_default_engine`,
+:func:`repro.tier.set_default_tier`): a process-wide default fault model
+(the null model unless changed), toggled by the CLI
+``--loss/--crash/--churn`` flags, re-applied in
+:class:`repro.runner.batch.BatchRunner` pool workers and stamped into
+:func:`repro.store.provenance.collect_provenance`.  The null model is
+guaranteed byte-identical to the fault-free path: the engine only enters
+its fault-aware loop when :attr:`FaultModel.is_null` is false.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, fields
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.graphs.graph import NodeId
+from repro.graphs.indexed import IndexedGraph
+
+#: Scale of the CRC-to-unit-interval map: ``crc32`` is uniform on
+#: ``[0, 2**32)``, so dividing by ``2**32`` yields a value in ``[0, 1)``.
+_UNIT_SCALE = 4294967296.0
+
+
+def _unit(seed: int, *coordinates) -> float:
+    """A deterministic pseudo-uniform value in ``[0, 1)`` for an event.
+
+    A pure function of the seed and the event coordinates (hashed through
+    ``repr`` like :func:`repro.runner.batch.task_seed`), so fault
+    decisions do not depend on the order in which the engine evaluates
+    them or on ``PYTHONHASHSEED``.
+    """
+    text = "|".join([str(seed)] + [repr(item) for item in coordinates])
+    return zlib.crc32(text.encode("utf-8")) / _UNIT_SCALE
+
+
+def fault_stream_seed(network_seed: int, model_seed: int, run_index: int) -> int:
+    """The seed of one run's fault stream.
+
+    Mixes the network seed, the model's own seed component and the
+    engine's per-run counter with the :func:`repro.runner.batch.task_seed`
+    CRC idiom.  The ``"fault-stream"`` salt keeps the stream disjoint
+    from the graph-construction and algorithm streams even when the raw
+    seeds coincide.
+    """
+    text = f"fault-stream|{network_seed}|{model_seed}|{run_index}"
+    return zlib.crc32(text.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A declarative description of the faults to inject.
+
+    All probabilities are per-event and independent; see the module
+    docstring for the exact semantics of each field.  The default
+    instance (all probabilities zero, no timeout) is the **null model**:
+    it injects nothing and the engine bypasses the fault layer entirely.
+
+    Parameters
+    ----------
+    loss:
+        Per-message drop probability.
+    delay:
+        Per-message delay probability; a delayed message arrives after
+        ``1 + d`` rounds, ``d`` uniform in ``[1, max_delay]``.
+    max_delay:
+        Largest extra latency (in rounds) of a delayed message.
+    crash:
+        Per-node probability of crashing during the run.
+    crash_window:
+        Crash rounds are uniform in ``[1, crash_window]`` (round 0 never
+        crashes, so every initiator runs at least once).
+    down_rounds:
+        Rounds a crashed node stays down before restarting (fail-pause:
+        state is kept).  ``0`` means crashed nodes never restart.
+    churn:
+        Per-edge per-round probability that the edge is down.
+    timeout:
+        Optional round cap for faulty runs, tighter than the network's
+        ``default_max_rounds``: algorithms stuck because of lost messages
+        fail fast with :class:`repro.congest.errors.RoundLimitExceededError`
+        (which the sweep layer converts into ``success=False`` records).
+    seed:
+        Extra seed component of the fault stream, so two sweeps over the
+        same graphs and seeds can draw different fault patterns.
+    """
+
+    loss: float = 0.0
+    delay: float = 0.0
+    max_delay: int = 1
+    crash: float = 0.0
+    crash_window: int = 32
+    down_rounds: int = 0
+    churn: float = 0.0
+    timeout: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "delay", "crash", "churn"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"fault probability {name!r} must be in [0, 1], got {value!r}"
+                )
+        if self.max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {self.max_delay!r}")
+        if self.crash_window < 1:
+            raise ValueError(
+                f"crash_window must be >= 1, got {self.crash_window!r}"
+            )
+        if self.down_rounds < 0:
+            raise ValueError(
+                f"down_rounds must be >= 0, got {self.down_rounds!r}"
+            )
+        if self.timeout is not None and self.timeout < 1:
+            raise ValueError(f"timeout must be >= 1, got {self.timeout!r}")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this model injects nothing (the fault-free fast path).
+
+        A model whose probabilities are all zero but whose ``timeout`` is
+        set is *not* null: the timeout must still cap the run.
+        """
+        return (
+            self.loss == 0.0
+            and self.delay == 0.0
+            and self.crash == 0.0
+            and self.churn == 0.0
+            and self.timeout is None
+        )
+
+    def describe(self) -> str:
+        """A stable, compact textual form for task keys and provenance.
+
+        ``"none"`` for the null model; otherwise every field in
+        declaration order, so two distinct models can never collide and
+        the string is reproducible across processes.
+        """
+        if self.is_null:
+            return "none"
+        parts = [f"{item.name}={getattr(self, item.name)!r}" for item in fields(self)]
+        return ",".join(parts)
+
+    def resolve(
+        self, network_seed: int, indexed: IndexedGraph, run_index: int = 0
+    ) -> "FaultPlan":
+        """Materialise this model into a seeded per-run :class:`FaultPlan`."""
+        return FaultPlan(
+            self,
+            fault_stream_seed(network_seed, self.seed, run_index),
+            indexed,
+        )
+
+
+#: The null model: no faults, the behaviour of the seed simulator.
+NULL_FAULT_MODEL = FaultModel()
+
+#: Named fault models, selectable wherever a model is accepted (the
+#: registry mirrors ``SCHEDULERS`` / ``TIER_NAMES``).  ``register_fault_model``
+#: adds entries at runtime.
+FAULT_MODELS: Dict[str, FaultModel] = {
+    "none": NULL_FAULT_MODEL,
+    # A mildly lossy network: ~2% of messages vanish.
+    "lossy": FaultModel(loss=0.02),
+    # Loss plus latency jitter: the shape of a congested WAN.
+    "flaky": FaultModel(loss=0.01, delay=0.1, max_delay=3),
+    # Fail-pause outages with recovery plus light churn.
+    "brownout": FaultModel(crash=0.2, crash_window=16, down_rounds=8, churn=0.01),
+}
+
+
+def register_fault_model(name: str, model: FaultModel) -> None:
+    """Register a named fault model (rejects overwriting a different one)."""
+    existing = FAULT_MODELS.get(name)
+    if existing is not None and existing != model:
+        raise ValueError(
+            f"fault model name {name!r} is already registered with a "
+            "different configuration"
+        )
+    FAULT_MODELS[name] = model
+
+
+#: Process-wide default, toggled by :func:`set_default_fault_model`.
+_DEFAULT_FAULT_MODEL = NULL_FAULT_MODEL
+
+
+def validate_fault_model(value) -> FaultModel:
+    """Coerce a model instance or registry name to a :class:`FaultModel`."""
+    if isinstance(value, FaultModel):
+        return value
+    if isinstance(value, str):
+        model = FAULT_MODELS.get(value)
+        if model is None:
+            known = ", ".join(sorted(FAULT_MODELS))
+            raise ValueError(
+                f"unknown fault model {value!r} (available: {known})"
+            )
+        return model
+    raise TypeError(
+        f"expected a FaultModel or registry name, got {type(value).__name__}"
+    )
+
+
+def set_default_fault_model(value) -> FaultModel:
+    """Set the process-wide default fault model; returns the previous one.
+
+    Mirrors :func:`repro.engine.set_default_engine` /
+    :func:`repro.tier.set_default_tier`: the CLI flags toggle it, the
+    batch runner re-applies it in pool workers, and
+    :class:`repro.congest.network.Network` resolves ``fault_model=None``
+    against it.
+    """
+    global _DEFAULT_FAULT_MODEL
+    model = validate_fault_model(value)
+    previous = _DEFAULT_FAULT_MODEL
+    _DEFAULT_FAULT_MODEL = model
+    return previous
+
+
+def get_default_fault_model() -> FaultModel:
+    """The current process-wide default fault model."""
+    return _DEFAULT_FAULT_MODEL
+
+
+def resolve_fault_model(value=None) -> FaultModel:
+    """Map ``None`` to the process default; validate names/instances."""
+    if value is None:
+        return _DEFAULT_FAULT_MODEL
+    return validate_fault_model(value)
+
+
+def _edge_key(u: NodeId, v: NodeId) -> Tuple[str, str]:
+    """Canonical, hash-randomisation-free identity of an undirected edge."""
+    a, b = repr(u), repr(v)
+    return (a, b) if a <= b else (b, a)
+
+
+class FaultPlan:
+    """One run's resolved fault decisions.
+
+    Built by the engine at the start of a faulty run from the model, the
+    run's fault-stream seed and the compiled topology.  Crash/restart
+    schedules are precomputed (they are per-node, O(n)); message fates
+    and churn are decided lazily via stateless hashes of their
+    coordinates, with a one-round memo for the churned-edge set.
+    """
+
+    __slots__ = (
+        "model",
+        "seed",
+        "crash_round",
+        "restart_round",
+        "_edges",
+        "_max_restart",
+        "_churn_round",
+        "_churn_keys",
+        "_churn_edges",
+    )
+
+    def __init__(self, model: FaultModel, seed: int, indexed: IndexedGraph) -> None:
+        self.model = model
+        self.seed = seed
+        #: node -> round at which it crashes (absent: never crashes).
+        self.crash_round: Dict[NodeId, int] = {}
+        #: node -> round at which it restarts (absent: down forever).
+        self.restart_round: Dict[NodeId, int] = {}
+        if model.crash > 0.0:
+            for label in indexed.labels:
+                if _unit(seed, "crash?", label) < model.crash:
+                    at = 1 + int(
+                        _unit(seed, "crash@", label) * model.crash_window
+                    )
+                    self.crash_round[label] = at
+                    if model.down_rounds > 0:
+                        self.restart_round[label] = at + model.down_rounds
+        self._max_restart = max(self.restart_round.values(), default=-1)
+        #: Canonical undirected edge list in CSR order (u-index < v-index),
+        #: built only when churn can occur.
+        self._edges: Tuple[Tuple[NodeId, NodeId], ...] = ()
+        if model.churn > 0.0:
+            labels = indexed.labels
+            offsets = indexed.offsets
+            targets = indexed.targets
+            edges: List[Tuple[NodeId, NodeId]] = []
+            for i in range(len(labels)):
+                for cursor in range(offsets[i], offsets[i + 1]):
+                    j = targets[cursor]
+                    if i < j:
+                        edges.append((labels[i], labels[j]))
+            self._edges = tuple(edges)
+        self._churn_round = -1
+        self._churn_keys: FrozenSet[Tuple[str, str]] = frozenset()
+        self._churn_edges: Tuple[Tuple[NodeId, NodeId], ...] = ()
+
+    # ------------------------------------------------------------------
+    def node_down(self, round_number: int, node: NodeId) -> bool:
+        """Whether ``node`` is down (crashed, not yet restarted) in a round."""
+        crashed = self.crash_round.get(node)
+        if crashed is None or round_number < crashed:
+            return False
+        restart = self.restart_round.get(node)
+        return restart is None or round_number < restart
+
+    def restarts_pending(self, round_number: int) -> bool:
+        """Whether any node restarts at ``round_number`` or later.
+
+        Termination input: a quiescent network with a restart still ahead
+        must keep running (the restarted node may produce new work)."""
+        return round_number <= self._max_restart
+
+    def message_fate(
+        self, round_number: int, sender: NodeId, receiver: NodeId
+    ) -> int:
+        """Decide one message's fate: ``-1`` lost, ``0`` on time, ``d > 0``
+        delayed by ``d`` extra rounds (arrival at ``round + 1 + d``)."""
+        model = self.model
+        if model.loss > 0.0 and (
+            _unit(self.seed, "loss", round_number, sender, receiver) < model.loss
+        ):
+            return -1
+        if model.delay > 0.0 and (
+            _unit(self.seed, "delay?", round_number, sender, receiver)
+            < model.delay
+        ):
+            if model.max_delay == 1:
+                return 1
+            return 1 + int(
+                _unit(self.seed, "delay+", round_number, sender, receiver)
+                * model.max_delay
+            )
+        return 0
+
+    # ------------------------------------------------------------------
+    def churned_edges(self, round_number: int) -> Tuple[Tuple[NodeId, NodeId], ...]:
+        """The edges down in ``round_number``, in CSR edge order."""
+        if self.model.churn <= 0.0:
+            return ()
+        self._refresh_churn(round_number)
+        return self._churn_edges
+
+    def edge_down(self, round_number: int, u: NodeId, v: NodeId) -> bool:
+        """Whether the (undirected) edge ``{u, v}`` is down in a round."""
+        if self.model.churn <= 0.0:
+            return False
+        self._refresh_churn(round_number)
+        return _edge_key(u, v) in self._churn_keys
+
+    def _refresh_churn(self, round_number: int) -> None:
+        if round_number == self._churn_round:
+            return
+        churn = self.model.churn
+        seed = self.seed
+        down: List[Tuple[NodeId, NodeId]] = []
+        keys: List[Tuple[str, str]] = []
+        for u, v in self._edges:
+            key = _edge_key(u, v)
+            if _unit(seed, "churn", round_number, key) < churn:
+                down.append((u, v))
+                keys.append(key)
+        self._churn_round = round_number
+        self._churn_edges = tuple(down)
+        self._churn_keys = frozenset(keys)

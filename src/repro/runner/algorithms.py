@@ -119,6 +119,23 @@ def two_approx(graph: Graph, seed: int) -> Tuple[int, float]:
     return result.rounds, float(result.estimate)
 
 
+def two_approx_retry(graph: Graph, seed: int) -> Tuple[int, float]:
+    """Fault-tolerant 2-approximation (retrying BFS flood with backoff).
+
+    The robustness counterpart of :func:`two_approx`: on a fault-free
+    network both certify the same eccentricity bound, but this variant
+    keeps converging under the message loss / churn / crash models of
+    :mod:`repro.faults` (``benchmarks/bench_faults.py`` measures the
+    success-probability gap).  The network picks up the process-default
+    fault model, exactly like every other kernel.
+    """
+    from repro.algorithms.resilient import run_resilient_two_approximation
+    from repro.congest.network import Network
+
+    result = run_resilient_two_approximation(Network(graph, seed=seed))
+    return result.rounds, float(result.estimate)
+
+
 def hprw_three_halves(graph: Graph, seed: int) -> Tuple[int, float]:
     """Classical 3/2-approximation of [HPRW14]."""
     from repro.algorithms.diameter_approx import run_hprw_three_halves_approximation
@@ -201,6 +218,7 @@ def _source_ecc_oracle(graph: Graph) -> float:
 SWEEP_ALGORITHMS: Dict[str, SweepAlgorithmInfo] = {
     "classical_exact": SweepAlgorithmInfo(classical_exact, guarantee=EXACT),
     "two_approx": SweepAlgorithmInfo(two_approx, guarantee=TWO_APPROX),
+    "two_approx_retry": SweepAlgorithmInfo(two_approx_retry, guarantee=TWO_APPROX),
     "hprw_three_halves": SweepAlgorithmInfo(
         hprw_three_halves, guarantee=THREE_HALVES
     ),

@@ -71,20 +71,25 @@ def task_seed(base_seed: int, *components: Any) -> int:
 
 
 def _worker_initializer(
-    function, context, engine_name: str, backend_name: str, tier_name: str
+    function, context, engine_name: str, backend_name: str, tier_name: str,
+    fault_model=None,
 ) -> None:
     """Install the shared task callable and context in a pool worker.
 
     Runs once per worker process, so the (potentially large) context --
     an algorithm table, a pickled search problem -- is transferred and
     deserialised once per worker instead of once per task.  The parent's
-    default-engine, default-schedule-backend and default-compute-tier
-    selections are re-applied because ``spawn``-style workers do not
-    inherit process-wide globals (and quantum sweep kernels read the
-    backend default; see
-    :func:`repro.runner.algorithms.quantum_problem_kernel`).
+    default-engine, default-schedule-backend, default-compute-tier and
+    default-fault-model selections are re-applied because ``spawn``-style
+    workers do not inherit process-wide globals (and quantum sweep
+    kernels read the backend default; see
+    :func:`repro.runner.algorithms.quantum_problem_kernel`).  The fault
+    model travels as the (picklable, frozen) :class:`repro.faults.FaultModel`
+    instance itself rather than a registry name, so models built from CLI
+    flags reach workers too.
     """
     from repro.engine import set_default_engine
+    from repro.faults import set_default_fault_model
     from repro.quantum.backend import set_default_schedule_backend
     from repro.tier import set_default_tier
 
@@ -93,6 +98,8 @@ def _worker_initializer(
     set_default_engine(engine_name)
     set_default_schedule_backend(backend_name)
     set_default_tier(tier_name)
+    if fault_model is not None:
+        set_default_fault_model(fault_model)
 
 
 def _invoke_task(task):
@@ -187,6 +194,7 @@ class BatchRunner:
 
     def _map_parallel(self, function, tasks: Sequence, context) -> List:
         from repro.engine import get_default_engine
+        from repro.faults import get_default_fault_model
         from repro.quantum.backend import get_default_schedule_backend
         from repro.tier import get_default_tier
 
@@ -204,6 +212,7 @@ class BatchRunner:
                 get_default_engine(),
                 get_default_schedule_backend(),
                 get_default_tier(),
+                get_default_fault_model(),
             ),
         )
         try:
@@ -218,6 +227,7 @@ class BatchRunner:
 
     def _imap_parallel(self, function, tasks: Sequence, context) -> Iterator:
         from repro.engine import get_default_engine
+        from repro.faults import get_default_fault_model
         from repro.quantum.backend import get_default_schedule_backend
         from repro.tier import get_default_tier
 
@@ -235,6 +245,7 @@ class BatchRunner:
                 get_default_engine(),
                 get_default_schedule_backend(),
                 get_default_tier(),
+                get_default_fault_model(),
             ),
         )
         try:

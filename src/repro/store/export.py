@@ -45,6 +45,8 @@ def render_csv(records: Iterable[SweepRecord]) -> str:
                 data["value"],
                 "" if data["correct"] is None else data["correct"],
                 canonical_json(data["extra"]),
+                data["success"],
+                "" if data["failure_reason"] is None else data["failure_reason"],
             ]
         )
     return buffer.getvalue()

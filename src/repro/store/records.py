@@ -28,7 +28,13 @@ RECORD_FIELDS = (
     "value",
     "correct",
     "extra",
+    "success",
+    "failure_reason",
 )
+
+#: Fields that may be absent when loading: stores written before the
+#: fault-injection layer predate them and every such record succeeded.
+_OPTIONAL_FIELDS = ("success", "failure_reason")
 
 
 def canonical_json(obj: Any) -> str:
@@ -47,6 +53,8 @@ def record_to_dict(record: SweepRecord) -> Dict[str, Any]:
         "value": record.value,
         "correct": record.correct,
         "extra": dict(record.extra),
+        "success": record.success,
+        "failure_reason": record.failure_reason,
     }
 
 
@@ -55,10 +63,12 @@ def record_from_dict(data: Mapping[str, Any]) -> SweepRecord:
 
     Round-trips ``None`` diameters/correctness and arbitrary ``extra``
     dicts; raises ``ValueError`` on missing or unexpected fields so that
-    a corrupted store line cannot masquerade as a record.
+    a corrupted store line cannot masquerade as a record.  The
+    fault-layer fields (``success``, ``failure_reason``) default to a
+    successful run when absent, so pre-fault stores stay loadable.
     """
     keys = set(data)
-    missing = set(RECORD_FIELDS) - keys
+    missing = set(RECORD_FIELDS) - set(_OPTIONAL_FIELDS) - keys
     unknown = keys - set(RECORD_FIELDS)
     if missing or unknown:
         raise ValueError(
@@ -74,6 +84,8 @@ def record_from_dict(data: Mapping[str, Any]) -> SweepRecord:
         value=float(data["value"]),
         correct=data["correct"],
         extra=dict(data["extra"]),
+        success=bool(data.get("success", True)),
+        failure_reason=data.get("failure_reason"),
     )
 
 

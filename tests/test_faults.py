@@ -1,0 +1,556 @@
+"""Tests of the deterministic fault-injection layer (:mod:`repro.faults`).
+
+Covers the model/registry surface, the stateless per-event decision
+hashes, the engine's fault-aware loop (loss, delay, crash/restart,
+churn), the retry helpers and the resilient BFS built on them, and the
+sweep/store integration (``success``/``failure_reason`` records, fault-
+aware task keys, provenance stamping, serial == parallel).
+
+The headline guarantees are differential:
+
+* the **null model is byte-identical** to the fault-free simulator on
+  every engine and compute tier (same values, rounds, metrics);
+* faulty executions are **identical across engines** for wake-driven
+  algorithms and reproducible across processes and ``PYTHONHASHSEED``
+  values (fault decisions are stateless CRC hashes, not RNG draws).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import faults, tier
+from repro.algorithms.bfs import run_bfs_tree
+from repro.algorithms.diameter_approx import run_classical_two_approximation
+from repro.algorithms.resilient import (
+    run_resilient_bfs,
+    run_resilient_two_approximation,
+)
+from repro.analysis.sweep import run_sweep_grid, sweep_task_key
+from repro.congest.errors import CongestSimulationError, RoundLimitExceededError
+from repro.congest.network import Network
+from repro.congest.node import NodeAlgorithm
+from repro.faults import (
+    FAULT_MODELS,
+    NULL_FAULT_MODEL,
+    FaultModel,
+    fault_stream_seed,
+    get_default_fault_model,
+    register_fault_model,
+    resolve_fault_model,
+    set_default_fault_model,
+    validate_fault_model,
+)
+from repro.graphs import generators
+from repro.runner import GraphSpec, resolve_algorithms
+from repro.store import ExperimentStore, collect_provenance, record_from_dict, record_to_dict
+
+ENGINES = ("dense", "sparse", "vector")
+
+#: The bench-calibrated loss scenario: at 10% loss the single-shot
+#: 2-approximation reliably times out on this graph while the retrying
+#: variant still lands inside the approximation bound.
+LOSSY = FaultModel(loss=0.1, timeout=256)
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_fault_model():
+    """No test may leak a process-default fault model into the suite."""
+    previous = get_default_fault_model()
+    yield
+    set_default_fault_model(previous)
+
+
+def _graph(nodes=18, family="clique_chain"):
+    return generators.family_for_sweep(family, nodes, seed=3)
+
+
+def _root(graph):
+    return min(graph.nodes(), key=repr)
+
+
+class TestFaultModel:
+    def test_default_model_is_null(self):
+        assert NULL_FAULT_MODEL.is_null
+        assert FaultModel().is_null
+        assert FaultModel().describe() == "none"
+
+    def test_timeout_only_model_is_not_null(self):
+        # A zero-probability model with a timeout must still cap runs.
+        assert not FaultModel(timeout=64).is_null
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss": 1.5},
+            {"delay": -0.1},
+            {"crash": 2.0},
+            {"churn": -1.0},
+            {"max_delay": 0},
+            {"crash_window": 0},
+            {"down_rounds": -1},
+            {"timeout": 0},
+        ],
+    )
+    def test_validation_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultModel(**kwargs)
+
+    def test_describe_distinguishes_models(self):
+        a = FaultModel(loss=0.1)
+        b = FaultModel(loss=0.1, seed=1)
+        assert a.describe() != b.describe()
+        assert "loss=0.1" in a.describe()
+        # Stable across instances: describe is a pure function of fields.
+        assert a.describe() == FaultModel(loss=0.1).describe()
+
+    def test_registry_lookup(self):
+        assert validate_fault_model("lossy") is FAULT_MODELS["lossy"]
+        assert validate_fault_model(LOSSY) is LOSSY
+        with pytest.raises(ValueError, match="lossy"):
+            validate_fault_model("no-such-model")
+        with pytest.raises(TypeError):
+            validate_fault_model(3)
+
+    def test_register_rejects_conflicting_redefinition(self):
+        register_fault_model("lossy", FAULT_MODELS["lossy"])  # idempotent
+        with pytest.raises(ValueError, match="already registered"):
+            register_fault_model("lossy", FaultModel(loss=0.5))
+        try:
+            register_fault_model("test-model", FaultModel(churn=0.25))
+            assert validate_fault_model("test-model") == FaultModel(churn=0.25)
+        finally:
+            FAULT_MODELS.pop("test-model", None)
+
+    def test_default_model_toggle(self):
+        previous = set_default_fault_model("lossy")
+        assert get_default_fault_model() == FAULT_MODELS["lossy"]
+        assert resolve_fault_model(None) == FAULT_MODELS["lossy"]
+        assert resolve_fault_model("none").is_null
+        restored = set_default_fault_model(previous)
+        assert restored == FAULT_MODELS["lossy"]
+
+
+class TestFaultPlan:
+    def test_decisions_are_stateless_and_order_independent(self):
+        indexed = _graph().compile()
+        model = FaultModel(loss=0.4, delay=0.3, max_delay=3)
+        plan = model.resolve(3, indexed)
+        coords = [
+            (r, u, v)
+            for r in range(4)
+            for u in list(indexed.labels)[:4]
+            for v in list(indexed.labels)[:4]
+            if u != v
+        ]
+        forward = {c: plan.message_fate(*c) for c in coords}
+        backward = {c: plan.message_fate(*c) for c in reversed(coords)}
+        assert forward == backward
+        # A fresh plan over the same inputs decides identically.
+        replay = model.resolve(3, indexed)
+        assert forward == {c: replay.message_fate(*c) for c in coords}
+        assert set(forward.values()) & {-1} and set(forward.values()) & {0}
+
+    def test_fault_stream_is_isolated_per_run_and_seed(self):
+        seeds = {
+            fault_stream_seed(net, model, run)
+            for net in (0, 1)
+            for model in (0, 1)
+            for run in (0, 1)
+        }
+        assert len(seeds) == 8  # every coordinate matters
+
+    def test_crash_schedule_and_fail_pause_windows(self):
+        indexed = _graph().compile()
+        plan = FaultModel(crash=1.0, crash_window=4, down_rounds=3).resolve(
+            5, indexed
+        )
+        assert set(plan.crash_round) == set(indexed.labels)
+        for node, at in plan.crash_round.items():
+            # Round 0 never crashes: initiators always get to start.
+            assert 1 <= at <= 4
+            assert plan.restart_round[node] == at + 3
+            assert not plan.node_down(at - 1, node)
+            assert plan.node_down(at, node)
+            assert plan.node_down(at + 2, node)
+            assert not plan.node_down(at + 3, node)
+        assert plan.restarts_pending(0)
+        assert not plan.restarts_pending(max(plan.restart_round.values()) + 1)
+
+    def test_permanent_crash_has_no_restart(self):
+        indexed = _graph().compile()
+        plan = FaultModel(crash=1.0, crash_window=4).resolve(5, indexed)
+        assert plan.crash_round and not plan.restart_round
+        node, at = next(iter(plan.crash_round.items()))
+        assert plan.node_down(at + 10_000, node)
+        assert not plan.restarts_pending(0)
+
+    def test_churn_is_per_round_and_orientation_free(self):
+        indexed = _graph().compile()
+        plan = FaultModel(churn=0.3).resolve(3, indexed)
+        sets = []
+        for round_number in range(6):
+            down = plan.churned_edges(round_number)
+            for u, v in down:
+                assert plan.edge_down(round_number, u, v)
+                assert plan.edge_down(round_number, v, u)
+            sets.append(frozenset(down))
+        # The churn draw is per (round, edge): the down set varies.
+        assert len(set(sets)) > 1
+
+    def test_full_churn_downs_every_edge(self):
+        graph = _graph()
+        plan = FaultModel(churn=1.0).resolve(3, graph.compile())
+        assert len(plan.churned_edges(0)) == graph.num_edges
+
+    def test_null_probabilities_never_fire(self):
+        indexed = _graph().compile()
+        plan = FaultModel(timeout=8).resolve(3, indexed)
+        labels = list(indexed.labels)
+        assert plan.message_fate(0, labels[0], labels[1]) == 0
+        assert not plan.node_down(5, labels[0])
+        assert plan.churned_edges(5) == ()
+
+
+class TestRetryHelpers:
+    def _node(self):
+        return NodeAlgorithm("a", ("b",), 4)
+
+    def test_wake_after_schedules_absolute_round(self):
+        node = self._node()
+        assert node.wake_after(5, 3) == 8
+        assert node.wake_after(5, 0) == 6  # delay is clamped to >= 1
+        assert node.consume_wake_requests() == [8, 6]
+
+    def test_retry_backoff_doubles_and_caps(self):
+        node = self._node()
+        targets = [node.retry_backoff(0, attempt) for attempt in range(8)]
+        assert targets == [1, 2, 4, 8, 16, 32, 64, 64]
+        assert node.retry_backoff(10, 2, base=3, factor=2, cap=100) == 22
+
+
+class TestNullModelIdentity:
+    """The null model takes the exact pre-fault code paths."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_null_model_byte_identical_per_engine(self, engine):
+        graph = _graph()
+        clean = run_classical_two_approximation(
+            Network(graph, seed=3, engine=engine)
+        )
+        null = run_classical_two_approximation(
+            Network(graph, seed=3, engine=engine, fault_model=FaultModel())
+        )
+        named = run_classical_two_approximation(
+            Network(graph, seed=3, engine=engine, fault_model="none")
+        )
+        for faulty in (null, named):
+            assert faulty.estimate == clean.estimate
+            assert faulty.metrics == clean.metrics
+
+    def test_null_model_byte_identical_numpy_tier(self):
+        pytest.importorskip("numpy")
+        graph = _graph()
+        previous = tier.set_default_tier("numpy")
+        try:
+            clean = run_classical_two_approximation(
+                Network(graph, seed=3, engine="vector")
+            )
+            null = run_classical_two_approximation(
+                Network(graph, seed=3, engine="vector", fault_model=FaultModel())
+            )
+        finally:
+            tier.set_default_tier(previous)
+        assert null.estimate == clean.estimate
+        assert null.metrics == clean.metrics
+
+    def test_null_metrics_report_no_degradation(self):
+        result = run_bfs_tree(
+            Network(_graph(), seed=3, fault_model=FaultModel()), _root(_graph())
+        )
+        metrics = result.metrics
+        assert metrics.dropped_messages == 0
+        assert metrics.delayed_messages == 0
+        assert metrics.node_crashes == 0
+        assert metrics.node_restarts == 0
+        assert metrics.churned_edge_rounds == 0
+
+
+class TestLossFaults:
+    def test_total_loss_times_out_with_enriched_error(self):
+        graph = _graph()
+        network = Network(
+            graph,
+            seed=1,
+            engine="dense",
+            fault_model=FaultModel(loss=1.0, timeout=32),
+        )
+        with pytest.raises(RoundLimitExceededError) as excinfo:
+            run_bfs_tree(network, _root(graph))
+        error = excinfo.value
+        assert error.max_rounds == 32
+        assert error.rounds_completed == 32
+        assert error.messages_sent >= 0
+        assert "32 rounds" in str(error)
+        assert "round(s) completed" in str(error)
+
+    def test_moderate_loss_is_counted_and_survivable(self):
+        graph = _graph()
+        result = run_resilient_bfs(
+            Network(graph, seed=1, fault_model=FaultModel(loss=0.2, timeout=512)),
+            _root(graph),
+        )
+        assert result.complete
+        assert result.metrics.dropped_messages > 0
+        assert result.distance == graph.bfs_distances(_root(graph))
+
+    def test_retry_beats_single_shot_under_loss(self):
+        """The robustness headline: at 10% loss the plain 2-approximation
+        times out on every probed seed while the retrying variant still
+        satisfies the approximation bound."""
+        graph = _graph(24)
+        true_diameter = graph.compile().diameter()
+        for seed in (0, 1, 2):
+            with pytest.raises((CongestSimulationError, RuntimeError)):
+                run_classical_two_approximation(
+                    Network(graph, seed=seed, fault_model=LOSSY)
+                )
+            result = run_resilient_two_approximation(
+                Network(graph, seed=seed, fault_model=LOSSY)
+            )
+            assert result.estimate <= true_diameter <= 2 * result.estimate
+
+
+class TestDelayFaults:
+    DELAYED = FaultModel(delay=0.5, max_delay=3, timeout=512)
+
+    def test_delay_preserves_information(self):
+        # Delays reorder but never destroy messages: the resilient flood
+        # still computes exact BFS distances (late announcements can only
+        # propose larger distances, which are ignored).
+        graph = _graph()
+        result = run_resilient_bfs(
+            Network(graph, seed=2, fault_model=self.DELAYED), _root(graph)
+        )
+        assert result.complete
+        assert result.metrics.delayed_messages > 0
+        assert result.distance == graph.bfs_distances(_root(graph))
+
+    def test_faulty_runs_identical_across_engines(self):
+        graph = _graph()
+        outcomes = []
+        for engine in ENGINES:
+            result = run_resilient_bfs(
+                Network(graph, seed=2, engine=engine, fault_model=self.DELAYED),
+                _root(graph),
+            )
+            outcomes.append(
+                (
+                    result.distance,
+                    result.metrics.rounds,
+                    result.metrics.messages,
+                    result.metrics.total_bits,
+                    result.metrics.dropped_messages,
+                    result.metrics.delayed_messages,
+                )
+            )
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestCrashFaults:
+    def test_fail_pause_with_restart_recovers(self):
+        graph = _graph()
+        result = run_resilient_bfs(
+            Network(
+                graph,
+                seed=4,
+                fault_model=FaultModel(
+                    crash=0.5, crash_window=4, down_rounds=4, timeout=512
+                ),
+            ),
+            _root(graph),
+        )
+        assert result.complete
+        assert result.metrics.node_crashes > 0
+        assert result.metrics.node_restarts == result.metrics.node_crashes
+
+    def test_permanent_crash_cannot_terminate(self):
+        # Fail-pause nodes that never restart also never finish: the run
+        # must hit the fault timeout rather than hang at the generic cap.
+        graph = _graph()
+        network = Network(
+            graph,
+            seed=4,
+            fault_model=FaultModel(crash=0.4, crash_window=4, timeout=64),
+        )
+        with pytest.raises(RoundLimitExceededError) as excinfo:
+            run_resilient_bfs(network, _root(graph))
+        assert excinfo.value.max_rounds == 64
+
+
+class TestChurnFaults:
+    def test_churn_is_counted_and_tolerated(self):
+        graph = _graph()
+        result = run_resilient_bfs(
+            Network(graph, seed=5, fault_model=FaultModel(churn=0.3, timeout=512)),
+            _root(graph),
+        )
+        assert result.complete
+        assert result.metrics.churned_edge_rounds > 0
+        assert result.distance == graph.bfs_distances(_root(graph))
+
+
+class TestSweepIntegration:
+    SPECS = (GraphSpec(family="clique_chain", num_nodes=24, seed=3),)
+
+    def _algorithms(self):
+        return resolve_algorithms(["two_approx", "two_approx_retry"])
+
+    def test_failed_cells_become_failure_records(self):
+        records = run_sweep_grid(
+            self.SPECS, self._algorithms(), base_seed=0, fault_model=LOSSY
+        )
+        by_name = {record.algorithm: record for record in records}
+        failed = by_name["two_approx"]
+        assert not failed.success
+        assert failed.value == -1.0
+        assert failed.correct is None
+        assert "RoundLimitExceededError" in failed.failure_reason
+        survived = by_name["two_approx_retry"]
+        assert survived.success
+        assert survived.failure_reason is None
+        assert survived.value > 0
+        # The grid restores whatever default was active before it ran.
+        assert get_default_fault_model().is_null
+
+    def test_faulty_grid_serial_equals_parallel(self):
+        serial = run_sweep_grid(
+            self.SPECS, self._algorithms(), base_seed=0, fault_model=LOSSY
+        )
+        parallel = run_sweep_grid(
+            self.SPECS, self._algorithms(), base_seed=0, jobs=2, fault_model=LOSSY
+        )
+        assert serial == parallel
+
+    def test_task_key_carries_only_non_null_models(self):
+        spec = self.SPECS[0]
+        base = sweep_task_key(spec, "two_approx", 0)
+        assert sweep_task_key(spec, "two_approx", 0, NULL_FAULT_MODEL) == base
+        lossy_key = sweep_task_key(spec, "two_approx", 0, LOSSY)
+        assert lossy_key != base
+        assert "fault=" in lossy_key
+        assert sweep_task_key(spec, "two_approx", 0, FaultModel(loss=0.2)) != lossy_key
+
+    def test_store_roundtrip_preserves_outcome_fields(self, tmp_path):
+        store = ExperimentStore(tmp_path / "faulty.jsonl")
+        records = run_sweep_grid(
+            self.SPECS,
+            self._algorithms(),
+            base_seed=0,
+            store=store,
+            fault_model=LOSSY,
+        )
+        assert store.load_records() == records
+        header = store.latest_header()
+        assert header["fault_model"] == LOSSY.describe()
+
+    def test_record_loader_defaults_legacy_rows_to_success(self):
+        records = run_sweep_grid(self.SPECS, self._algorithms(), base_seed=0)
+        data = record_to_dict(records[0])
+        assert data["success"] is True and data["failure_reason"] is None
+        legacy = {
+            key: value
+            for key, value in data.items()
+            if key not in ("success", "failure_reason")
+        }
+        loaded = record_from_dict(legacy)
+        assert loaded == records[0]
+
+    def test_provenance_stamps_fault_model(self):
+        assert collect_provenance()["fault_model"] == "none"
+        set_default_fault_model("lossy")
+        assert (
+            collect_provenance()["fault_model"] == FAULT_MODELS["lossy"].describe()
+        )
+
+
+#: A faulty end-to-end scenario executed in subprocesses: a lossy
+#: resilient 2-approximation on every engine plus a faulty sweep grid.
+#: All fault decisions are CRC hashes, so the JSON must be verbatim-
+#: identical across ``PYTHONHASHSEED`` values.
+_HASHSEED_SCRIPT = r"""
+import json
+import sys
+
+from repro.algorithms.resilient import run_resilient_two_approximation
+from repro.analysis.sweep import run_sweep_grid
+from repro.congest.network import Network
+from repro.faults import FaultModel
+from repro.graphs import generators
+from repro.runner import GraphSpec, resolve_algorithms
+
+model = FaultModel(loss=0.1, delay=0.1, max_delay=2, timeout=256)
+graph = generators.family_for_sweep("clique_chain", 20, seed=3)
+
+runs = {}
+for engine in ("dense", "sparse", "vector"):
+    result = run_resilient_two_approximation(
+        Network(graph, seed=7, engine=engine, fault_model=model)
+    )
+    metrics = result.metrics
+    runs[engine] = [
+        result.estimate, metrics.rounds, metrics.messages, metrics.total_bits,
+        metrics.dropped_messages, metrics.delayed_messages,
+    ]
+
+records = run_sweep_grid(
+    (GraphSpec(family="clique_chain", num_nodes=24, seed=3),),
+    resolve_algorithms(["two_approx", "two_approx_retry"]),
+    base_seed=0,
+    fault_model=FaultModel(loss=0.1, timeout=256),
+)
+
+out = {
+    "hash_randomised": sys.flags.hash_randomization,
+    "runs": runs,
+    "records": [[r.family, r.algorithm, r.num_nodes, r.rounds, r.value,
+                 r.success, r.failure_reason, sorted(r.extra.items())]
+                for r in records],
+}
+print(json.dumps(out, sort_keys=True))
+"""
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+
+
+def test_faulty_runs_identical_across_hash_seeds():
+    def run(seed: str) -> dict:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        existing = os.environ.get("PYTHONPATH")
+        env["PYTHONPATH"] = _SRC + (os.pathsep + existing if existing else "")
+        result = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return json.loads(result.stdout)
+
+    first = run("1")
+    second = run("4242")
+    assert first["hash_randomised"] == second["hash_randomised"] == 1
+    # The three engines must agree inside each subprocess as well.
+    assert first["runs"]["dense"] == first["runs"]["sparse"] == first["runs"]["vector"]
+    for key in first:
+        if key == "hash_randomised":
+            continue
+        assert first[key] == second[key], f"{key} differs across PYTHONHASHSEED"

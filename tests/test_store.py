@@ -117,7 +117,10 @@ class TestRecordRoundTrip:
 class TestExportFormats:
     def test_csv_header_and_null_cells(self):
         lines = render_csv(_records_for_roundtrip()).splitlines()
-        assert lines[0] == "family,algorithm,num_nodes,diameter,rounds,value,correct,extra"
+        assert lines[0] == (
+            "family,algorithm,num_nodes,diameter,rounds,value,correct,extra,"
+            "success,failure_reason"
+        )
         assert len(lines) == 4
         # None diameter/correct render as empty cells, extra as JSON.
         assert ",,33,4.0,," in lines[2]
@@ -372,14 +375,21 @@ class TestSweepGridPersistence:
 
 @pytest.mark.slow
 class TestKilledProcessResume:
-    """The acceptance scenario: SIGKILL a parallel sweep, resume, compare."""
+    """The acceptance scenario: SIGKILL a parallel sweep, resume, compare.
+
+    Parametrised over a clean grid and a faulty one (``--loss`` plus a
+    tight ``--fault-timeout``): failure records written before the kill
+    must resume exactly like successes, and the fault stream -- being a
+    stateless hash of the cell's inputs -- must survive the interruption
+    byte-for-byte.
+    """
 
     FAMILIES = "cycle,clique_chain"
     SIZES = "32,48,64"
     ALGORITHMS = "classical_exact,two_approx"
     SEED = "5"
 
-    def _sweep_argv(self, out, extra=()):
+    def _sweep_argv(self, out, fault_flags=(), extra=()):
         return [
             sys.executable, "-m", "repro", "sweep",
             "--families", self.FAMILIES,
@@ -387,10 +397,18 @@ class TestKilledProcessResume:
             "--algorithms", self.ALGORITHMS,
             "--seed", self.SEED,
             "--out", str(out),
+            *fault_flags,
             *extra,
         ]
 
-    def test_sigkilled_parallel_sweep_resumes_byte_identical(self, tmp_path):
+    @pytest.mark.parametrize(
+        "fault_flags",
+        [(), ("--loss", "0.05", "--fault-timeout", "256")],
+        ids=["clean", "lossy"],
+    )
+    def test_sigkilled_parallel_sweep_resumes_byte_identical(
+        self, tmp_path, fault_flags
+    ):
         env = dict(os.environ)
         env["PYTHONPATH"] = (
             "src" + os.pathsep + env["PYTHONPATH"]
@@ -400,7 +418,7 @@ class TestKilledProcessResume:
         repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         out = tmp_path / "killed.jsonl"
         process = subprocess.Popen(
-            self._sweep_argv(out, extra=("--jobs", "2")),
+            self._sweep_argv(out, fault_flags, extra=("--jobs", "2")),
             cwd=repo_root,
             env=env,
             stdout=subprocess.DEVNULL,
@@ -422,7 +440,7 @@ class TestKilledProcessResume:
 
         persisted_before_resume = len(ExperimentStore(out).load_records())
         resume = subprocess.run(
-            self._sweep_argv(out, extra=("--jobs", "2", "--resume")),
+            self._sweep_argv(out, fault_flags, extra=("--jobs", "2", "--resume")),
             cwd=repo_root,
             env=env,
             capture_output=True,
@@ -433,7 +451,7 @@ class TestKilledProcessResume:
 
         fresh_out = tmp_path / "fresh.jsonl"
         fresh = subprocess.run(
-            self._sweep_argv(fresh_out),
+            self._sweep_argv(fresh_out, fault_flags),
             cwd=repo_root,
             env=env,
             capture_output=True,
