@@ -101,6 +101,25 @@ from repro.runner.spec import GraphSpec, build_graph_cached, graph_diameter_cach
 _INTEGRALITY_TOL = 1e-6
 
 
+class SweepCancelled(Exception):
+    """A checkpointed sweep stopped cooperatively between task completions.
+
+    Raised by :func:`run_sweep_grid` when its ``should_stop`` hook returns
+    true.  Every record completed before the stop is already persisted to
+    the store (records are flushed as they complete), so the partial
+    progress in ``completed`` / ``total`` is durable and the grid can be
+    resumed later exactly like an interrupted run.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            f"sweep cancelled after {completed}/{total} cells (completed "
+            "cells are persisted; resume to continue)"
+        )
+        self.completed = completed
+        self.total = total
+
+
 @dataclass
 class SweepRecord:
     """One measurement: an algorithm run on one graph.
@@ -447,6 +466,8 @@ def run_sweep_grid(
     store=None,
     resume: bool = False,
     fault_model: Optional[FaultModel] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> List[SweepRecord]:
     """Sweep a ``specs x algorithms`` grid, one record per cell.
 
@@ -469,7 +490,18 @@ def run_sweep_grid(
     already in the store are loaded instead of recomputed; the merged
     record list is identical to an uninterrupted run.  Writing a fresh
     sweep into a non-empty store requires ``resume=True`` (or a new
-    file) -- mixing grids is refused via :func:`grid_signature`.
+    file) -- mixing grids is refused via :func:`grid_signature`.  The
+    store's advisory writer lock is held for the duration of the run, so
+    two writers (a daemon worker and a concurrent ``repro sweep --out``,
+    say) cannot interleave appends to one shard -- the second raises
+    :class:`repro.store.StoreLockError` naming the holder pid.
+
+    ``progress`` / ``should_stop`` are the service layer's cooperative
+    hooks, honoured on checkpointed (``store``) runs: after every
+    completed cell ``progress(done, total)`` is called with durable
+    counts, and a true ``should_stop()`` raises :class:`SweepCancelled`
+    *between* task completions -- everything finished so far is already
+    flushed, so a cancelled grid resumes exactly like an interrupted one.
     """
     if fault_model is not None:
         previous = set_default_fault_model(fault_model)
@@ -482,6 +514,8 @@ def run_sweep_grid(
                 base_seed=base_seed,
                 store=store,
                 resume=resume,
+                progress=progress,
+                should_stop=should_stop,
             )
         finally:
             set_default_fault_model(previous)
@@ -494,33 +528,47 @@ def run_sweep_grid(
     if store is None:
         return runner.map(_sweep_one_grid_cell, tasks, context=context)
 
-    signature = grid_signature(specs, list(algorithms), base_seed, fault)
-    started = time.perf_counter()
-    completed = store.begin_sweep(
-        specs=specs,
-        algorithms=list(algorithms),
-        base_seed=base_seed,
-        signature=signature,
-        jobs=runner.jobs,
-        resume=resume,
-    )
-    keys = [sweep_task_key(spec, name, base_seed, fault) for spec, name in tasks]
-    results: List[Optional[SweepRecord]] = [completed.get(key) for key in keys]
-    pending = [index for index, record in enumerate(results) if record is None]
-    # zip() pulls from imap lazily, so every record is persisted the moment
-    # it is aggregated -- an interrupted run keeps its completed prefix.
-    # The stream comes first in the zip: with equal lengths, the final pull
-    # exhausts the generator, running its pool shutdown (close/join) instead
-    # of leaving it suspended for GC-time terminate().
-    stream = runner.imap(
-        _sweep_one_grid_cell, [tasks[index] for index in pending], context=context
-    )
-    for record, index in zip(stream, pending):
-        store.append_record(keys[index], index, record)
-        results[index] = record
-    store.finish_sweep(
-        wall_seconds=time.perf_counter() - started,
-        total_records=len(results),
-        resumed_records=len(tasks) - len(pending),
-    )
-    return results
+    with store.acquire_writer():
+        signature = grid_signature(specs, list(algorithms), base_seed, fault)
+        started = time.perf_counter()
+        completed = store.begin_sweep(
+            specs=specs,
+            algorithms=list(algorithms),
+            base_seed=base_seed,
+            signature=signature,
+            jobs=runner.jobs,
+            resume=resume,
+        )
+        keys = [sweep_task_key(spec, name, base_seed, fault) for spec, name in tasks]
+        results: List[Optional[SweepRecord]] = [completed.get(key) for key in keys]
+        pending = [index for index, record in enumerate(results) if record is None]
+        done = len(tasks) - len(pending)
+        if progress is not None:
+            progress(done, len(tasks))
+        if should_stop is not None and should_stop():
+            raise SweepCancelled(completed=done, total=len(tasks))
+        # zip() pulls from imap lazily, so every record is persisted the
+        # moment it is aggregated -- an interrupted run keeps its completed
+        # prefix.  The stream comes first in the zip: with equal lengths,
+        # the final pull exhausts the generator, running its pool shutdown
+        # (close/join) instead of leaving it suspended for GC-time
+        # terminate().  (An early SweepCancelled exit leaves the generator
+        # to be closed by the raise, which terminates the pool -- the cells
+        # in flight are recomputed on resume.)
+        stream = runner.imap(
+            _sweep_one_grid_cell, [tasks[index] for index in pending], context=context
+        )
+        for record, index in zip(stream, pending):
+            store.append_record(keys[index], index, record)
+            results[index] = record
+            done += 1
+            if progress is not None:
+                progress(done, len(tasks))
+            if should_stop is not None and should_stop():
+                raise SweepCancelled(completed=done, total=len(tasks))
+        store.finish_sweep(
+            wall_seconds=time.perf_counter() - started,
+            total_records=len(results),
+            resumed_records=len(tasks) - len(pending),
+        )
+        return results

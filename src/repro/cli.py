@@ -51,7 +51,10 @@ import contextlib
 import importlib.util
 import json
 import os
+import signal
 import sys
+import threading
+import time
 from typing import List, Optional, Sequence
 
 from repro.algorithms import (
@@ -59,28 +62,32 @@ from repro.algorithms import (
     run_classical_two_approximation,
     run_hprw_three_halves_approximation,
 )
-from repro.analysis.sweep import run_sweep_grid, sweep_table
+from repro.analysis.sweep import sweep_table
 from repro.analysis.tables import render_table, render_table1
 from repro.congest import Network
 from repro.core import quantum_exact_diameter, quantum_three_halves_diameter
 from repro.core.problems import QUANTUM_PROBLEMS, quantum_problem_names
 from repro.engine import ENGINE_NAMES
-from repro.faults import FaultModel, set_default_fault_model
 from repro.graphs import generators
-from repro.quantum.backend import BACKEND_NAMES, set_default_schedule_backend
-from repro.runner import (
-    BatchRunner,
-    SWEEP_ALGORITHMS,
-    grid,
-    resolve_algorithms,
-    sweep_algorithm_for_problem,
-    task_seed,
+from repro.quantum.backend import BACKEND_NAMES
+from repro.runner import SWEEP_ALGORITHMS, task_seed
+from repro.service import (
+    ExperimentService,
+    GridRequest,
+    QuotaPolicy,
+    ServiceClient,
+    ServiceClientError,
+    execute_grid_request,
+    fault_model_from_flags,
+    serve_api,
 )
 from repro.store import (
     EXPORT_FORMATS,
     ExperimentStore,
     ExperimentStoreError,
+    append_jsonl_line,
     export_records,
+    git_describe,
     render_records,
 )
 from repro.tier import TIER_NAMES, set_default_tier
@@ -92,26 +99,6 @@ def _build_graph(args: argparse.Namespace):
             args.nodes, args.diameter, seed=args.seed
         )
     return generators.family_for_sweep(args.family, args.nodes, seed=args.seed)
-
-
-@contextlib.contextmanager
-def _schedule_backend(name: Optional[str]):
-    """Temporarily select the process-wide quantum schedule backend.
-
-    Process-wide so that the batch runner ships the selection to its pool
-    workers; restored afterwards so in-process callers of :func:`main`
-    (tests, notebooks) do not inherit a leaked default.  Results are
-    backend-independent (byte-identical), so the flag only affects
-    wall-clock.
-    """
-    if name is None:
-        yield
-        return
-    previous = set_default_schedule_backend(name)
-    try:
-        yield
-    finally:
-        set_default_schedule_backend(previous)
 
 
 @contextlib.contextmanager
@@ -132,53 +119,6 @@ def _compute_tier(name: Optional[str]):
         yield
     finally:
         set_default_tier(previous)
-
-
-@contextlib.contextmanager
-def _fault_model(model: Optional[FaultModel]):
-    """Temporarily select the process-wide default fault model.
-
-    Mirrors :func:`_schedule_backend`: process-wide so the batch runner
-    ships the model to its pool workers, restored afterwards so
-    in-process callers of :func:`main` do not inherit a leaked default.
-    Unlike the backend/tier selections this one *changes* results -- that
-    is the point -- but deterministically: the same flags and seeds
-    reproduce the same faulty records.
-    """
-    if model is None:
-        yield
-        return
-    previous = set_default_fault_model(model)
-    try:
-        yield
-    finally:
-        set_default_fault_model(previous)
-
-
-def _fault_model_from_args(args: argparse.Namespace) -> Optional[FaultModel]:
-    """Build the fault model selected by the ``--loss/--crash/...`` flags.
-
-    Returns ``None`` (leave the process default alone) when no flag asks
-    for an actual fault: probabilities at zero and no fault timeout.  May
-    raise ``ValueError`` for out-of-range values (reported as usage
-    errors by the caller).
-    """
-    if not (
-        args.loss or args.delay or args.crash or args.churn
-        or args.fault_timeout is not None
-    ):
-        return None
-    return FaultModel(
-        loss=args.loss,
-        delay=args.delay,
-        max_delay=args.max_delay,
-        crash=args.crash,
-        crash_window=args.crash_window,
-        down_rounds=args.down_rounds,
-        churn=args.churn,
-        timeout=args.fault_timeout,
-        seed=args.fault_seed,
-    )
 
 
 def _quantum_seeds(seed: int):
@@ -257,56 +197,70 @@ def _parse_csv(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
-def _run_grid_command(args: argparse.Namespace, algorithms) -> int:
+def _grid_request_from_args(args: argparse.Namespace, kind: str) -> GridRequest:
+    """Build the :class:`GridRequest` described by parsed grid flags.
+
+    The one construction point shared by ``sweep``, ``quantum`` and
+    ``jobs submit`` -- identical flags always yield identical requests,
+    which is what makes a daemon-run job's canonical export
+    byte-identical to a local run.  Raises ``ValueError`` with
+    CLI-grade messages (reported as usage errors, exit 2).
+    """
+    if kind == "quantum":
+        algorithms = (
+            list(quantum_problem_names())
+            if args.problems == "all"
+            else _parse_csv(args.problems)
+        )
+    else:
+        algorithms = _parse_csv(args.algorithms)
+    return GridRequest(
+        families=_parse_csv(args.families),
+        sizes=[int(item) for item in _parse_csv(args.sizes)],
+        algorithms=algorithms,
+        kind=kind,
+        diameter=args.diameter,
+        seed=args.seed,
+        jobs=args.jobs,
+        engine=args.engine,
+        backend=args.backend,
+        tier=args.tier,
+        fault=fault_model_from_flags(
+            loss=args.loss,
+            delay=args.delay,
+            max_delay=args.max_delay,
+            crash=args.crash,
+            crash_window=args.crash_window,
+            down_rounds=args.down_rounds,
+            churn=args.churn,
+            timeout=args.fault_timeout,
+            seed=args.fault_seed,
+        ),
+    )
+
+
+def _run_grid_command(args: argparse.Namespace, kind: str) -> int:
     """The shared execution path of the ``sweep`` and ``quantum`` commands.
 
     Both commands run a ``(families x sizes) x algorithms`` grid with
     identical validation, seed streams, store semantics and exit codes --
     sharing the body is what keeps their task keys interoperable (a store
-    written by one can be resumed by the other).
+    written by one can be resumed by the other).  Execution itself goes
+    through :func:`repro.service.execute_grid_request`, the same path the
+    experiment service's job workers use.
     """
-    families = _parse_csv(args.families)
-    for family in families:
-        if family not in generators.SWEEP_FAMILIES and family != "controlled":
-            known = ", ".join(sorted(set(generators.SWEEP_FAMILIES) | {"controlled"}))
-            print(f"unknown family {family!r} (available: {known})", file=sys.stderr)
-            return 2
-    if "controlled" in families and args.diameter is None:
-        print("family 'controlled' requires --diameter", file=sys.stderr)
-        return 2
     if args.resume and args.out is None:
         print("--resume requires --out (the store file to continue)", file=sys.stderr)
         return 2
     try:
-        sizes = [int(item) for item in _parse_csv(args.sizes)]
+        request = _grid_request_from_args(args, kind)
+        request.validate()
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
-    # One user-facing --seed feeds two *independent* streams: the graph
-    # construction seed and the per-cell algorithm seed.  Passing the raw
-    # seed to both (the historical behaviour) correlated graph randomness
-    # with algorithm randomness across the whole grid.
-    graph_seed = task_seed(args.seed, "sweep-graph-stream")
-    base_seed = task_seed(args.seed, "sweep-algorithm-stream")
-    specs = grid(families, sizes, diameter=args.diameter, seed=graph_seed)
-    try:
-        fault = _fault_model_from_args(args)
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    runner = BatchRunner(jobs=args.jobs)
     store = ExperimentStore(args.out) if args.out is not None else None
     try:
-        with _schedule_backend(args.backend), _compute_tier(args.tier), \
-                _fault_model(fault):
-            records = run_sweep_grid(
-                specs,
-                algorithms,
-                runner=runner,
-                base_seed=base_seed,
-                store=store,
-                resume=args.resume,
-            )
+        records = execute_grid_request(request, store=store, resume=args.resume)
     except ExperimentStoreError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -326,18 +280,13 @@ def _run_grid_command(args: argparse.Namespace, algorithms) -> int:
         # Under an active fault model a wrong value is an expected,
         # *reported* outcome (success/correct land in the records), not a
         # bug in the algorithms -- only fault-free sweeps gate on it.
-        if fault is None:
+        if request.fault is None:
             return 1
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    try:
-        algorithms = resolve_algorithms(_parse_csv(args.algorithms))
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    return _run_grid_command(args, algorithms)
+    return _run_grid_command(args, "sweep")
 
 
 def _cmd_quantum(args: argparse.Namespace) -> int:
@@ -348,19 +297,7 @@ def _cmd_quantum(args: argparse.Namespace) -> int:
         ]
         print(render_table(rows, header=["problem", "paper", "guarantee", "description"]))
         return 0
-    problem_names = (
-        list(quantum_problem_names())
-        if args.problems == "all"
-        else _parse_csv(args.problems)
-    )
-    try:
-        algorithms = dict(
-            sweep_algorithm_for_problem(problem) for problem in problem_names
-        )
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    return _run_grid_command(args, algorithms)
+    return _run_grid_command(args, "quantum")
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -387,6 +324,183 @@ def _cmd_export(args: argparse.Namespace) -> int:
         f"{len(records)} record(s) exported to {args.out} ({args.format})",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the experiment service daemon until SIGTERM/SIGINT.
+
+    Shutdown is graceful: running jobs checkpoint (their workers stop
+    between task completions and the jobs requeue durably), so a
+    restarted daemon resumes exactly where this one stopped.
+    """
+    try:
+        service = ExperimentService(
+            args.data_dir,
+            ledger_path=args.ledger,
+            workers=args.workers,
+            quota=QuotaPolicy(tenant_jobs=args.tenant_quota),
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    service.start()
+    server = serve_api(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}", flush=True)
+    print(
+        f"data dir {service.data_dir} | ledger {service.ledger.path} | "
+        f"{service.workers} worker(s) | quota {service.quota.tenant_jobs} "
+        "active job(s)/tenant",
+        file=sys.stderr,
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    previous_term = signal.signal(signal.SIGTERM, _on_signal)
+    previous_int = signal.signal(signal.SIGINT, _on_signal)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        while not stop.is_set():
+            stop.wait(timeout=0.2)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+    print("service stopped (running jobs checkpointed)", file=sys.stderr)
+    return 0
+
+
+#: ``jobs watch`` exit codes mirror the job outcome so scripts (and the
+#: CI smoke job) can branch on how a job ended.
+_WATCH_EXIT_CODES = {"done": 0, "failed": 1, "cancelled": 3}
+
+
+def _watch_job(client: ServiceClient, job_id: str, poll: float = 0.5) -> int:
+    """Poll a job to a terminal state, echoing progress changes to stderr."""
+    last: dict = {}
+
+    def on_progress(status):
+        snapshot = (status["state"], status["progress"]["done"])
+        if snapshot != last.get("snapshot"):
+            last["snapshot"] = snapshot
+            progress = status["progress"]
+            print(
+                f"{job_id}: {status['state']} "
+                f"{progress['done']}/{progress['total']}",
+                file=sys.stderr,
+            )
+
+    status = client.watch(job_id, poll=poll, on_progress=on_progress)
+    detail = status.get("detail")
+    print(
+        f"{job_id}: {status['state']}" + (f" ({detail})" if detail else ""),
+        file=sys.stderr,
+    )
+    return _WATCH_EXIT_CODES.get(status["state"], 1)
+
+
+def _jobs_client_errors(handler):
+    """Decorate a ``jobs`` handler with uniform API-error reporting.
+
+    Usage errors the service rejected (bad request, unknown job,
+    unreachable daemon) exit 2 like local usage errors; everything else
+    (quota, server-side failures) exits 1.
+    """
+
+    def wrapped(args: argparse.Namespace) -> int:
+        try:
+            return handler(args)
+        except ServiceClientError as error:
+            print(str(error), file=sys.stderr)
+            return 2 if error.status in (0, 400, 404) else 1
+
+    return wrapped
+
+
+@_jobs_client_errors
+def _cmd_jobs_submit(args: argparse.Namespace) -> int:
+    try:
+        request = _grid_request_from_args(args, "sweep")
+        request.validate()
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    status = client.submit(args.tenant, request)
+    job_id = status["job_id"]
+    # The bare id on stdout keeps submission scriptable:
+    #   JOB=$(repro jobs submit ...); repro jobs watch "$JOB"
+    print(job_id)
+    print(
+        f"submitted {job_id} (tenant {args.tenant}, "
+        f"{status['progress']['total']} cell(s))",
+        file=sys.stderr,
+    )
+    if args.watch:
+        return _watch_job(client, job_id)
+    return 0
+
+
+@_jobs_client_errors
+def _cmd_jobs_status(args: argparse.Namespace) -> int:
+    status = ServiceClient(args.url).status(args.job_id)
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+@_jobs_client_errors
+def _cmd_jobs_list(args: argparse.Namespace) -> int:
+    jobs = ServiceClient(args.url).list_jobs(tenant=args.tenant)
+    rows = [
+        [
+            job["job_id"],
+            job["tenant"],
+            job["state"],
+            f"{job['progress']['done']}/{job['progress']['total']}",
+            job.get("detail") or "",
+        ]
+        for job in jobs
+    ]
+    print(render_table(rows, header=["job", "tenant", "state", "progress", "detail"]))
+    return 0
+
+
+@_jobs_client_errors
+def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
+    status = ServiceClient(args.url).cancel(args.job_id)
+    print(f"{args.job_id}: cancel requested (state {status['state']})",
+          file=sys.stderr)
+    return 0
+
+
+@_jobs_client_errors
+def _cmd_jobs_results(args: argparse.Namespace) -> int:
+    text = ServiceClient(args.url).results(args.job_id, format=args.format)
+    if args.out is None:
+        sys.stdout.write(text)
+        return 0
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"results of {args.job_id} written to {args.out} ({args.format})",
+          file=sys.stderr)
+    return 0
+
+
+@_jobs_client_errors
+def _cmd_jobs_watch(args: argparse.Namespace) -> int:
+    return _watch_job(ServiceClient(args.url), args.job_id, poll=args.poll)
+
+
+@_jobs_client_errors
+def _cmd_jobs_capacity(args: argparse.Namespace) -> int:
+    print(json.dumps(ServiceClient(args.url).capacity(), indent=2, sort_keys=True))
     return 0
 
 
@@ -447,9 +561,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"skipping {name}: {path} not found", file=sys.stderr)
             continue
         harness = _load_harness(path)
+        started = time.perf_counter()
         report = harness.run_benchmark(smoke=args.smoke)
+        wall = time.perf_counter() - started
         speedup = report["headline_speedup"]
         measured[name] = speedup
+        if args.history is not None:
+            # An append-only measurement history (one JSONL row per
+            # harness per run) -- enough to plot speedup drift over
+            # commits without re-running old trees.
+            append_jsonl_line(
+                args.history,
+                {
+                    "kind": "bench",
+                    "commit": git_describe(),
+                    "harness": name,
+                    "mode": mode,
+                    "speedup": speedup,
+                    "wall_seconds": round(wall, 6),
+                    "at": time.time(),
+                },
+            )
         baseline = known.get(name)
         if baseline is None:
             status = "no baseline"
@@ -470,6 +602,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
 
     print(render_table(rows, header=["harness", "headline", "baseline", "status"]))
+    if args.history is not None and measured:
+        print(f"{len(measured)} history row(s) appended to {args.history}",
+              file=sys.stderr)
     if args.update:
         baselines[mode] = measured
         with open(args.baselines, "w", encoding="utf-8") as handle:
@@ -492,6 +627,132 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     diameter = args.diameter if args.diameter is not None else max(1, args.nodes // 100)
     print(render_table1(n=args.nodes, diameter=diameter, memory_qubits=args.memory))
     return 0
+
+
+def add_grid_options(sub: argparse.ArgumentParser, sizes_default: str) -> None:
+    """The grid flags shared by ``sweep``, ``quantum`` and ``jobs submit``.
+
+    One builder -- not three hand-maintained copies -- so the flag
+    inventories of the three grid commands cannot drift apart (they feed
+    the same :func:`_grid_request_from_args`, and a flag present on one
+    but missing on another would silently change daemon-run semantics).
+    A regression test asserts the inventories stay identical.
+    """
+    sub.add_argument(
+        "--families", default="clique_chain",
+        help="comma-separated graph families (default: clique_chain)",
+    )
+    sub.add_argument(
+        "--sizes", default=sizes_default,
+        help=f"comma-separated node counts (default: {sizes_default})",
+    )
+    sub.add_argument(
+        "--diameter", type=int, default=None,
+        help="target diameter (only for --families controlled)",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="base random seed")
+    sub.add_argument(
+        "--jobs", type=int, default=1,
+        help=(
+            "worker processes for the batch runner (1 = serial, 0 = one "
+            "per CPU); parallel output is byte-identical to serial"
+        ),
+    )
+    sub.add_argument(
+        "--engine", default=None, choices=ENGINE_NAMES,
+        help=(
+            "execution engine for the CONGEST simulator (results are "
+            "engine-independent; default: dense)"
+        ),
+    )
+    sub.add_argument(
+        "--backend", default=None, choices=BACKEND_NAMES,
+        help=(
+            "quantum schedule backend for quantum algorithms in the grid "
+            "(results are backend-independent; default: sampling)"
+        ),
+    )
+    sub.add_argument(
+        "--tier", default=None, choices=TIER_NAMES,
+        help=(
+            "compute tier for the correctness-gate oracles (results are "
+            "tier-independent; default: stdlib)"
+        ),
+    )
+
+
+def add_store_options(sub: argparse.ArgumentParser) -> None:
+    """The ``--out``/``--resume`` store flags of the local grid commands."""
+    sub.add_argument(
+        "--out", default=None, metavar="PATH",
+        help=(
+            "persist records (plus run provenance) to this append-only "
+            "JSONL experiment store; records are flushed as they complete"
+        ),
+    )
+    sub.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "continue an interrupted run: cells already present in the "
+            "--out store are loaded instead of recomputed (the merged "
+            "record set is identical to an uninterrupted run)"
+        ),
+    )
+
+
+def add_fault_options(sub: argparse.ArgumentParser) -> None:
+    """Deterministic fault-injection flags (see :mod:`repro.faults`).
+
+    All probabilities default to 0; with every flag at its default the
+    null model applies and execution is byte-identical to a fault-free
+    run.
+    """
+    sub.add_argument(
+        "--loss", type=float, default=0.0, metavar="P",
+        help="per-message loss probability (default: 0)",
+    )
+    sub.add_argument(
+        "--delay", type=float, default=0.0, metavar="P",
+        help="per-message extra-latency probability (default: 0)",
+    )
+    sub.add_argument(
+        "--max-delay", type=int, default=1, metavar="R",
+        help="max extra rounds a delayed message waits (default: 1)",
+    )
+    sub.add_argument(
+        "--crash", type=float, default=0.0, metavar="P",
+        help="per-node crash probability (fail-pause; default: 0)",
+    )
+    sub.add_argument(
+        "--crash-window", type=int, default=32, metavar="R",
+        help="crashes happen within the first R rounds (default: 32)",
+    )
+    sub.add_argument(
+        "--down-rounds", type=int, default=0, metavar="R",
+        help=(
+            "rounds a crashed node stays down before restarting "
+            "with its state intact (0 = never restarts; default: 0)"
+        ),
+    )
+    sub.add_argument(
+        "--churn", type=float, default=0.0, metavar="P",
+        help="per-edge per-round outage probability (default: 0)",
+    )
+    sub.add_argument(
+        "--fault-timeout", type=int, default=None, metavar="ROUNDS",
+        help=(
+            "abort any single run after this many rounds (recorded "
+            "as a failed cell instead of hanging until the generic "
+            "round cap)"
+        ),
+    )
+    sub.add_argument(
+        "--fault-seed", type=int, default=0,
+        help=(
+            "seed of the fault randomness stream, independent of the "
+            "graph and algorithm seeds (default: 0)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -548,60 +809,6 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
-    def add_fault_options(sub: argparse.ArgumentParser) -> None:
-        """Deterministic fault-injection flags (see :mod:`repro.faults`).
-
-        All probabilities default to 0; with every flag at its default
-        the null model applies and execution is byte-identical to a
-        fault-free run.
-        """
-        sub.add_argument(
-            "--loss", type=float, default=0.0, metavar="P",
-            help="per-message loss probability (default: 0)",
-        )
-        sub.add_argument(
-            "--delay", type=float, default=0.0, metavar="P",
-            help="per-message extra-latency probability (default: 0)",
-        )
-        sub.add_argument(
-            "--max-delay", type=int, default=1, metavar="R",
-            help="max extra rounds a delayed message waits (default: 1)",
-        )
-        sub.add_argument(
-            "--crash", type=float, default=0.0, metavar="P",
-            help="per-node crash probability (fail-pause; default: 0)",
-        )
-        sub.add_argument(
-            "--crash-window", type=int, default=32, metavar="R",
-            help="crashes happen within the first R rounds (default: 32)",
-        )
-        sub.add_argument(
-            "--down-rounds", type=int, default=0, metavar="R",
-            help=(
-                "rounds a crashed node stays down before restarting "
-                "with its state intact (0 = never restarts; default: 0)"
-            ),
-        )
-        sub.add_argument(
-            "--churn", type=float, default=0.0, metavar="P",
-            help="per-edge per-round outage probability (default: 0)",
-        )
-        sub.add_argument(
-            "--fault-timeout", type=int, default=None, metavar="ROUNDS",
-            help=(
-                "abort any single run after this many rounds (recorded "
-                "as a failed cell instead of hanging until the generic "
-                "round cap)"
-            ),
-        )
-        sub.add_argument(
-            "--fault-seed", type=int, default=0,
-            help=(
-                "seed of the fault randomness stream, independent of the "
-                "graph and algorithm seeds (default: 0)"
-            ),
-        )
-
     diameter_parser = subparsers.add_parser(
         "diameter", help="exact diameter: classical baseline vs Theorem 1"
     )
@@ -622,14 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch-run algorithms over a (family x size) grid, "
         "optionally over a process pool (--jobs)",
     )
-    sweep_parser.add_argument(
-        "--families", default="clique_chain",
-        help="comma-separated graph families (default: clique_chain)",
-    )
-    sweep_parser.add_argument(
-        "--sizes", default="24,48",
-        help="comma-separated node counts (default: 24,48)",
-    )
+    add_grid_options(sweep_parser, sizes_default="24,48")
     sweep_parser.add_argument(
         "--algorithms", default="classical_exact,two_approx",
         help=(
@@ -637,47 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
             + ", ".join(sorted(SWEEP_ALGORITHMS))
         ),
     )
-    sweep_parser.add_argument(
-        "--diameter", type=int, default=None,
-        help="target diameter (only for --families controlled)",
-    )
-    sweep_parser.add_argument("--seed", type=int, default=0, help="base random seed")
-    sweep_parser.add_argument(
-        "--jobs", type=int, default=1,
-        help=(
-            "worker processes for the batch runner (1 = serial, 0 = one "
-            "per CPU); parallel output is byte-identical to serial"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--out", default=None, metavar="PATH",
-        help=(
-            "persist records (plus run provenance) to this append-only "
-            "JSONL experiment store; records are flushed as they complete"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--resume", action="store_true",
-        help=(
-            "continue an interrupted sweep: cells already present in the "
-            "--out store are loaded instead of recomputed (the merged "
-            "record set is identical to an uninterrupted run)"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--backend", default=None, choices=BACKEND_NAMES,
-        help=(
-            "quantum schedule backend for quantum algorithms in the grid "
-            "(results are backend-independent; default: sampling)"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--tier", default=None, choices=TIER_NAMES,
-        help=(
-            "compute tier for the correctness-gate oracles (results are "
-            "tier-independent; default: stdlib)"
-        ),
-    )
+    add_store_options(sweep_parser)
     add_fault_options(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
@@ -693,6 +853,7 @@ def build_parser() -> argparse.ArgumentParser:
             "stores are interoperable."
         ),
     )
+    add_grid_options(quantum_parser, sizes_default="24")
     quantum_parser.add_argument(
         "--problems", default="all",
         help=(
@@ -701,48 +862,10 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     quantum_parser.add_argument(
-        "--families", default="clique_chain",
-        help="comma-separated graph families (default: clique_chain)",
-    )
-    quantum_parser.add_argument(
-        "--sizes", default="24",
-        help="comma-separated node counts (default: 24)",
-    )
-    quantum_parser.add_argument(
-        "--diameter", type=int, default=None,
-        help="target diameter (only for --families controlled)",
-    )
-    quantum_parser.add_argument("--seed", type=int, default=0, help="base random seed")
-    quantum_parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes (1 = serial, 0 = one per CPU)",
-    )
-    quantum_parser.add_argument(
-        "--backend", default=None, choices=BACKEND_NAMES,
-        help=(
-            "quantum schedule backend; results are byte-identical across "
-            "backends, only wall-clock changes (default: sampling)"
-        ),
-    )
-    quantum_parser.add_argument(
-        "--tier", default=None, choices=TIER_NAMES,
-        help=(
-            "compute tier for the correctness-gate oracles (results are "
-            "tier-independent; default: stdlib)"
-        ),
-    )
-    quantum_parser.add_argument(
-        "--out", default=None, metavar="PATH",
-        help="persist records (plus run provenance) to this JSONL store",
-    )
-    quantum_parser.add_argument(
-        "--resume", action="store_true",
-        help="continue an interrupted run from the --out store",
-    )
-    quantum_parser.add_argument(
         "--list", action="store_true",
         help="list the registered quantum problems and exit",
     )
+    add_store_options(quantum_parser)
     add_fault_options(quantum_parser)
     quantum_parser.set_defaults(handler=_cmd_quantum)
 
@@ -793,7 +916,157 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", action="store_true",
         help="rewrite the baselines from this run instead of comparing",
     )
+    bench_parser.add_argument(
+        "--history", default=None, metavar="PATH",
+        help=(
+            "append one JSONL row per harness (commit, harness, speedup, "
+            "wall time, mode) to this measurement-history file"
+        ),
+    )
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant experiment service daemon "
+        "(HTTP JSON API over a durable job queue)",
+        description=(
+            "Run the experiment service: a job daemon whose workers "
+            "execute submitted sweep grids through the same store/runner "
+            "stack as 'repro sweep' (exports are byte-identical to local "
+            "runs).  The queue is durably persisted to a JSONL ledger; a "
+            "killed daemon resumes it on restart.  Stop with SIGTERM or "
+            "Ctrl-C; running jobs checkpoint and requeue."
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8155,
+        help="bind port, 0 picks a free one (default: 8155)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job workers, each a subprocess (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--data-dir", default="service-data", metavar="PATH",
+        help=(
+            "root of the per-tenant experiment store shards and the job "
+            "ledger (default: service-data)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="job ledger file (default: <data-dir>/jobs.jsonl)",
+    )
+    serve_parser.add_argument(
+        "--tenant-quota", type=int, default=8, metavar="N",
+        help="max active (queued+running) jobs per tenant (default: 8)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs",
+        help="client for a running experiment service "
+        "(submit/status/cancel/results/watch/list/capacity)",
+    )
+    jobs_subparsers = jobs_parser.add_subparsers(
+        dest="jobs_command", required=True
+    )
+
+    def add_url_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url", default="http://127.0.0.1:8155",
+            help="service base URL (default: http://127.0.0.1:8155)",
+        )
+
+    submit_parser = jobs_subparsers.add_parser(
+        "submit",
+        help="submit a sweep grid to the service (same grid/fault flags "
+        "as 'repro sweep'; prints the job id on stdout)",
+    )
+    add_grid_options(submit_parser, sizes_default="24,48")
+    submit_parser.add_argument(
+        "--algorithms", default="classical_exact,two_approx",
+        help=(
+            "comma-separated algorithm names; available: "
+            + ", ".join(sorted(SWEEP_ALGORITHMS))
+        ),
+    )
+    add_fault_options(submit_parser)
+    add_url_option(submit_parser)
+    submit_parser.add_argument(
+        "--tenant", default="default",
+        help="tenant the job is accounted to (default: default)",
+    )
+    submit_parser.add_argument(
+        "--watch", action="store_true",
+        help="poll the job to completion after submitting",
+    )
+    submit_parser.set_defaults(handler=_cmd_jobs_submit)
+
+    status_parser = jobs_subparsers.add_parser(
+        "status", help="print one job's status as JSON"
+    )
+    status_parser.add_argument("job_id", help="job id (from submit)")
+    add_url_option(status_parser)
+    status_parser.set_defaults(handler=_cmd_jobs_status)
+
+    list_parser = jobs_subparsers.add_parser(
+        "list", help="list the service's jobs as a table"
+    )
+    list_parser.add_argument(
+        "--tenant", default=None, help="only this tenant's jobs",
+    )
+    add_url_option(list_parser)
+    list_parser.set_defaults(handler=_cmd_jobs_list)
+
+    cancel_parser = jobs_subparsers.add_parser(
+        "cancel",
+        help="cancel a job (immediate when queued; running jobs stop "
+        "between task completions, keeping durable partial progress)",
+    )
+    cancel_parser.add_argument("job_id", help="job id (from submit)")
+    add_url_option(cancel_parser)
+    cancel_parser.set_defaults(handler=_cmd_jobs_cancel)
+
+    results_parser = jobs_subparsers.add_parser(
+        "results",
+        help="fetch a job's records (jsonl is the canonical export, "
+        "byte-identical to a local 'repro sweep' of the same flags)",
+    )
+    results_parser.add_argument("job_id", help="job id (from submit)")
+    results_parser.add_argument(
+        "--format", default="jsonl", choices=EXPORT_FORMATS,
+        help="output format (default: jsonl)",
+    )
+    results_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="destination file (default: stdout)",
+    )
+    add_url_option(results_parser)
+    results_parser.set_defaults(handler=_cmd_jobs_results)
+
+    watch_parser = jobs_subparsers.add_parser(
+        "watch",
+        help="poll a job until it finishes "
+        "(exit 0 done, 1 failed, 3 cancelled)",
+    )
+    watch_parser.add_argument("job_id", help="job id (from submit)")
+    watch_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval (default: 0.5)",
+    )
+    add_url_option(watch_parser)
+    watch_parser.set_defaults(handler=_cmd_jobs_watch)
+
+    capacity_parser = jobs_subparsers.add_parser(
+        "capacity",
+        help="print worker-slot and per-tenant quota capacity as JSON",
+    )
+    add_url_option(capacity_parser)
+    capacity_parser.set_defaults(handler=_cmd_jobs_capacity)
 
     table_parser = subparsers.add_parser(
         "table1", help="print Table 1 evaluated at a given (n, D)"

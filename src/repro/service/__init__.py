@@ -1,0 +1,60 @@
+"""Experiment service: a multi-tenant job daemon over the store/runner stack.
+
+The service turns the local sweep workflow -- ``repro sweep --out
+run.jsonl --resume`` -- into a long-running daemon that multiple tenants
+share:
+
+* :mod:`repro.service.gridspec` -- :class:`GridRequest`, the one
+  serializable description of a sweep/quantum grid, executed identically
+  by the CLI and by daemon workers (that shared path is what makes a
+  daemon-run job's canonical export byte-identical to a local run);
+* :mod:`repro.service.jobs` -- job model + durable JSONL ledger (replay
+  reconstructs the queue after a crash);
+* :mod:`repro.service.queue` -- :class:`ExperimentService`, the worker
+  pool leasing jobs into per-job subprocesses with cooperative
+  cancellation and SIGTERM checkpointing;
+* :mod:`repro.service.quota` -- capacity accounting and per-tenant
+  active-job quotas;
+* :mod:`repro.service.api` / :mod:`repro.service.client` -- the stdlib
+  HTTP JSON face and its client, surfaced as ``repro serve`` and
+  ``repro jobs ...``.
+"""
+
+from repro.service.gridspec import (
+    GRID_KINDS,
+    GridRequest,
+    execute_grid_request,
+    fault_model_from_flags,
+)
+from repro.service.jobs import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobError,
+    JobLedger,
+    JobRecord,
+)
+from repro.service.queue import ExperimentService
+from repro.service.quota import QuotaExceeded, QuotaPolicy, capacity_report
+from repro.service.api import serve_api
+from repro.service.client import ServiceClient, ServiceClientError
+
+__all__ = [
+    "GRID_KINDS",
+    "GridRequest",
+    "execute_grid_request",
+    "fault_model_from_flags",
+    "JOB_STATES",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "JobError",
+    "JobLedger",
+    "JobRecord",
+    "ExperimentService",
+    "QuotaPolicy",
+    "QuotaExceeded",
+    "capacity_report",
+    "serve_api",
+    "ServiceClient",
+    "ServiceClientError",
+]

@@ -1,0 +1,141 @@
+"""A stdlib HTTP client for the experiment service.
+
+:class:`ServiceClient` wraps the JSON API in :mod:`repro.service.api`
+using only :mod:`urllib` -- the same no-new-dependencies rule as the
+server side.  API errors surface as :class:`ServiceClientError` carrying
+the HTTP status and the server's structured ``error.code`` / message, so
+callers (the ``repro jobs`` CLI, tests) can branch on *why* a call
+failed without parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.service.gridspec import GridRequest
+from repro.service.jobs import TERMINAL_STATES
+
+
+class ServiceClientError(RuntimeError):
+    """An API call failed; carries the HTTP status and error code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            raise self._api_error(error)
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                0, "unreachable",
+                f"cannot reach service at {self.base_url}: {error.reason}",
+            )
+
+    @staticmethod
+    def _api_error(error: urllib.error.HTTPError) -> ServiceClientError:
+        status = error.code
+        code, message = "http_error", f"HTTP {status}"
+        try:
+            payload = json.loads(error.read().decode("utf-8"))
+            detail = payload.get("error", {})
+            code = detail.get("code", code)
+            message = detail.get("message", message)
+        except (ValueError, AttributeError):
+            pass
+        return ServiceClientError(status, code, message)
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        return json.loads(self._request(method, path, payload).decode("utf-8"))
+
+    # -- API surface ---------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/health")
+
+    def capacity(self) -> Dict[str, Any]:
+        return self._json("GET", "/capacity")
+
+    def submit(self, tenant: str, request: GridRequest) -> Dict[str, Any]:
+        """Submit a grid request; returns the job's status payload."""
+        return self._json(
+            "POST", "/jobs",
+            {"tenant": tenant, "request": request.to_dict()},
+        )
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._json("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def results(self, job_id: str, format: str = "jsonl") -> str:
+        """The job's rendered records; jsonl is the canonical export."""
+        raw = self._request("GET", f"/jobs/{job_id}/results?format={format}")
+        return raw.decode("utf-8")
+
+    def watch(
+        self,
+        job_id: str,
+        poll: float = 0.2,
+        timeout: Optional[float] = None,
+        on_progress=None,
+    ) -> Dict[str, Any]:
+        """Poll a job until it reaches a terminal state.
+
+        ``on_progress(status_dict)`` fires on every poll; a ``timeout``
+        (seconds) bounds the wait and raises :class:`ServiceClientError`
+        with code ``watch_timeout`` when exceeded.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if on_progress is not None:
+                on_progress(status)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceClientError(
+                    0, "watch_timeout",
+                    f"job {job_id} still {status['state']} after {timeout}s",
+                )
+            time.sleep(poll)

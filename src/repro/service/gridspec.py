@@ -1,0 +1,292 @@
+"""The grid request: one shared description of a sweep/quantum grid.
+
+``repro sweep`` run locally and ``repro jobs submit`` sent to the
+experiment service must produce **byte-identical** canonical exports for
+the same flags -- the acceptance differential of the service layer.
+That identity is structural, not coincidental: both paths construct a
+:class:`GridRequest` from the same parsed flags and execute it through
+:func:`execute_grid_request`, so there is exactly one place where
+
+* the user-facing ``--seed`` splits into the independent graph-stream /
+  algorithm-stream seeds,
+* family and size validation happens,
+* algorithm (or quantum problem) names resolve to registry kernels, and
+* the engine / schedule-backend / compute-tier / fault-model selections
+  are applied around :func:`repro.analysis.sweep.run_sweep_grid`.
+
+A request is plain data (JSON round-trip via :meth:`GridRequest.to_dict`
+/ :meth:`GridRequest.from_dict`), so it travels over the service HTTP
+API and sits in the job ledger unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import run_sweep_grid
+from repro.engine import ENGINE_NAMES, set_default_engine
+from repro.faults import FaultModel
+from repro.graphs import generators
+from repro.quantum.backend import BACKEND_NAMES, set_default_schedule_backend
+from repro.runner import (
+    BatchRunner,
+    GraphSpec,
+    grid,
+    resolve_algorithms,
+    sweep_algorithm_for_problem,
+    task_seed,
+)
+from repro.tier import TIER_NAMES, set_default_tier
+
+#: How the algorithm names of a request resolve: ``sweep`` looks them up
+#: in :data:`repro.runner.SWEEP_ALGORITHMS`, ``quantum`` treats them as
+#: registered quantum problem names (the ``repro quantum`` command).
+GRID_KINDS = ("sweep", "quantum")
+
+
+def fault_model_from_flags(
+    loss: float = 0.0,
+    delay: float = 0.0,
+    max_delay: int = 1,
+    crash: float = 0.0,
+    crash_window: int = 32,
+    down_rounds: int = 0,
+    churn: float = 0.0,
+    timeout: Optional[int] = None,
+    seed: int = 0,
+) -> Optional[FaultModel]:
+    """The fault model selected by the ``--loss/--crash/...`` flag values.
+
+    Returns ``None`` (leave the process default alone) when no flag asks
+    for an actual fault: probabilities at zero and no fault timeout.
+    May raise ``ValueError`` for out-of-range values.
+    """
+    if not (loss or delay or crash or churn or timeout is not None):
+        return None
+    return FaultModel(
+        loss=loss,
+        delay=delay,
+        max_delay=max_delay,
+        crash=crash,
+        crash_window=crash_window,
+        down_rounds=down_rounds,
+        churn=churn,
+        timeout=timeout,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class GridRequest:
+    """A complete, serializable description of one grid run.
+
+    ``seed`` is the *user-facing* seed (the CLI ``--seed``); the derived
+    graph-stream and algorithm-stream seeds are computed in
+    :meth:`graph_seed` / :meth:`base_seed`, never stored, so a request
+    round-tripped through JSON cannot drift from a locally parsed one.
+    """
+
+    families: Tuple[str, ...]
+    sizes: Tuple[int, ...]
+    algorithms: Tuple[str, ...]
+    kind: str = "sweep"
+    diameter: Optional[int] = None
+    seed: int = 0
+    jobs: int = 1
+    engine: Optional[str] = None
+    backend: Optional[str] = None
+    tier: Optional[str] = None
+    fault: Optional[FaultModel] = None
+
+    def __post_init__(self) -> None:
+        # Normalise sequences to tuples so requests hash/compare by value
+        # regardless of whether they came from argparse or JSON.
+        object.__setattr__(self, "families", tuple(self.families))
+        object.__setattr__(self, "sizes", tuple(int(size) for size in self.sizes))
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+
+    # -- validation ----------------------------------------------------
+    def validate(self) -> None:
+        """Reject malformed requests with the CLI's historical messages.
+
+        Raises ``ValueError``; the CLI reports the message as a usage
+        error (exit 2) and the service API as a structured 400.
+        """
+        if self.kind not in GRID_KINDS:
+            raise ValueError(
+                f"unknown grid kind {self.kind!r} (available: "
+                + ", ".join(GRID_KINDS) + ")"
+            )
+        if not self.families:
+            raise ValueError("a grid needs at least one family")
+        if not self.sizes:
+            raise ValueError("a grid needs at least one size")
+        if not self.algorithms:
+            raise ValueError("a grid needs at least one algorithm")
+        for family in self.families:
+            if family not in generators.SWEEP_FAMILIES and family != "controlled":
+                known = ", ".join(
+                    sorted(set(generators.SWEEP_FAMILIES) | {"controlled"})
+                )
+                raise ValueError(
+                    f"unknown family {family!r} (available: {known})"
+                )
+        if "controlled" in self.families and self.diameter is None:
+            raise ValueError("family 'controlled' requires --diameter")
+        for size in self.sizes:
+            if size < 1:
+                raise ValueError(f"sizes must be >= 1, got {size}")
+        if self.engine is not None and self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (available: "
+                + ", ".join(ENGINE_NAMES) + ")"
+            )
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown schedule backend {self.backend!r} (available: "
+                + ", ".join(BACKEND_NAMES) + ")"
+            )
+        if self.tier is not None and self.tier not in TIER_NAMES:
+            raise ValueError(
+                f"unknown compute tier {self.tier!r} (available: "
+                + ", ".join(TIER_NAMES) + ")"
+            )
+        self.algorithm_table()  # raises on unknown algorithm/problem names
+
+    # -- derived execution inputs --------------------------------------
+    def graph_seed(self) -> int:
+        """The graph-construction seed stream derived from ``seed``."""
+        return task_seed(self.seed, "sweep-graph-stream")
+
+    def base_seed(self) -> int:
+        """The per-cell algorithm seed stream derived from ``seed``."""
+        return task_seed(self.seed, "sweep-algorithm-stream")
+
+    def specs(self) -> Tuple[GraphSpec, ...]:
+        """The ``families x sizes`` grid as graph specs (spec-major)."""
+        return grid(
+            self.families, self.sizes, diameter=self.diameter,
+            seed=self.graph_seed(),
+        )
+
+    def algorithm_table(self) -> Dict[str, Any]:
+        """Resolved ``name -> kernel`` table for this request's kind."""
+        if self.kind == "quantum":
+            return dict(
+                sweep_algorithm_for_problem(problem)
+                for problem in self.algorithms
+            )
+        return resolve_algorithms(list(self.algorithms))
+
+    def total_cells(self) -> int:
+        """Number of ``(spec, algorithm)`` cells the grid produces."""
+        return len(self.families) * len(self.sizes) * len(self.algorithms)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "families": list(self.families),
+            "sizes": list(self.sizes),
+            "algorithms": list(self.algorithms),
+            "diameter": self.diameter,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "engine": self.engine,
+            "backend": self.backend,
+            "tier": self.tier,
+            "fault": None if self.fault is None else {
+                item.name: getattr(self.fault, item.name)
+                for item in fields(FaultModel)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GridRequest":
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Raises ``ValueError`` on unknown fields so a malformed API
+        payload cannot silently drop a selection (e.g. a typoed
+        ``"tir"`` running on the wrong tier).
+        """
+        known = {item.name for item in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown grid request fields {sorted(unknown)} "
+                f"(allowed: {sorted(known)})"
+            )
+        fault = data.get("fault")
+        if fault is not None and not isinstance(fault, FaultModel):
+            if not isinstance(fault, Mapping):
+                raise ValueError("'fault' must be an object of FaultModel fields")
+            fault = FaultModel(**fault)
+        return cls(
+            families=tuple(data.get("families", ())),
+            sizes=tuple(data.get("sizes", ())),
+            algorithms=tuple(data.get("algorithms", ())),
+            kind=data.get("kind", "sweep"),
+            diameter=data.get("diameter"),
+            seed=int(data.get("seed", 0)),
+            jobs=int(data.get("jobs", 1)),
+            engine=data.get("engine"),
+            backend=data.get("backend"),
+            tier=data.get("tier"),
+            fault=fault,
+        )
+
+
+@contextlib.contextmanager
+def _process_default(value: Optional[str], setter: Callable[[str], str]):
+    """Temporarily install a process-default registry selection.
+
+    Process-wide so the batch runner ships the selection to its pool
+    workers; restored afterwards so in-process callers (tests, the CLI
+    invoked from a notebook) do not inherit a leaked default.
+    """
+    if value is None:
+        yield
+        return
+    previous = setter(value)
+    try:
+        yield
+    finally:
+        setter(previous)
+
+
+def execute_grid_request(
+    request: GridRequest,
+    runner: Optional[BatchRunner] = None,
+    store=None,
+    resume: bool = False,
+    progress=None,
+    should_stop=None,
+) -> List:
+    """Run a grid request: the one execution path of CLI and daemon.
+
+    Applies the request's engine / backend / tier selections as
+    (restored) process defaults, threads its fault model through
+    :func:`repro.analysis.sweep.run_sweep_grid`, and honours the
+    checkpoint-store and cooperative progress/cancellation hooks.  The
+    records -- and therefore the canonical export -- depend only on the
+    request, never on who executed it.
+    """
+    if runner is None:
+        runner = BatchRunner(jobs=request.jobs)
+    with _process_default(request.engine, set_default_engine), \
+            _process_default(request.backend, set_default_schedule_backend), \
+            _process_default(request.tier, set_default_tier):
+        return run_sweep_grid(
+            request.specs(),
+            request.algorithm_table(),
+            runner=runner,
+            base_seed=request.base_seed(),
+            store=store,
+            resume=resume,
+            fault_model=request.fault,
+            progress=progress,
+            should_stop=should_stop,
+        )

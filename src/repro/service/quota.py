@@ -1,0 +1,84 @@
+"""Capacity accounting and per-tenant quotas for the experiment service.
+
+Follows the MAAS pod-handler pattern: capacity is reported as parallel
+``total`` / ``used`` / ``available`` maps over the same keys, where
+``available = total - used`` by construction, plus a per-tenant section
+with the same three-way split over the tenant's job quota.  Keeping the
+arithmetic in one place (and computing it under the daemon's state lock)
+is what makes the counts consistent under concurrent submissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable
+
+from repro.service.jobs import JobRecord
+
+
+class QuotaExceeded(ValueError):
+    """A submission would exceed the tenant's active-job quota."""
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Limits applied per tenant at submission time.
+
+    ``tenant_jobs`` caps a tenant's *active* jobs (queued + running);
+    terminal jobs never count, so a tenant can submit indefinitely as
+    long as it drains.  One tenant hitting its quota is rejected with a
+    structured error and has no effect on other tenants' queues.
+    """
+
+    tenant_jobs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.tenant_jobs < 1:
+            raise ValueError(
+                f"tenant_jobs must be >= 1, got {self.tenant_jobs!r}"
+            )
+
+    def check_submit(self, tenant: str, jobs: Iterable[JobRecord]) -> None:
+        """Raise :class:`QuotaExceeded` when ``tenant`` is at its cap."""
+        active = sum(
+            1 for job in jobs if job.tenant == tenant and job.active
+        )
+        if active >= self.tenant_jobs:
+            raise QuotaExceeded(
+                f"tenant {tenant!r} has {active} active job(s), at its "
+                f"quota of {self.tenant_jobs}; wait for one to finish or "
+                "cancel one"
+            )
+
+
+def capacity_report(
+    workers: int, policy: QuotaPolicy, jobs: Iterable[JobRecord]
+) -> Dict[str, Any]:
+    """The ``/capacity`` payload: worker slots and per-tenant quotas.
+
+    ``total`` / ``used`` / ``available`` mirror the MAAS pod capacity
+    shape; ``used`` counts running jobs (each occupies one worker slot),
+    and ``queued`` is reported alongside so a client can tell a busy
+    service from an idle one.  The per-tenant section applies the same
+    three-way split to the active-job quota.
+    """
+    jobs = list(jobs)
+    running = sum(1 for job in jobs if job.state == "running")
+    queued = sum(1 for job in jobs if job.state == "queued")
+    tenants: Dict[str, Dict[str, int]] = {}
+    for job in jobs:
+        entry = tenants.setdefault(
+            job.tenant,
+            {"total": policy.tenant_jobs, "used": 0, "available": 0},
+        )
+        if job.active:
+            entry["used"] += 1
+    for entry in tenants.values():
+        entry["available"] = max(0, entry["total"] - entry["used"])
+    return {
+        "total": {"workers": workers},
+        "used": {"workers": running},
+        "available": {"workers": max(0, workers - running)},
+        "queued": queued,
+        "tenants": {name: tenants[name] for name in sorted(tenants)},
+    }

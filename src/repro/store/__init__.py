@@ -28,8 +28,22 @@ from repro.store.export import (
     render_jsonl,
     render_records,
 )
-from repro.store.jsonl import SCHEMA_VERSION, ExperimentStore, ExperimentStoreError
-from repro.store.provenance import collect_provenance, git_describe
+from repro.store.jsonl import (
+    SCHEMA_VERSION,
+    ExperimentStore,
+    ExperimentStoreError,
+    StoreLockError,
+    StoreWriterLock,
+    append_jsonl_line,
+    iter_jsonl_entries,
+)
+from repro.store.provenance import (
+    clear_run_context,
+    collect_provenance,
+    get_run_context,
+    git_describe,
+    set_run_context,
+)
 from repro.store.records import (
     RECORD_FIELDS,
     canonical_json,
@@ -42,7 +56,14 @@ from repro.store.records import (
 __all__ = [
     "ExperimentStore",
     "ExperimentStoreError",
+    "StoreLockError",
+    "StoreWriterLock",
+    "append_jsonl_line",
+    "iter_jsonl_entries",
     "SCHEMA_VERSION",
+    "set_run_context",
+    "get_run_context",
+    "clear_run_context",
     "EXPORT_FORMATS",
     "export_records",
     "render_records",

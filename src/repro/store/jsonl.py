@@ -23,9 +23,13 @@ layer skips them -- see :func:`repro.analysis.sweep.run_sweep_grid`.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+import platform
+import re
+import time
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.sweep import SweepRecord
 from repro.store.provenance import collect_provenance
@@ -39,9 +43,176 @@ from repro.store.records import (
 #: Store file schema, bumped on incompatible layout changes.
 SCHEMA_VERSION = 1
 
+#: Tenant namespaces are plain path components: no separators, no leading
+#: dot, so a tenant name can never escape the store root.
+_TENANT_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
 
 class ExperimentStoreError(ValueError):
     """A store file cannot be used as requested (mixed grids, no resume)."""
+
+
+class StoreLockError(ExperimentStoreError):
+    """Another writer holds the store's advisory lock."""
+
+
+def append_jsonl_line(path: str, obj: Dict[str, Any]) -> None:
+    """Append one canonical JSON line to ``path`` and flush it.
+
+    The shared append primitive of the experiment store and the service
+    job ledger: open, write one line, flush, close -- no handle survives
+    between appends, so concurrent readers always see a prefix of
+    complete lines.  A previous writer killed mid-line leaves a tail with
+    no newline; a fresh line is started first so the new entry cannot
+    merge into (and be lost with) the truncated one.
+    """
+    with open(path, "a", encoding="utf-8") as handle:
+        if handle.tell() > 0 and not _ends_with_newline(path):
+            handle.write("\n")
+        handle.write(canonical_json(obj))
+        handle.write("\n")
+        handle.flush()
+
+
+def _ends_with_newline(path: str) -> bool:
+    with open(path, "rb") as handle:
+        handle.seek(-1, os.SEEK_END)
+        return handle.read(1) == b"\n"
+
+
+def iter_jsonl_entries(path: str) -> Iterator[Dict[str, Any]]:
+    """Parsed JSON-object lines of ``path``, tolerating a truncated tail.
+
+    The shared reader of the experiment store and the service job ledger.
+    Append-only writers can only corrupt the final line (cut short by a
+    kill); unparseable lines are dropped so a consumer recomputes the
+    lost entry instead of crashing on it.  Non-object lines are skipped
+    for the same reason.
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict):
+                yield entry
+
+
+class StoreWriterLock:
+    """An advisory, cross-process writer lock for an append-only file.
+
+    The lock is a sidecar ``<path>.lock`` file created with
+    ``O_CREAT | O_EXCL`` (atomic on POSIX and NT) whose content names the
+    holder (pid, host).  Two cooperating writers -- daemon workers and
+    ``repro sweep --out`` both acquire it through
+    :meth:`ExperimentStore.acquire_writer` -- can therefore never
+    interleave appends to one shard.  A lock whose holder pid is dead
+    (same host) is stale -- the previous writer was killed without
+    cleanup -- and is silently broken, so crashes never wedge a store.
+    """
+
+    def __init__(self, path: str, timeout: float = 0.0, poll: float = 0.05) -> None:
+        self.path = os.fspath(path)
+        self.lock_path = self.path + ".lock"
+        self.timeout = timeout
+        self.poll = poll
+        self._held = False
+
+    # -- acquisition ---------------------------------------------------
+    def acquire(self) -> "StoreWriterLock":
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_acquire():
+                self._held = True
+                return self
+            holder = self._read_holder()
+            if holder is None:
+                if not os.path.exists(self.lock_path):
+                    continue  # released between attempts -- retry now
+                # Unreadable content: either a torn lock write (stale) or
+                # the creator between open and write -- give it one beat
+                # to finish before declaring the lock dead.
+                time.sleep(min(self.poll, 0.05))
+                if self._read_holder() is None and os.path.exists(self.lock_path):
+                    self._break_stale()
+                continue
+            if self._is_stale(holder):
+                self._break_stale()
+                continue
+            if time.monotonic() >= deadline:
+                pid = holder.get("pid") if holder else "unknown"
+                raise StoreLockError(
+                    f"store {self.path!r} is locked by another writer "
+                    f"(pid {pid}, lock file {self.lock_path!r}); two "
+                    "writers must never interleave appends to one shard"
+                )
+            time.sleep(self.poll)
+
+    def _try_acquire(self) -> bool:
+        try:
+            fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError as error:
+            if error.errno == errno.EEXIST:
+                return False
+            raise
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(
+                canonical_json({"pid": os.getpid(), "host": platform.node()})
+            )
+        return True
+
+    def _read_holder(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.lock_path, "r", encoding="utf-8") as handle:
+                holder = json.loads(handle.read())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return holder if isinstance(holder, dict) else None
+
+    def _is_stale(self, holder: Dict[str, Any]) -> bool:
+        """Whether the holder is provably dead (same host, no such pid)."""
+        if holder.get("host") != platform.node():
+            return False
+        pid = holder.get("pid")
+        if not isinstance(pid, int) or pid <= 0:
+            return True  # unreadable holder: a torn lock write, break it
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:
+            return False
+        return False
+
+    def _break_stale(self) -> None:
+        try:
+            os.unlink(self.lock_path)
+        except FileNotFoundError:
+            pass  # a racing writer broke it first
+
+    # -- release -------------------------------------------------------
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.lock_path)
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "StoreWriterLock":
+        if not self._held:
+            self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 class ExperimentStore:
@@ -56,44 +227,52 @@ class ExperimentStore:
     def __init__(self, path) -> None:
         self.path = os.fspath(path)
 
+    @classmethod
+    def namespaced(cls, root, tenant: str, name: str) -> "ExperimentStore":
+        """A store under ``root/tenant/name.jsonl`` (per-tenant namespacing).
+
+        The experiment service gives every tenant its own directory so
+        one tenant's shards can be listed, quota-ed or deleted without
+        touching another's.  Tenant names are validated as single path
+        components (no separators, no leading dot) so a request can
+        never escape the store root.
+        """
+        if not _TENANT_PATTERN.match(tenant):
+            raise ExperimentStoreError(
+                f"invalid tenant name {tenant!r}: use letters, digits, "
+                "'_', '-' or '.' (max 64 chars, no leading '.')"
+            )
+        directory = os.path.join(os.fspath(root), tenant)
+        os.makedirs(directory, exist_ok=True)
+        if not name.endswith(".jsonl"):
+            name += ".jsonl"
+        return cls(os.path.join(directory, name))
+
     # -- low-level line access -----------------------------------------
     def exists(self) -> bool:
         return os.path.exists(self.path)
 
-    def _append(self, obj: Dict[str, Any]) -> None:
-        with open(self.path, "a", encoding="utf-8") as handle:
-            # A writer killed mid-line leaves a tail with no newline; start
-            # a fresh line so the new entry cannot merge into (and be lost
-            # with) the truncated one.
-            if handle.tell() > 0 and not self._ends_with_newline():
-                handle.write("\n")
-            handle.write(canonical_json(obj))
-            handle.write("\n")
-            handle.flush()
+    def acquire_writer(
+        self, timeout: float = 0.0, poll: float = 0.05
+    ) -> StoreWriterLock:
+        """The advisory writer lock of this store (not yet acquired).
 
-    def _ends_with_newline(self) -> bool:
-        with open(self.path, "rb") as handle:
-            handle.seek(-1, os.SEEK_END)
-            return handle.read(1) == b"\n"
+        Use as a context manager::
+
+            with store.acquire_writer():
+                ...append...
+
+        Raises :class:`StoreLockError` -- naming the holder pid -- when
+        another live writer holds the lock past ``timeout`` seconds.
+        """
+        return StoreWriterLock(self.path, timeout=timeout, poll=poll)
+
+    def _append(self, obj: Dict[str, Any]) -> None:
+        append_jsonl_line(self.path, obj)
 
     def iter_entries(self) -> Iterator[Dict[str, Any]]:
         """Parsed store lines, skipping a truncated (killed-writer) tail."""
-        if not self.exists():
-            return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    # Append-only writers can only corrupt the tail (a
-                    # line cut short by a kill); drop it and continue so
-                    # resume recomputes that cell.
-                    continue
-                if isinstance(entry, dict):
-                    yield entry
+        return iter_jsonl_entries(self.path)
 
     # -- reading --------------------------------------------------------
     def run_headers(self) -> List[Dict[str, Any]]:
@@ -113,6 +292,20 @@ class ExperimentStore:
         """
         _, table = self._scan()
         return table
+
+    def completed_keys(self) -> FrozenSet[str]:
+        """Task keys of the completed cells, without parsing the records.
+
+        The cheap progress probe of the experiment service: a daemon
+        polls this while a worker appends, so it must not pay record
+        deserialization for every scan.  Tolerates concurrent appends
+        (it reads whatever complete prefix is on disk).
+        """
+        return frozenset(
+            entry["key"]
+            for entry in self.iter_entries()
+            if entry.get("kind") == "record" and "key" in entry
+        )
 
     def _scan(
         self,

@@ -129,16 +129,20 @@ class TestCommands:
     def test_sweep_seed_streams_are_independent(self, capsys, monkeypatch):
         # Regression: --seed used to be passed verbatim as both the graph
         # construction seed and the algorithm base seed, correlating the
-        # two randomness streams.
+        # two randomness streams.  Execution flows through the shared
+        # grid-request path, so the interception point lives there.
+        import repro.service.gridspec as gridspec
+
         captured = {}
 
         def fake_run_sweep_grid(specs, algorithms, runner=None, base_seed=0,
-                                store=None, resume=False):
+                                store=None, resume=False, fault_model=None,
+                                progress=None, should_stop=None):
             captured["graph_seed"] = specs[0].seed
             captured["base_seed"] = base_seed
             return []
 
-        monkeypatch.setattr(cli, "run_sweep_grid", fake_run_sweep_grid)
+        monkeypatch.setattr(gridspec, "run_sweep_grid", fake_run_sweep_grid)
         assert main(["sweep", "--families", "cycle", "--sizes", "10",
                      "--seed", "7"]) == 0
         assert captured["graph_seed"] != captured["base_seed"]

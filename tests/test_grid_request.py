@@ -1,0 +1,214 @@
+"""Tests for the shared grid request (``repro.service.gridspec``).
+
+The grid request is the byte-identity keystone of the experiment
+service: ``repro sweep`` run locally and a daemon worker executing a
+submitted job both construct a :class:`GridRequest` from the same flags
+and run it through :func:`execute_grid_request`.  These tests pin the
+properties that identity rests on: validation messages match the CLI's
+historical ones, the seed streams derive (never store) from the user
+seed, the JSON round-trip is lossless, and the three grid commands'
+flag inventories cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.analysis.sweep import run_sweep_grid
+from repro.cli import build_parser
+from repro.faults import FaultModel
+from repro.runner import task_seed
+from repro.service import GridRequest, execute_grid_request, fault_model_from_flags
+
+
+def _request(**overrides) -> GridRequest:
+    base = dict(
+        families=("cycle",), sizes=(10,), algorithms=("classical_exact",)
+    )
+    base.update(overrides)
+    return GridRequest(**base)
+
+
+class TestValidation:
+    def test_valid_request_passes(self):
+        _request().validate()
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family 'bogus'"):
+            _request(families=("bogus",)).validate()
+
+    def test_controlled_requires_diameter(self):
+        with pytest.raises(ValueError, match="requires --diameter"):
+            _request(families=("controlled",)).validate()
+        _request(families=("controlled",), diameter=4).validate()
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown sweep algorithm"):
+            _request(algorithms=("bogus",)).validate()
+
+    def test_unknown_quantum_problem(self):
+        with pytest.raises(ValueError, match="unknown quantum problem"):
+            _request(kind="quantum", algorithms=("bogus",)).validate()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown grid kind"):
+            _request(kind="banana").validate()
+
+    def test_unknown_selections(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            _request(engine="warp").validate()
+        with pytest.raises(ValueError, match="unknown schedule backend"):
+            _request(backend="warp").validate()
+        with pytest.raises(ValueError, match="unknown compute tier"):
+            _request(tier="warp").validate()
+
+    def test_empty_grid_axes(self):
+        with pytest.raises(ValueError, match="at least one family"):
+            _request(families=()).validate()
+        with pytest.raises(ValueError, match="at least one size"):
+            _request(sizes=()).validate()
+        with pytest.raises(ValueError, match="at least one algorithm"):
+            _request(algorithms=()).validate()
+
+    def test_nonpositive_size(self):
+        with pytest.raises(ValueError, match="sizes must be >= 1"):
+            _request(sizes=(0,)).validate()
+
+
+class TestSeedStreams:
+    def test_streams_derive_from_seed_and_differ(self):
+        request = _request(seed=7)
+        assert request.graph_seed() == task_seed(7, "sweep-graph-stream")
+        assert request.base_seed() == task_seed(7, "sweep-algorithm-stream")
+        assert request.graph_seed() != request.base_seed()
+        assert request.graph_seed() != 7 and request.base_seed() != 7
+
+    def test_streams_survive_json_round_trip(self):
+        request = _request(seed=41)
+        clone = GridRequest.from_dict(request.to_dict())
+        assert clone.graph_seed() == request.graph_seed()
+        assert clone.base_seed() == request.base_seed()
+
+
+class TestRoundTrip:
+    def test_plain_round_trip(self):
+        request = _request(
+            families=("cycle", "path"), sizes=(10, 12), seed=3, jobs=2,
+            engine="sparse", backend="batched", tier="stdlib",
+        )
+        assert GridRequest.from_dict(request.to_dict()) == request
+
+    def test_fault_model_round_trip(self):
+        fault = FaultModel(loss=0.1, crash=0.05, timeout=400, seed=9)
+        request = _request(fault=fault)
+        clone = GridRequest.from_dict(request.to_dict())
+        assert clone.fault == fault
+        assert clone == request
+
+    def test_unknown_field_rejected(self):
+        data = _request().to_dict()
+        data["tir"] = "numpy"  # a typo must not silently drop a selection
+        with pytest.raises(ValueError, match="unknown grid request fields"):
+            GridRequest.from_dict(data)
+
+    def test_sequences_normalise_to_tuples(self):
+        request = GridRequest(
+            families=["cycle"], sizes=[10], algorithms=["classical_exact"]
+        )
+        assert request == _request()
+        assert hash(request) == hash(_request())
+
+
+class TestFaultModelFromFlags:
+    def test_all_defaults_is_none(self):
+        assert fault_model_from_flags() is None
+
+    def test_any_probability_builds_model(self):
+        model = fault_model_from_flags(loss=0.25, seed=3)
+        assert isinstance(model, FaultModel)
+        assert model.loss == 0.25 and model.seed == 3
+
+    def test_timeout_alone_builds_model(self):
+        model = fault_model_from_flags(timeout=128)
+        assert model is not None and model.timeout == 128
+
+
+class TestExecution:
+    def test_execute_matches_direct_run(self):
+        request = _request(families=("cycle", "path"), sizes=(10, 12), seed=3)
+        records = execute_grid_request(request)
+        direct = run_sweep_grid(
+            request.specs(),
+            request.algorithm_table(),
+            base_seed=request.base_seed(),
+        )
+        assert records == direct
+
+    def test_process_defaults_restored(self):
+        from repro.engine import get_default_engine
+        from repro.tier import get_default_tier
+
+        engine_before = get_default_engine()
+        tier_before = get_default_tier()
+        execute_grid_request(_request(engine="sparse", tier="stdlib"))
+        assert get_default_engine() == engine_before
+        assert get_default_tier() == tier_before
+
+
+def _grid_subparsers():
+    """The sweep / quantum / jobs-submit subparsers of the real CLI."""
+    parser = build_parser()
+    subs = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    jobs_subs = next(
+        action for action in subs.choices["jobs"]._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    return subs.choices["sweep"], subs.choices["quantum"], jobs_subs.choices["submit"]
+
+
+def _flags(sub: argparse.ArgumentParser) -> set:
+    return {
+        option
+        for action in sub._actions
+        for option in action.option_strings
+    } - {"-h", "--help"}
+
+
+class TestFlagInventories:
+    """Regression for the historical drift between the grid commands.
+
+    Before the shared builder, ``sweep`` and ``quantum`` each maintained
+    a hand-copied flag list (and ``quantum`` had already drifted: no
+    ``--engine``, divergent help text).  The three grid commands must
+    expose identical flag inventories modulo their documented deltas.
+    """
+
+    SWEEP_ONLY = {"--algorithms", "--out", "--resume"}
+    QUANTUM_ONLY = {"--problems", "--list", "--out", "--resume"}
+    SUBMIT_ONLY = {"--algorithms", "--url", "--tenant", "--watch"}
+
+    def test_shared_inventories_identical(self):
+        sweep, quantum, submit = map(_flags, _grid_subparsers())
+        assert sweep - self.SWEEP_ONLY == quantum - self.QUANTUM_ONLY
+        assert sweep - self.SWEEP_ONLY == submit - self.SUBMIT_ONLY
+
+    def test_documented_deltas_exact(self):
+        sweep, quantum, submit = map(_flags, _grid_subparsers())
+        shared = sweep - self.SWEEP_ONLY
+        assert sweep - shared == self.SWEEP_ONLY
+        assert quantum - shared == self.QUANTUM_ONLY
+        assert submit - shared == self.SUBMIT_ONLY
+
+    def test_shared_flags_cover_grid_request(self):
+        # every GridRequest field a flag can set is reachable from the
+        # shared inventory (fault flags feed the single `fault` field)
+        sweep, _, _ = map(_flags, _grid_subparsers())
+        for flag in ("--families", "--sizes", "--diameter", "--seed",
+                     "--jobs", "--engine", "--backend", "--tier",
+                     "--loss", "--crash", "--fault-seed"):
+            assert flag in sweep

@@ -1,0 +1,363 @@
+"""End-to-end tests for the experiment service (daemon + HTTP API + client).
+
+The load-bearing acceptance property: a job submitted over HTTP and
+executed by the daemon's worker pool produces a canonical JSONL export
+**byte-identical** to running the same grid request locally.  Around it:
+capacity accounting stays consistent, per-tenant quota rejections are
+structured and isolated, cancellation preserves durable partial
+progress, and a SIGKILLed daemon resumes its queue to the same bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    ExperimentService,
+    GridRequest,
+    QuotaPolicy,
+    ServiceClient,
+    ServiceClientError,
+    execute_grid_request,
+    serve_api,
+)
+from repro.store import render_records
+
+_REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+#: A small, fast grid for happy-path jobs (~0.1s of compute).
+_FAST = dict(families=("cycle", "path"), sizes=(10, 12),
+             algorithms=("classical_exact", "two_approx"), seed=3)
+
+#: A grid slow enough (~2s across 8 cells) to observe/interrupt mid-run.
+_SLOW = dict(families=("cycle",),
+             sizes=(104, 112, 120, 128, 136, 144, 152, 160),
+             algorithms=("classical_exact",), seed=5)
+
+
+def _request(**overrides) -> GridRequest:
+    base = dict(_FAST)
+    base.update(overrides)
+    return GridRequest(**base)
+
+
+def _local_export(request: GridRequest) -> str:
+    """The canonical export of running ``request`` locally, serially.
+
+    Uses :func:`execute_grid_request` -- the exact path ``repro sweep``
+    takes -- so the comparison is daemon-vs-local, not daemon-vs-itself
+    (a separate test pins ``execute_grid_request`` against a direct
+    :func:`run_sweep_grid` call).
+    """
+    return render_records(execute_grid_request(request), "jsonl")
+
+
+@pytest.fixture
+def live(tmp_path):
+    """A started daemon + HTTP server + client (small poll interval)."""
+    service = ExperimentService(
+        tmp_path / "data", workers=2, poll_interval=0.05
+    )
+    service.start()
+    server = serve_api(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=10.0)
+    yield client, service
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+@pytest.fixture
+def idle(tmp_path):
+    """An HTTP server over a *non-started* daemon: submissions stay
+    queued forever, which makes quota and queued-cancel tests
+    deterministic (no worker races)."""
+    service = ExperimentService(
+        tmp_path / "data", workers=2, quota=QuotaPolicy(tenant_jobs=2)
+    )
+    server = serve_api(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=10.0)
+    yield client, service
+    server.shutdown()
+    server.server_close()
+
+
+class TestAPIBasics:
+    def test_health(self, idle):
+        client, _ = idle
+        assert client.health()["status"] == "ok"
+
+    def test_capacity_empty(self, idle):
+        client, _ = idle
+        report = client.capacity()
+        assert report["total"] == {"workers": 2}
+        assert report["used"] == {"workers": 0}
+        assert report["available"] == {"workers": 2}
+        assert report["tenants"] == {}
+
+    def test_unknown_route_is_structured_404(self, idle):
+        client, _ = idle
+        with pytest.raises(ServiceClientError) as info:
+            client._json("GET", "/frobnicate")
+        assert info.value.status == 404
+        assert info.value.code == "unknown_route"
+
+    def test_unknown_job_404(self, idle):
+        client, _ = idle
+        for call in (lambda: client.status("job-999999"),
+                     lambda: client.cancel("job-999999"),
+                     lambda: client.results("job-999999")):
+            with pytest.raises(ServiceClientError) as info:
+                call()
+            assert info.value.status == 404
+            assert info.value.code == "unknown_job"
+
+    def test_submit_missing_fields_400(self, idle):
+        client, _ = idle
+        with pytest.raises(ServiceClientError) as info:
+            client._json("POST", "/jobs", {"request": _request().to_dict()})
+        assert (info.value.status, info.value.code) == (400, "missing_tenant")
+        with pytest.raises(ServiceClientError) as info:
+            client._json("POST", "/jobs", {"tenant": "alice"})
+        assert (info.value.status, info.value.code) == (400, "missing_request")
+
+    def test_submit_invalid_request_400(self, idle):
+        client, _ = idle
+        with pytest.raises(ServiceClientError) as info:
+            client.submit("alice", _request(families=("bogus",)))
+        assert info.value.status == 400
+        assert "unknown family" in info.value.message
+
+    def test_submit_bad_tenant_400(self, idle):
+        client, _ = idle
+        with pytest.raises(ServiceClientError) as info:
+            client.submit("../evil", _request())
+        assert info.value.status == 400
+
+    def test_results_unknown_format_400(self, idle):
+        client, _ = idle
+        job_id = client.submit("alice", _request())["job_id"]
+        with pytest.raises(ServiceClientError) as info:
+            client.results(job_id, format="xml")
+        assert (info.value.status, info.value.code) == (400, "unknown_format")
+
+
+class TestQuota:
+    def test_quota_rejection_is_structured_and_isolated(self, idle):
+        client, _ = idle  # tenant_jobs=2, workers never drain the queue
+        client.submit("alice", _request())
+        client.submit("alice", _request())
+        with pytest.raises(ServiceClientError) as info:
+            client.submit("alice", _request())
+        assert info.value.status == 429
+        assert info.value.code == "quota_exceeded"
+        assert "'alice'" in info.value.message
+        # ... with no effect on other tenants
+        assert client.submit("bob", _request())["state"] == "queued"
+        assert len(client.list_jobs(tenant="alice")) == 2
+        assert len(client.list_jobs(tenant="bob")) == 1
+
+    def test_capacity_tracks_tenant_usage(self, idle):
+        client, _ = idle
+        client.submit("alice", _request())
+        report = client.capacity()
+        assert report["tenants"]["alice"] == {
+            "total": 2, "used": 1, "available": 1,
+        }
+        assert report["queued"] == 1
+
+    def test_capacity_consistent_under_concurrent_submissions(self, idle):
+        client, _ = idle
+        errors = []
+
+        def spam(tenant):
+            try:
+                for _ in range(4):
+                    try:
+                        client.submit(tenant, _request())
+                    except ServiceClientError as error:
+                        if error.status != 429:
+                            raise
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        threads = [threading.Thread(target=spam, args=(t,))
+                   for t in ("alice", "bob", "carol")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        report = client.capacity()
+        # the quota (2/tenant) must have held exactly under concurrency
+        for tenant in ("alice", "bob", "carol"):
+            assert report["tenants"][tenant]["used"] == 2
+            assert report["tenants"][tenant]["available"] == 0
+        assert report["queued"] == 6
+
+
+class TestCancelQueued:
+    def test_queued_job_cancels_immediately(self, idle):
+        client, _ = idle
+        job_id = client.submit("alice", _request())["job_id"]
+        status = client.cancel(job_id)
+        assert status["state"] == "cancelled"
+        assert status["detail"] == "cancelled before execution"
+        # cancelling a terminal job is a structured conflict
+        with pytest.raises(ServiceClientError) as info:
+            client.cancel(job_id)
+        assert info.value.status == 409
+        assert info.value.code == "invalid_transition"
+        # ... and frees the tenant's quota slot
+        assert client.capacity()["tenants"]["alice"]["used"] == 0
+
+
+class TestExecution:
+    def test_daemon_export_byte_identical_to_local_run(self, live):
+        client, _ = live
+        request = _request()
+        job_id = client.submit("alice", request)["job_id"]
+        status = client.watch(job_id, poll=0.05, timeout=60)
+        assert status["state"] == "done"
+        assert status["progress"] == {"done": 8, "total": 8}
+        assert client.results(job_id, format="jsonl") == _local_export(request)
+
+    def test_jobs_with_different_selections_isolated(self, live):
+        # two concurrent jobs with *different* engine/backend selections:
+        # per-job process isolation must keep the selections apart, and
+        # both exports must still match plain local runs (selections
+        # change wall-clock, never bytes).
+        client, _ = live
+        a = client.submit("alice", _request(engine="sparse"))["job_id"]
+        b = client.submit("bob", _request(backend="batched"))["job_id"]
+        assert client.watch(a, poll=0.05, timeout=60)["state"] == "done"
+        assert client.watch(b, poll=0.05, timeout=60)["state"] == "done"
+        assert client.results(a) == _local_export(_request(engine="sparse"))
+        assert client.results(b) == _local_export(_request(backend="batched"))
+
+    def test_fault_injected_job_completes(self, live):
+        client, _ = live
+        request = GridRequest.from_dict({
+            **_request().to_dict(),
+            "fault": {"loss": 0.05, "seed": 3},
+        })
+        job_id = client.submit("alice", request)["job_id"]
+        status = client.watch(job_id, poll=0.05, timeout=60)
+        assert status["state"] == "done"
+        assert client.results(job_id) == _local_export(request)
+
+    def test_capacity_during_and_after(self, live):
+        client, _ = live
+        job_id = client.submit("alice", GridRequest(**_SLOW))["job_id"]
+        deadline = time.monotonic() + 30
+        saw_running = False
+        while time.monotonic() < deadline:
+            if client.status(job_id)["state"] == "running":
+                saw_running = True
+                report = client.capacity()
+                assert report["used"]["workers"] >= 1
+                assert (report["used"]["workers"]
+                        + report["available"]["workers"] == 2)
+                break
+            time.sleep(0.05)
+        assert saw_running, "job never entered running state"
+        client.watch(job_id, poll=0.05, timeout=60)
+        report = client.capacity()
+        assert report["used"] == {"workers": 0}
+        assert report["tenants"]["alice"]["used"] == 0
+
+    def test_cancel_running_preserves_partial_progress(self, live):
+        client, _ = live
+        request = GridRequest(**_SLOW)
+        job_id = client.submit("alice", request)["job_id"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status = client.status(job_id)
+            if status["state"] == "running" and status["progress"]["done"] >= 1:
+                break
+            time.sleep(0.02)
+        else:  # pragma: no cover - diagnostics
+            pytest.fail("job never made observable progress")
+        client.cancel(job_id)
+        status = client.watch(job_id, poll=0.05, timeout=60)
+        assert status["state"] == "cancelled"
+        assert status["cancel_requested"] is True
+        done = status["progress"]["done"]
+        assert 1 <= done < status["progress"]["total"]
+        assert "cancelled after" in status["detail"]
+        # the partial records are durable and served
+        lines = client.results(job_id).splitlines()
+        assert len(lines) == done
+        # ... and a cancelled job frees its quota slot
+        assert client.capacity()["tenants"]["alice"]["used"] == 0
+
+
+def _start_daemon(data_dir: str) -> "tuple[subprocess.Popen, str]":
+    """Launch ``repro serve`` in its own session; returns (proc, url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--data-dir", data_dir, "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env, start_new_session=True,
+    )
+    line = proc.stdout.readline().strip()
+    assert line.startswith("serving on "), line
+    return proc, line[len("serving on "):]
+
+
+@pytest.mark.slow
+class TestDaemonDurability:
+    def test_sigkill_restart_resumes_to_identical_bytes(self, tmp_path):
+        """SIGKILL the whole daemon session mid-job; a restarted daemon
+        must requeue the stale lease, resume from the store checkpoint,
+        and finish with a byte-identical canonical export."""
+        data_dir = str(tmp_path / "data")
+        request = GridRequest(**_SLOW)
+        proc, url = _start_daemon(data_dir)
+        try:
+            client = ServiceClient(url, timeout=10.0)
+            job_id = client.submit("alice", request)["job_id"]
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                status = client.status(job_id)
+                if status["progress"]["done"] >= 1:
+                    break
+                time.sleep(0.02)
+            else:  # pragma: no cover - diagnostics
+                pytest.fail("job never made observable progress")
+            assert status["state"] == "running"
+        finally:
+            # kill the daemon AND its worker subprocess, no goodbyes
+            os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+            proc.wait()
+
+        proc, url = _start_daemon(data_dir)
+        try:
+            client = ServiceClient(url, timeout=10.0)
+            # the stale lease was requeued durably and re-leased
+            status = client.watch(job_id, poll=0.05, timeout=120)
+            assert status["state"] == "done"
+            assert status["progress"] == {
+                "done": request.total_cells(), "total": request.total_cells(),
+            }
+            assert client.results(job_id) == _local_export(request)
+        finally:
+            os.killpg(os.getpgid(proc.pid), signal.SIGTERM)
+            proc.wait(timeout=30)

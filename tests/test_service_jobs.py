@@ -1,0 +1,227 @@
+"""Tests for the service job model, ledger, and capacity accounting.
+
+The ledger is the daemon's durable queue; these tests pin the replay
+semantics (first job entry wins, last state entry wins, truncated tails
+and foreign lines are tolerated), the stale-lease recovery edge, and the
+MAAS-style total/used/available capacity arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    GridRequest,
+    JobLedger,
+    JobRecord,
+    QuotaExceeded,
+    QuotaPolicy,
+    capacity_report,
+)
+from repro.store import ExperimentStore
+
+
+def _request(**overrides) -> GridRequest:
+    base = dict(
+        families=("cycle",), sizes=(10,), algorithms=("classical_exact",)
+    )
+    base.update(overrides)
+    return GridRequest(**base)
+
+
+def _record(job_id="job-000001", tenant="alice", state="queued", **overrides):
+    record = JobRecord(
+        job_id=job_id,
+        tenant=tenant,
+        request=_request(),
+        store_name=f"{job_id}.jsonl",
+        total=1,
+        state=state,
+    )
+    for key, value in overrides.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestJobRecord:
+    def test_active_states(self):
+        assert _record(state="queued").active
+        assert _record(state="running").active
+        for state in ("done", "failed", "cancelled"):
+            assert not _record(state=state).active
+
+    def test_to_api_shape(self):
+        record = _record(done=3, detail="x")
+        record.total = 4
+        payload = record.to_api()
+        assert payload["job_id"] == "job-000001"
+        assert payload["progress"] == {"done": 3, "total": 4}
+        assert payload["store"] == "alice/job-000001.jsonl"
+        assert payload["request"] == _request().to_dict()
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+    def test_store_is_tenant_namespaced(self, tmp_path):
+        store = _record().store(str(tmp_path))
+        assert store.path.endswith("alice/job-000001.jsonl")
+        assert (tmp_path / "alice").is_dir()
+
+    def test_bad_tenant_rejected(self, tmp_path):
+        for tenant in ("", "../evil", "a/b", ".hidden", "x" * 65):
+            with pytest.raises(ValueError, match="tenant"):
+                _record(tenant=tenant).store(str(tmp_path))
+
+
+class TestLedgerReplay:
+    def test_round_trip(self, tmp_path):
+        ledger = JobLedger(tmp_path / "jobs.jsonl")
+        record = _record()
+        record.created = 1000.0
+        ledger.append_job(record)
+        ledger.append_state("job-000001", "running", done=0)
+        ledger.append_state("job-000001", "done", done=1)
+
+        replayed = ledger.replay()
+        assert set(replayed) == {"job-000001"}
+        clone = replayed["job-000001"]
+        assert clone.state == "done"
+        assert clone.done == 1
+        assert clone.request == record.request
+        assert clone.created == 1000.0
+
+    def test_first_job_entry_wins(self, tmp_path):
+        ledger = JobLedger(tmp_path / "jobs.jsonl")
+        first = _record(tenant="alice")
+        ledger.append_job(first)
+        ledger.append_job(_record(tenant="mallory"))
+        assert ledger.replay()["job-000001"].tenant == "alice"
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        ledger = JobLedger(path)
+        ledger.append_job(_record())
+        ledger.append_state("job-000001", "running")
+        # simulate a crash mid-append: a partial, newline-less JSON line
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "state", "job_id": "job-0')
+        replayed = ledger.replay()
+        assert replayed["job-000001"].state == "running"
+        # ... and the next append must not splice into the partial line
+        ledger.append_state("job-000001", "done", done=1)
+        assert ledger.replay()["job-000001"].state == "done"
+
+    def test_foreign_and_malformed_entries_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        ledger = JobLedger(path)
+        ledger.append_job(_record())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "state", "job_id": "job-999999", "state": "done", "done": 0, "at": 0}\n')
+            handle.write('{"kind": "state", "job_id": "job-000001", "state": "exploded", "done": 0, "at": 0}\n')
+            handle.write('{"kind": "job", "job_id": "job-000002"}\n')
+            handle.write('{"unrelated": true}\n')
+        replayed = ledger.replay()
+        assert set(replayed) == {"job-000001"}
+        assert replayed["job-000001"].state == "queued"
+
+    def test_unknown_state_rejected_on_write(self, tmp_path):
+        ledger = JobLedger(tmp_path / "jobs.jsonl")
+        with pytest.raises(ValueError, match="unknown job state"):
+            ledger.append_state("job-000001", "exploded")
+
+
+class TestRecovery:
+    def test_stale_running_lease_requeued(self, tmp_path):
+        ledger = JobLedger(tmp_path / "jobs.jsonl")
+        ledger.append_job(_record())
+        ledger.append_state("job-000001", "running", done=2)
+
+        recovered = ledger.recover()
+        assert recovered["job-000001"].state == "queued"
+        assert recovered["job-000001"].done == 2  # progress survives
+        assert "requeued" in recovered["job-000001"].detail
+        # the requeue is durable, not just in-memory
+        assert ledger.replay()["job-000001"].state == "queued"
+
+    def test_terminal_jobs_untouched(self, tmp_path):
+        ledger = JobLedger(tmp_path / "jobs.jsonl")
+        ledger.append_job(_record())
+        ledger.append_state("job-000001", "done", done=1)
+        assert ledger.recover()["job-000001"].state == "done"
+
+    def test_next_job_id_sequential(self, tmp_path):
+        ledger = JobLedger(tmp_path / "jobs.jsonl")
+        assert ledger.next_job_id() == "job-000001"
+        ledger.append_job(_record(job_id="job-000007"))
+        assert ledger.next_job_id() == "job-000008"
+
+
+class TestQuota:
+    def test_under_quota_passes(self):
+        QuotaPolicy(tenant_jobs=2).check_submit("alice", [_record()])
+
+    def test_at_quota_rejected(self):
+        jobs = [_record(job_id="job-000001"),
+                _record(job_id="job-000002", state="running")]
+        with pytest.raises(QuotaExceeded, match="'alice'"):
+            QuotaPolicy(tenant_jobs=2).check_submit("alice", jobs)
+
+    def test_terminal_jobs_do_not_count(self):
+        jobs = [_record(job_id=f"job-00000{i}", state=state)
+                for i, state in enumerate(("done", "failed", "cancelled"), 1)]
+        QuotaPolicy(tenant_jobs=1).check_submit("alice", jobs)
+
+    def test_other_tenants_unaffected(self):
+        jobs = [_record(job_id="job-000001", tenant="alice"),
+                _record(job_id="job-000002", tenant="alice")]
+        policy = QuotaPolicy(tenant_jobs=2)
+        with pytest.raises(QuotaExceeded):
+            policy.check_submit("alice", jobs)
+        policy.check_submit("bob", jobs)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            QuotaPolicy(tenant_jobs=0)
+
+
+class TestCapacityReport:
+    def test_available_is_total_minus_used(self):
+        jobs = [
+            _record(job_id="job-000001", tenant="alice", state="running"),
+            _record(job_id="job-000002", tenant="alice", state="queued"),
+            _record(job_id="job-000003", tenant="bob", state="done"),
+        ]
+        report = capacity_report(4, QuotaPolicy(tenant_jobs=8), jobs)
+        assert report["total"] == {"workers": 4}
+        assert report["used"] == {"workers": 1}
+        assert report["available"] == {"workers": 3}
+        assert report["queued"] == 1
+        assert report["tenants"]["alice"] == {
+            "total": 8, "used": 2, "available": 6,
+        }
+        assert report["tenants"]["bob"] == {
+            "total": 8, "used": 0, "available": 8,
+        }
+
+    def test_available_never_negative(self):
+        jobs = [_record(job_id=f"job-00000{i}", state="running")
+                for i in range(1, 4)]
+        report = capacity_report(2, QuotaPolicy(tenant_jobs=2), jobs)
+        assert report["available"] == {"workers": 0}
+        assert report["tenants"]["alice"]["available"] == 0
+
+    def test_empty_service(self):
+        report = capacity_report(2, QuotaPolicy(), [])
+        assert report["used"] == {"workers": 0}
+        assert report["tenants"] == {}
+
+
+class TestNamespacedStore:
+    def test_namespaced_creates_tenant_directory(self, tmp_path):
+        store = ExperimentStore.namespaced(str(tmp_path), "alice", "run.jsonl")
+        assert store.path == str(tmp_path / "alice" / "run.jsonl")
+        assert (tmp_path / "alice").is_dir()
+
+    def test_namespaced_appends_extension(self, tmp_path):
+        store = ExperimentStore.namespaced(str(tmp_path), "alice", "run")
+        assert store.path.endswith("run.jsonl")
