@@ -468,6 +468,7 @@ def run_sweep_grid(
     fault_model: Optional[FaultModel] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     should_stop: Optional[Callable[[], bool]] = None,
+    dispatch=None,
 ) -> List[SweepRecord]:
     """Sweep a ``specs x algorithms`` grid, one record per cell.
 
@@ -496,6 +497,15 @@ def run_sweep_grid(
     say) cannot interleave appends to one shard -- the second raises
     :class:`repro.store.StoreLockError` naming the holder pid.
 
+    ``dispatch`` selects where cells execute: a backend name from
+    :data:`repro.dispatch.DISPATCH_NAMES` (``inprocess`` /
+    ``multiprocessing`` / ``remote``) or a pre-configured backend object
+    such as :class:`repro.dispatch.RemoteDispatch` -- anything offering
+    the BatchRunner mapping surface.  ``None`` (the default) keeps the
+    explicit ``runner`` / ``jobs`` behaviour.  Aggregation, checkpoint
+    appends and progress accounting below are backend-agnostic, so every
+    backend inherits the byte-identical-to-serial guarantee.
+
     ``progress`` / ``should_stop`` are the service layer's cooperative
     hooks, honoured on checkpointed (``store``) runs: after every
     completed cell ``progress(done, total)`` is called with durable
@@ -516,11 +526,19 @@ def run_sweep_grid(
                 resume=resume,
                 progress=progress,
                 should_stop=should_stop,
+                dispatch=dispatch,
             )
         finally:
             set_default_fault_model(previous)
 
-    if runner is None:
+    if dispatch is not None:
+        # Local import: repro.dispatch imports this module for the task
+        # keys and cell body, so the dependency must stay one-way at
+        # import time.
+        from repro.dispatch.backend import resolve_dispatch
+
+        runner = resolve_dispatch(dispatch, jobs=jobs, runner=runner)
+    elif runner is None:
         runner = BatchRunner(jobs=jobs)
     fault = get_default_fault_model()
     tasks = [(spec, name) for spec in specs for name in algorithms]

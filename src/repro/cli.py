@@ -67,6 +67,14 @@ from repro.analysis.tables import render_table, render_table1
 from repro.congest import Network
 from repro.core import quantum_exact_diameter, quantum_three_halves_diameter
 from repro.core.problems import QUANTUM_PROBLEMS, quantum_problem_names
+from repro.dispatch import (
+    DISPATCH_NAMES,
+    DispatchCoordinator,
+    DispatchError,
+    RemoteDispatch,
+    parse_address,
+)
+from repro.dispatch.worker import run_worker
 from repro.engine import ENGINE_NAMES
 from repro.graphs import generators
 from repro.quantum.backend import BACKEND_NAMES
@@ -88,6 +96,7 @@ from repro.store import (
     append_jsonl_line,
     export_records,
     git_describe,
+    merge_shards,
     render_records,
 )
 from repro.tier import TIER_NAMES, set_default_tier
@@ -225,6 +234,7 @@ def _grid_request_from_args(args: argparse.Namespace, kind: str) -> GridRequest:
         engine=args.engine,
         backend=args.backend,
         tier=args.tier,
+        dispatch=args.dispatch,
         fault=fault_model_from_flags(
             loss=args.loss,
             delay=args.delay,
@@ -237,6 +247,51 @@ def _grid_request_from_args(args: argparse.Namespace, kind: str) -> GridRequest:
             seed=args.fault_seed,
         ),
     )
+
+
+@contextlib.contextmanager
+def _dispatch_backend(args: argparse.Namespace, request: GridRequest):
+    """The configured dispatch backend of a grid command, if any.
+
+    ``--dispatch remote`` needs a coordinator: ``--coordinator HOST:PORT``
+    joins an existing one (e.g. a ``repro serve --dispatch remote``
+    daemon's), otherwise an embedded coordinator is started for the
+    duration of the run -- its address is printed so workers can ``repro
+    worker join`` it -- and the run waits for ``--dispatch-workers``
+    registrations before dispatching.  Local backends need no
+    configuration and yield ``None`` (the request's name is enough).
+    """
+    if request.dispatch != "remote":
+        yield None
+        return
+    if args.coordinator is not None:
+        host, port = parse_address(args.coordinator)
+        yield RemoteDispatch(
+            address=(host, port),
+            kind=request.kind,
+            workers=args.dispatch_workers,
+        )
+        return
+    coordinator = DispatchCoordinator(port=args.dispatch_port).start()
+    host, port = coordinator.address
+    try:
+        print(
+            f"dispatch coordinator on {host}:{port}; waiting for "
+            f"{args.dispatch_workers} worker(s) "
+            f"(repro worker join {host}:{port} --shard-dir DIR)",
+            file=sys.stderr,
+            flush=True,
+        )
+        coordinator.wait_for_workers(
+            args.dispatch_workers, timeout=args.dispatch_wait
+        )
+        yield RemoteDispatch(
+            coordinator=coordinator,
+            kind=request.kind,
+            workers=args.dispatch_workers,
+        )
+    finally:
+        coordinator.stop()
 
 
 def _run_grid_command(args: argparse.Namespace, kind: str) -> int:
@@ -260,8 +315,11 @@ def _run_grid_command(args: argparse.Namespace, kind: str) -> int:
         return 2
     store = ExperimentStore(args.out) if args.out is not None else None
     try:
-        records = execute_grid_request(request, store=store, resume=args.resume)
-    except ExperimentStoreError as error:
+        with _dispatch_backend(args, request) as dispatch:
+            records = execute_grid_request(
+                request, store=store, resume=args.resume, dispatch=dispatch
+            )
+    except (ExperimentStoreError, DispatchError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
     print(sweep_table(records))
@@ -327,6 +385,62 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    """Merge distributed store shards into one canonical store."""
+    try:
+        records = merge_shards(
+            args.shards,
+            out_path=args.out,
+            require_complete=not args.allow_partial,
+        )
+    except ExperimentStoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    destination = f" into {args.out}" if args.out is not None else ""
+    print(
+        f"{len(records)} record(s) merged from {len(args.shards)} "
+        f"shard(s){destination}",
+        file=sys.stderr,
+    )
+    if args.out is None:
+        print(sweep_table(records))
+    return 0
+
+
+def _cmd_worker_join(args: argparse.Namespace) -> int:
+    """Join a dispatch coordinator and execute sweep shards until it stops."""
+    try:
+        host, port = parse_address(args.address)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(
+        f"worker joining dispatch coordinator {host}:{port} "
+        f"(shards under {args.shard_dir})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        stats = run_worker(
+            host,
+            port,
+            shard_dir=args.shard_dir,
+            worker_id=args.name,
+            once=args.once,
+            connect_wait=args.connect_wait,
+            heartbeat_interval=args.heartbeat,
+        )
+    except (ValueError, DispatchError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(
+        f"worker done: {stats['cells']} cell(s) over "
+        f"{stats['shards']} shard(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the experiment service daemon until SIGTERM/SIGINT.
 
@@ -340,11 +454,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ledger_path=args.ledger,
             workers=args.workers,
             quota=QuotaPolicy(tenant_jobs=args.tenant_quota),
+            dispatch=args.dispatch,
+            dispatch_port=args.dispatch_port,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
     service.start()
+    if service.coordinator is not None:
+        dhost, dport = service.coordinator.address
+        print(
+            f"dispatch coordinator on {dhost}:{dport} "
+            f"(repro worker join {dhost}:{dport} --shard-dir DIR)",
+            file=sys.stderr,
+            flush=True,
+        )
     server = serve_api(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}", flush=True)
@@ -508,6 +632,7 @@ def _cmd_jobs_capacity(args: argparse.Namespace) -> int:
 #: ``(name, harness file, baseline key)``.  Every harness exposes
 #: ``run_benchmark(smoke=...) -> dict`` with a ``headline_speedup`` entry.
 BENCH_HARNESSES = (
+    ("dispatch", "bench_dispatch.py"),
     ("engine", "bench_engine_overhead.py"),
     ("faults", "bench_faults.py"),
     ("graphcore", "bench_graphcore.py"),
@@ -679,6 +804,50 @@ def add_grid_options(sub: argparse.ArgumentParser, sizes_default: str) -> None:
             "tier-independent; default: stdlib)"
         ),
     )
+    sub.add_argument(
+        "--dispatch", default=None, choices=DISPATCH_NAMES,
+        help=(
+            "where grid cells execute: 'inprocess' (serial), "
+            "'multiprocessing' (the local --jobs pool) or 'remote' "
+            "(shard over registered dispatch workers; results are "
+            "dispatch-independent, byte-identical to serial)"
+        ),
+    )
+
+
+def add_dispatch_options(sub: argparse.ArgumentParser) -> None:
+    """Remote-dispatch *operational* flags of the local grid commands.
+
+    Only meaningful with ``--dispatch remote``; kept out of
+    :func:`add_grid_options` because they configure *this process's*
+    coordinator rather than the grid itself (``jobs submit`` requests
+    inherit the daemon's coordinator instead).
+    """
+    sub.add_argument(
+        "--coordinator", default=None, metavar="HOST:PORT",
+        help=(
+            "join an existing dispatch coordinator instead of embedding "
+            "one (e.g. a 'repro serve --dispatch remote' daemon's)"
+        ),
+    )
+    sub.add_argument(
+        "--dispatch-port", type=int, default=0, metavar="PORT",
+        help=(
+            "port of the embedded dispatch coordinator "
+            "(default: 0, pick a free port; the address is printed)"
+        ),
+    )
+    sub.add_argument(
+        "--dispatch-workers", type=int, default=1, metavar="N",
+        help=(
+            "wait for this many registered workers before dispatching "
+            "a remote grid (default: 1)"
+        ),
+    )
+    sub.add_argument(
+        "--dispatch-wait", type=float, default=60.0, metavar="SECONDS",
+        help="how long to wait for workers to register (default: 60)",
+    )
 
 
 def add_store_options(sub: argparse.ArgumentParser) -> None:
@@ -839,6 +1008,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_options(sweep_parser)
     add_fault_options(sweep_parser)
+    add_dispatch_options(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     quantum_parser = subparsers.add_parser(
@@ -867,6 +1037,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_options(quantum_parser)
     add_fault_options(quantum_parser)
+    add_dispatch_options(quantum_parser)
     quantum_parser.set_defaults(handler=_cmd_quantum)
 
     export_parser = subparsers.add_parser(
@@ -887,6 +1058,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="destination file (default: stdout)",
     )
     export_parser.set_defaults(handler=_cmd_export)
+
+    merge_parser = subparsers.add_parser(
+        "merge",
+        help="merge distributed store shards (see 'worker join') into "
+        "one canonical store, byte-identical to a serial run",
+        description=(
+            "Merge the per-worker JSONL store shards of a distributed "
+            "sweep into one canonical store.  Shard headers must agree "
+            "on the grid signature and seed stream; task keys are "
+            "deduplicated (first-complete wins) and records are ordered "
+            "by grid index, so the merged store's canonical export is "
+            "byte-identical to a serial single-process run."
+        ),
+    )
+    merge_parser.add_argument(
+        "shards", nargs="+", metavar="SHARD",
+        help="worker shard store files (DIR/shard-<signature>-<worker>.jsonl)",
+    )
+    merge_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the merged canonical store here (default: print a table)",
+    )
+    merge_parser.add_argument(
+        "--allow-partial", action="store_true",
+        help=(
+            "merge even when the shards do not cover the full grid "
+            "(default: missing cells are a hard error)"
+        ),
+    )
+    merge_parser.set_defaults(handler=_cmd_merge)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="distributed dispatch worker (join a coordinator and "
+        "execute sweep shards)",
+    )
+    worker_subparsers = worker_parser.add_subparsers(
+        dest="worker_command", required=True
+    )
+    join_parser = worker_subparsers.add_parser(
+        "join",
+        help="register with a dispatch coordinator and execute shards "
+        "until it shuts down",
+        description=(
+            "Join a dispatch coordinator (an embedded 'repro sweep "
+            "--dispatch remote' one, or a 'repro serve --dispatch "
+            "remote' daemon's).  Leased shards run the exact per-cell "
+            "code of a local sweep; every completed cell is appended to "
+            "this worker's own JSONL store shard under the advisory "
+            "writer lock and streamed back to the coordinator."
+        ),
+    )
+    join_parser.add_argument("address", metavar="HOST:PORT",
+                             help="coordinator address")
+    join_parser.add_argument(
+        "--shard-dir", default="shards", metavar="DIR",
+        help="directory for this worker's store shards (default: shards)",
+    )
+    join_parser.add_argument(
+        "--name", default=None, metavar="ID",
+        help="worker id, used in shard filenames (default: host-pid)",
+    )
+    join_parser.add_argument(
+        "--once", action="store_true",
+        help="exit when the coordinator connection ends (no reconnect)",
+    )
+    join_parser.add_argument(
+        "--connect-wait", type=float, default=30.0, metavar="SECONDS",
+        help="keep retrying the connect this long (default: 30)",
+    )
+    join_parser.add_argument(
+        "--heartbeat", type=float, default=2.0, metavar="SECONDS",
+        help="interval between heartbeat frames (default: 2)",
+    )
+    join_parser.set_defaults(handler=_cmd_worker_join)
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -963,6 +1209,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--tenant-quota", type=int, default=8, metavar="N",
         help="max active (queued+running) jobs per tenant (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--dispatch", default=None, choices=("remote",),
+        help=(
+            "run a persistent dispatch coordinator so jobs submitted "
+            "with --dispatch remote fan out to registered 'repro worker "
+            "join' workers (the address is printed at startup)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--dispatch-port", type=int, default=0, metavar="PORT",
+        help=(
+            "port of the daemon's dispatch coordinator "
+            "(default: 0, pick a free port)"
+        ),
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 

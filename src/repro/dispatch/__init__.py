@@ -1,0 +1,64 @@
+"""Pluggable dispatch backends for sweep grids: local pools, remote shards.
+
+``repro.dispatch`` decides *where* the independent cells of a sweep grid
+execute, behind the one mapping surface
+(:class:`repro.runner.batch.BatchRunner`'s ``jobs``/``map``/``imap``)
+that :func:`repro.analysis.sweep.run_sweep_grid` aggregates from:
+
+* ``inprocess`` / ``multiprocessing`` -- the existing serial and
+  process-pool paths, now selectable by name
+  (:func:`resolve_dispatch`);
+* ``remote`` -- a stdlib-socket coordinator/worker pair
+  (:class:`DispatchCoordinator`, :mod:`repro.dispatch.worker`) speaking
+  length-prefixed JSON frames (:mod:`repro.dispatch.protocol`): workers
+  register, lease contiguous shards of a grid's task indices, append
+  completed cells to their own JSONL store shard under the advisory
+  writer lock, and stream results back; dead workers (missed
+  heartbeats, dropped connections) have their unfinished shards
+  requeued, mirroring the job ledger's stale-lease recovery.
+
+Because every cell's record is a pure function of its task key (spec,
+algorithm, derived seed, fault model), remote execution preserves the
+byte-identical-to-serial guarantee: the client reorders streamed results
+into task order, and the offline shard merge
+(:func:`repro.store.merge.merge_shards`, ``repro merge``) reproduces the
+exact serial record list from the workers' shard files alone.
+
+CLI surface: ``repro sweep --dispatch {inprocess,multiprocessing,remote}``,
+``repro worker join HOST:PORT``, ``repro merge``, and ``repro serve
+--dispatch remote`` for daemon-managed fan-out.
+"""
+
+from repro.dispatch.backend import (
+    DISPATCH_NAMES,
+    RemoteDispatch,
+    dispatch_signature,
+    resolve_dispatch,
+)
+from repro.dispatch.coordinator import DispatchCoordinator
+from repro.dispatch.protocol import (
+    MAX_FRAME_BYTES,
+    DispatchError,
+    FramedSocket,
+    FrameError,
+    parse_address,
+)
+
+# NOTE: repro.dispatch.worker is deliberately NOT imported here -- it is
+# a ``python -m repro.dispatch.worker`` entry point, and importing it
+# from the package __init__ would shadow the runpy execution (the
+# "found in sys.modules" RuntimeWarning).  Import run_worker & friends
+# from repro.dispatch.worker directly.
+
+__all__ = [
+    "DISPATCH_NAMES",
+    "DispatchCoordinator",
+    "DispatchError",
+    "FrameError",
+    "FramedSocket",
+    "MAX_FRAME_BYTES",
+    "RemoteDispatch",
+    "dispatch_signature",
+    "parse_address",
+    "resolve_dispatch",
+]

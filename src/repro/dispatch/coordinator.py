@@ -1,0 +1,478 @@
+"""The dispatch coordinator: registration, shard assignment, requeue.
+
+One coordinator serves two kinds of peers over the same listening socket
+(:mod:`repro.dispatch.protocol` frames):
+
+* **workers** (``repro worker join HOST:PORT``) open a connection, send a
+  ``register`` frame and then wait for work, sending ``heartbeat`` frames
+  while idle.  The coordinator answers with a ``grid`` description frame
+  (once per worker per grid) followed by ``shard`` frames naming the task
+  indices to run; the worker streams back one ``cell`` frame per
+  completed cell and a ``shard_done`` when the slice is finished.
+* **clients** (a :class:`repro.dispatch.backend.RemoteDispatch` inside
+  ``repro sweep`` or a service job worker) send a single ``grid`` frame
+  describing the cells to run and then receive the completed ``cell``
+  frames -- in completion order, dedup'd -- until ``grid_done``.
+
+Scheduling mirrors the job ledger's lease model
+(:meth:`repro.service.jobs.JobLedger.recover`) at shard granularity: a
+shard is *leased* to exactly one live worker, and a worker that
+disappears -- EOF, connection reset, or no heartbeat within
+``worker_timeout`` -- has the unfinished remainder of its shards requeued
+at the *front* of the queue, so another worker picks the orphaned cells
+up first.  Because every cell is deterministic in its task key (see
+:func:`repro.analysis.sweep.sweep_task_key`), a cell that was computed
+twice during a requeue race produces identical records; the coordinator
+forwards only the first completion and the shard-store merge
+(:func:`repro.store.merge.merge_shards`) deduplicates the rest, so the
+final output is byte-identical to a serial run no matter how many workers
+died along the way.
+
+All coordinator state lives behind one lock; worker/client connection
+reader threads mutate it through the ``_on_*`` handlers.  Frames to peers
+are sent while holding the lock -- peers recv promptly by protocol
+(workers between shards, clients in their result loop), so sends cannot
+wedge the coordinator.
+"""
+
+from __future__ import annotations
+
+import collections
+import socket
+import threading
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.dispatch.protocol import DispatchError, FramedSocket, FrameError
+
+#: Ceiling on one shard's cell count.  Mirrors BatchRunner's chunk cap:
+#: large enough to amortise per-shard framing, small enough that a dead
+#: worker forfeits little work and load stays balanced.
+MAX_SHARD_CELLS = 16
+
+
+class _WorkerState:
+    """One registered worker connection and its current lease."""
+
+    def __init__(self, worker_id: str, conn: FramedSocket) -> None:
+        self.worker_id = worker_id
+        self.conn = conn
+        self.shard: Optional["_Shard"] = None
+        self.known_grids: set = set()
+        self.alive = True
+
+
+class _Shard:
+    """A contiguous slice of one grid's task indices, leased as a unit."""
+
+    def __init__(self, shard_id: str, grid_id: str, indices: List[int]) -> None:
+        self.shard_id = shard_id
+        self.grid_id = grid_id
+        self.indices = list(indices)
+        self.remaining = set(indices)
+
+
+class _GridState:
+    """One client's submitted grid and its completion bookkeeping."""
+
+    def __init__(
+        self, grid_id: str, description: Dict[str, Any],
+        total: int, client: FramedSocket,
+    ) -> None:
+        self.grid_id = grid_id
+        self.description = description
+        self.total = total
+        self.client = client
+        self.completed: set = set()
+        self.shard_counter = 0
+        self.finished = False
+
+
+class DispatchCoordinator:
+    """Register workers, lease grid shards to them, forward results.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    :meth:`start`.  ``shard_size=None`` sizes shards per grid as
+    ``ceil(cells / (4 * workers))`` capped at :data:`MAX_SHARD_CELLS`
+    (the BatchRunner chunk heuristic).  ``worker_timeout`` is the
+    heartbeat deadline after which a silent worker is declared dead and
+    its shards requeued.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_size: Optional[int] = None,
+        worker_timeout: float = 30.0,
+    ) -> None:
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.host = host
+        self.port = port
+        self.shard_size = shard_size
+        self.worker_timeout = worker_timeout
+        self._lock = threading.Lock()
+        self._workers_changed = threading.Condition(self._lock)
+        self._workers: Dict[int, _WorkerState] = {}
+        self._grids: Dict[str, _GridState] = {}
+        self._queue: Deque[_Shard] = collections.deque()
+        self._grid_counter = 0
+        self._running = False
+        self._server: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "DispatchCoordinator":
+        """Bind, listen and start accepting peers (returns self)."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self.host, self.port))
+        server.listen(64)
+        self.port = server.getsockname()[1]
+        self._server = server
+        self._running = True
+        thread = threading.Thread(
+            target=self._accept_loop, name="dispatch-accept", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Shut down: notify workers, drop clients, close the socket."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            workers = list(self._workers.values())
+            grids = list(self._grids.values())
+            self._queue.clear()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        for worker in workers:
+            try:
+                worker.conn.send({"type": "shutdown"})
+            except OSError:
+                pass
+            worker.conn.close()
+        for grid in grids:
+            grid.client.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "DispatchCoordinator":
+        return self.start() if not self._running else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` peers connect to (valid after start)."""
+        return (self.host, self.port)
+
+    def worker_count(self) -> int:
+        """Number of currently registered (live) workers."""
+        with self._lock:
+            return len(self._workers)
+
+    def wait_for_workers(self, count: int, timeout: float = 60.0) -> None:
+        """Block until ``count`` workers are registered.
+
+        Raises :class:`DispatchError` on timeout -- starting a remote
+        grid with no workers would hang silently otherwise.
+        """
+        with self._workers_changed:
+            ok = self._workers_changed.wait_for(
+                lambda: len(self._workers) >= count, timeout=timeout
+            )
+        if not ok:
+            raise DispatchError(
+                f"timed out after {timeout:g}s waiting for {count} dispatch "
+                f"worker(s) to register (have {self.worker_count()}); start "
+                "workers with: repro worker join "
+                f"{self.host}:{self.port}"
+            )
+
+    # -- peer connections ----------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while self._running:
+            try:
+                sock, _ = self._server.accept()
+            except OSError:
+                return  # listening socket closed by stop()
+            conn = FramedSocket(sock)
+            thread = threading.Thread(
+                target=self._serve_peer, args=(conn,),
+                name="dispatch-peer", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_peer(self, conn: FramedSocket) -> None:
+        """Route a fresh connection by its first frame (register/grid)."""
+        try:
+            first = conn.recv()
+        except (FrameError, OSError):
+            conn.close()
+            return
+        if first is None:
+            conn.close()
+            return
+        kind = first.get("type")
+        if kind == "register":
+            self._serve_worker(conn, first)
+        elif kind == "grid":
+            self._serve_client(conn, first)
+        else:
+            try:
+                conn.send({
+                    "type": "error",
+                    "message": f"expected a register or grid frame, got {kind!r}",
+                })
+            except OSError:
+                pass
+            conn.close()
+
+    # -- worker side ---------------------------------------------------
+    def _serve_worker(self, conn: FramedSocket, register: Dict[str, Any]) -> None:
+        worker = _WorkerState(str(register.get("worker", "worker")), conn)
+        conn.sock.settimeout(self.worker_timeout)
+        with self._workers_changed:
+            if not self._running:
+                conn.close()
+                return
+            self._workers[id(worker)] = worker
+            self._workers_changed.notify_all()
+            self._schedule_locked()
+        try:
+            while True:
+                frame = conn.recv()  # socket.timeout == missed heartbeats
+                if frame is None:
+                    return
+                kind = frame.get("type")
+                if kind == "heartbeat":
+                    continue
+                if kind == "cell":
+                    self._on_cell(frame)
+                elif kind == "shard_done":
+                    self._on_shard_done(worker, frame)
+                elif kind == "shard_failed":
+                    self._on_shard_failed(worker, frame)
+        except (FrameError, OSError):
+            return
+        finally:
+            self._drop_worker(worker)
+            conn.close()
+
+    def _drop_worker(self, worker: _WorkerState) -> None:
+        """Forget a dead worker, requeueing its unfinished shard first.
+
+        The stale-lease idiom of the job ledger: work leased to a dead
+        holder goes back to the front of the queue, trimmed to the cells
+        the worker had not already streamed back.
+        """
+        with self._workers_changed:
+            worker.alive = False
+            self._workers.pop(id(worker), None)
+            shard = worker.shard
+            worker.shard = None
+            if shard is not None and shard.remaining:
+                grid = self._grids.get(shard.grid_id)
+                if grid is not None and not grid.finished:
+                    shard.indices = sorted(shard.remaining)
+                    self._queue.appendleft(shard)
+            self._workers_changed.notify_all()
+            self._schedule_locked()
+
+    # -- client side ---------------------------------------------------
+    def _serve_client(self, conn: FramedSocket, submit: Dict[str, Any]) -> None:
+        grid = self._admit_grid(conn, submit)
+        if grid is None:
+            conn.close()
+            return
+        try:
+            # The client sends nothing after the grid frame; this recv
+            # exists to detect its disconnect (cancel, crash) promptly.
+            while conn.recv() is not None:
+                pass
+        except (FrameError, OSError):
+            pass
+        finally:
+            self._abort_grid(grid)
+            conn.close()
+
+    def _admit_grid(
+        self, conn: FramedSocket, submit: Dict[str, Any]
+    ) -> Optional[_GridState]:
+        description = submit.get("description")
+        tasks = description.get("tasks") if isinstance(description, dict) else None
+        if not isinstance(tasks, list):
+            try:
+                conn.send({
+                    "type": "error",
+                    "message": "grid frame must carry a description with tasks",
+                })
+            except OSError:
+                pass
+            return None
+        with self._lock:
+            if not self._running:
+                return None
+            self._grid_counter += 1
+            grid_id = f"g{self._grid_counter}"
+            grid = _GridState(grid_id, description, len(tasks), conn)
+            self._grids[grid_id] = grid
+            if grid.total == 0:
+                grid.finished = True
+                try:
+                    conn.send({"type": "grid_done"})
+                except OSError:
+                    pass
+                return grid
+            for shard in self._partition_locked(grid):
+                self._queue.append(shard)
+            self._schedule_locked()
+        return grid
+
+    def _partition_locked(self, grid: _GridState) -> List[_Shard]:
+        """Slice a grid's task indices into contiguous lease units."""
+        size = self.shard_size
+        if size is None:
+            workers = max(1, len(self._workers))
+            size = min(MAX_SHARD_CELLS, max(1, -(-grid.total // (4 * workers))))
+        shards = []
+        for start in range(0, grid.total, size):
+            grid.shard_counter += 1
+            shard_id = f"{grid.grid_id}s{grid.shard_counter}"
+            indices = list(range(start, min(start + size, grid.total)))
+            shards.append(_Shard(shard_id, grid.grid_id, indices))
+        return shards
+
+    def _abort_grid(self, grid: _GridState) -> None:
+        """Drop a grid whose client is gone; orphan its queued shards."""
+        with self._lock:
+            grid.finished = True
+            self._grids.pop(grid.grid_id, None)
+            if self._queue:
+                self._queue = collections.deque(
+                    shard for shard in self._queue
+                    if shard.grid_id != grid.grid_id
+                )
+
+    def _fail_grid(self, grid: _GridState, message: str) -> None:
+        """A worker reported a cell exception: surface it to the client.
+
+        Only reachable for genuine kernel bugs -- under a fault model,
+        non-convergence becomes a failed *record*, not an exception
+        (see :func:`repro.analysis.sweep._run_cell`).
+        """
+        grid.finished = True
+        self._grids.pop(grid.grid_id, None)
+        self._queue = collections.deque(
+            shard for shard in self._queue if shard.grid_id != grid.grid_id
+        )
+        try:
+            grid.client.send({"type": "error", "message": message})
+        except OSError:
+            pass
+        grid.client.close()
+
+    # -- frame handlers (worker reader threads) ------------------------
+    def _on_cell(self, frame: Dict[str, Any]) -> None:
+        with self._lock:
+            grid = self._grids.get(str(frame.get("grid")))
+            if grid is None or grid.finished:
+                return  # stale result from an aborted/finished grid
+            index = int(frame["index"])
+            for worker in self._workers.values():
+                shard = worker.shard
+                if shard is not None and shard.grid_id == grid.grid_id:
+                    shard.remaining.discard(index)
+            if index in grid.completed:
+                return  # duplicate from a requeue race: first write wins
+            grid.completed.add(index)
+            try:
+                grid.client.send({
+                    "type": "cell",
+                    "index": index,
+                    "key": frame.get("key"),
+                    "record": frame.get("record"),
+                })
+            except OSError:
+                self._grids.pop(grid.grid_id, None)
+                grid.finished = True
+                return
+            if len(grid.completed) >= grid.total:
+                grid.finished = True
+                self._grids.pop(grid.grid_id, None)
+                try:
+                    grid.client.send({"type": "grid_done"})
+                except OSError:
+                    pass
+
+    def _on_shard_done(self, worker: _WorkerState, frame: Dict[str, Any]) -> None:
+        with self._lock:
+            shard = worker.shard
+            if shard is not None and shard.shard_id == frame.get("shard"):
+                worker.shard = None
+            self._schedule_locked()
+
+    def _on_shard_failed(self, worker: _WorkerState, frame: Dict[str, Any]) -> None:
+        with self._lock:
+            shard = worker.shard
+            if shard is not None and shard.shard_id == frame.get("shard"):
+                worker.shard = None
+            grid = self._grids.get(str(frame.get("grid")))
+            if grid is not None:
+                self._fail_grid(
+                    grid,
+                    str(frame.get("message", "worker reported a shard failure")),
+                )
+            self._schedule_locked()
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule_locked(self) -> None:
+        """Lease queued shards to idle workers (caller holds the lock)."""
+        while self._queue:
+            worker = next(
+                (
+                    candidate
+                    for candidate in self._workers.values()
+                    if candidate.alive and candidate.shard is None
+                ),
+                None,
+            )
+            if worker is None:
+                return
+            shard = self._queue.popleft()
+            grid = self._grids.get(shard.grid_id)
+            if grid is None or grid.finished:
+                continue
+            try:
+                if shard.grid_id not in worker.known_grids:
+                    worker.conn.send({
+                        "type": "grid",
+                        "grid": shard.grid_id,
+                        "description": grid.description,
+                    })
+                    worker.known_grids.add(shard.grid_id)
+                worker.conn.send({
+                    "type": "shard",
+                    "grid": shard.grid_id,
+                    "shard": shard.shard_id,
+                    "indices": shard.indices,
+                })
+            except OSError:
+                # Dead before the lease landed: put the shard back and
+                # drop the worker (its reader thread will also land here
+                # eventually; removal is idempotent).
+                self._queue.appendleft(shard)
+                worker.alive = False
+                self._workers.pop(id(worker), None)
+                continue
+            worker.shard = shard

@@ -1,0 +1,396 @@
+"""The dispatch worker: execute leased shards, persist a local store shard.
+
+``repro worker join HOST:PORT --shard-dir DIR`` runs this loop: connect
+to a :class:`repro.dispatch.coordinator.DispatchCoordinator`, register,
+heartbeat, and for every leased shard run the exact per-cell body of a
+local sweep (:func:`repro.analysis.sweep._sweep_one_grid_cell`) with the
+grid's engine / schedule-backend / compute-tier / fault-model selections
+applied as (restored) process defaults -- the same re-application the
+BatchRunner pool initializer performs, so a remote cell computes the
+byte-identical record a serial run would.
+
+Every completed cell is appended to the worker's **own** JSONL store
+shard (``DIR/shard-<signature>-<worker_id>.jsonl``) under the store's
+advisory writer lock before the result frame is sent, and cells whose
+task keys are already in the shard (a requeue after a reconnect) are
+replayed from disk instead of recomputed.  Shards are therefore durable
+and idempotent: kill a worker mid-shard and either the coordinator
+requeues the remainder elsewhere, or the restarted worker resumes its own
+shard file -- the provenance-aware merge
+(:func:`repro.store.merge.merge_shards`) deduplicates whichever way the
+race went.
+
+The connection drops when the coordinator stops or dies; with
+``once=True`` the worker then exits (the CI smoke mode), otherwise it
+retries the connect for ``connect_wait`` seconds before giving up.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import platform
+import re
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from repro.dispatch.protocol import (
+    DispatchError,
+    FramedSocket,
+    FrameError,
+    parse_address,
+)
+
+#: Worker ids become shard filename components; same shape as the store's
+#: tenant names so an id can never escape the shard directory.
+_WORKER_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: How long a worker waits on a shard store's advisory writer lock.  A
+#: worker only ever contends with its own previous (crashed) incarnation,
+#: whose lock the stale-holder break clears almost immediately.
+_LOCK_WAIT_SECONDS = 15.0
+
+
+def default_worker_id() -> str:
+    """A host- and pid-derived worker id, sanitised for filenames."""
+    raw = f"{platform.node()}-{os.getpid()}"
+    cleaned = re.sub(r"[^A-Za-z0-9_.-]", "-", raw).lstrip(".-") or "worker"
+    return cleaned[:64]
+
+
+def validate_worker_id(worker_id: str) -> str:
+    """Reject worker ids that are not safe shard-filename components."""
+    if not _WORKER_ID_PATTERN.match(worker_id):
+        raise ValueError(
+            f"invalid worker id {worker_id!r}: use letters, digits, "
+            "'_', '-' or '.' (max 64 chars, no leading '.')"
+        )
+    return worker_id
+
+
+def shard_store_path(shard_dir: str, signature: str, worker_id: str) -> str:
+    """Where a worker persists its cells for one grid."""
+    return os.path.join(shard_dir, f"shard-{signature}-{worker_id}.jsonl")
+
+
+@contextlib.contextmanager
+def _restored(setter, value):
+    """Apply a process-default selection, restoring the previous one."""
+    previous = setter(value)
+    try:
+        yield
+    finally:
+        setter(previous)
+
+
+@contextlib.contextmanager
+def _grid_environment(description: Dict[str, Any]):
+    """The grid's process-default selections, applied and restored.
+
+    The remote twin of the BatchRunner pool initializer
+    (:func:`repro.runner.batch._worker_initializer`): the client captured
+    its effective engine / backend / tier / fault-model defaults into the
+    grid description, and the worker re-applies them around shard
+    execution so cells compute identical records on any host.
+    """
+    from repro.engine import set_default_engine
+    from repro.faults import FaultModel, set_default_fault_model
+    from repro.quantum.backend import set_default_schedule_backend
+    from repro.tier import set_default_tier
+
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(
+            _restored(set_default_engine, description["engine"])
+        )
+        stack.enter_context(
+            _restored(set_default_schedule_backend, description["backend"])
+        )
+        stack.enter_context(_restored(set_default_tier, description["tier"]))
+        fault = description.get("fault")
+        if fault is not None:
+            stack.enter_context(
+                _restored(set_default_fault_model, FaultModel(**fault))
+            )
+        yield
+
+
+class _GridContext:
+    """A grid description resolved into executable objects, once."""
+
+    def __init__(self, description: Dict[str, Any]) -> None:
+        from repro.runner import (
+            resolve_algorithms,
+            sweep_algorithm_for_problem,
+        )
+        from repro.store.records import spec_from_dict
+
+        self.description = description
+        self.specs = [spec_from_dict(item) for item in description["specs"]]
+        self.names = list(description["algorithms"])
+        self.tasks = [tuple(item) for item in description["tasks"]]
+        self.base_seed = int(description["base_seed"])
+        self.signature = str(description["signature"])
+        if description.get("kind") == "quantum":
+            self.table = dict(
+                sweep_algorithm_for_problem(problem) for problem in self.names
+            )
+        else:
+            self.table = resolve_algorithms(self.names)
+
+    def cell(self, index: int):
+        """The ``(spec, name)`` task of one grid index."""
+        spec_index, name_index = self.tasks[index]
+        return self.specs[spec_index], self.names[name_index]
+
+
+def _execute_shard(
+    conn: FramedSocket,
+    grid: _GridContext,
+    frame: Dict[str, Any],
+    shard_dir: str,
+    worker_id: str,
+) -> int:
+    """Run one leased shard; returns the number of cells streamed back."""
+    from repro.analysis.sweep import _sweep_one_grid_cell, sweep_task_key
+    from repro.faults import get_default_fault_model
+    from repro.store import ExperimentStore
+    from repro.store.records import record_to_dict
+
+    indices = [int(index) for index in frame["indices"]]
+    store = ExperimentStore(
+        shard_store_path(shard_dir, grid.signature, worker_id)
+    )
+    started = time.perf_counter()
+    streamed = 0
+    with _grid_environment(grid.description):
+        fault = get_default_fault_model()
+        with store.acquire_writer(timeout=_LOCK_WAIT_SECONDS):
+            completed = store.begin_sweep(
+                specs=grid.specs,
+                algorithms=grid.names,
+                base_seed=grid.base_seed,
+                signature=grid.signature,
+                jobs=1,
+                resume=store.exists(),
+            )
+            fresh = 0
+            for index in indices:
+                spec, name = grid.cell(index)
+                key = sweep_task_key(spec, name, grid.base_seed, fault)
+                record = completed.get(key)
+                if record is None:
+                    record = _sweep_one_grid_cell(
+                        (grid.table, grid.base_seed), (spec, name)
+                    )
+                    store.append_record(key, index, record)
+                    fresh += 1
+                conn.send({
+                    "type": "cell",
+                    "grid": frame["grid"],
+                    "shard": frame["shard"],
+                    "index": index,
+                    "key": key,
+                    "record": record_to_dict(record),
+                })
+                streamed += 1
+            store.finish_sweep(
+                wall_seconds=time.perf_counter() - started,
+                total_records=len(indices),
+                resumed_records=len(indices) - fresh,
+            )
+    return streamed
+
+
+def _serve_connection(
+    conn: FramedSocket, shard_dir: str, worker_id: str, stats: Dict[str, int]
+) -> str:
+    """Process frames on one live connection.
+
+    Returns ``"shutdown"`` (coordinator said goodbye) or ``"lost"`` (the
+    connection dropped, reconnect may help).
+    """
+    grids: Dict[str, _GridContext] = {}
+    while True:
+        try:
+            frame = conn.recv()
+        except (FrameError, OSError):
+            return "lost"
+        if frame is None:
+            return "lost"
+        kind = frame.get("type")
+        if kind == "shutdown":
+            return "shutdown"
+        if kind == "grid":
+            try:
+                grids[str(frame["grid"])] = _GridContext(frame["description"])
+            except Exception as error:
+                _report_failure(conn, frame, "grid", error)
+            continue
+        if kind == "shard":
+            grid = grids.get(str(frame.get("grid")))
+            if grid is None:
+                _report_failure(
+                    conn, frame, "shard",
+                    DispatchError("shard for an unknown grid"),
+                )
+                continue
+            try:
+                stats["cells"] += _execute_shard(
+                    conn, grid, frame, shard_dir, worker_id
+                )
+                stats["shards"] += 1
+                conn.send({
+                    "type": "shard_done",
+                    "grid": frame["grid"],
+                    "shard": frame["shard"],
+                })
+            except OSError:
+                return "lost"
+            except Exception as error:  # kernel bug: surface, keep serving
+                _report_failure(conn, frame, "shard", error)
+
+
+def _report_failure(
+    conn: FramedSocket, frame: Dict[str, Any], what: str, error: Exception
+) -> None:
+    message = "".join(
+        traceback.format_exception_only(type(error), error)
+    ).strip()
+    try:
+        conn.send({
+            "type": "shard_failed",
+            "grid": frame.get("grid"),
+            "shard": frame.get("shard"),
+            "message": f"{what} failed on this worker: {message}",
+        })
+    except OSError:
+        pass
+
+
+def run_worker(
+    host: str,
+    port: int,
+    shard_dir: str,
+    worker_id: Optional[str] = None,
+    once: bool = False,
+    connect_wait: float = 30.0,
+    heartbeat_interval: float = 2.0,
+    poll: float = 0.25,
+) -> Dict[str, int]:
+    """Join a coordinator and serve shards until it shuts down.
+
+    Returns ``{"cells": ..., "shards": ...}`` counters.  With ``once``
+    the worker exits as soon as its connection ends; otherwise it keeps
+    retrying the connect for ``connect_wait`` seconds after each drop and
+    raises :class:`DispatchError` when the coordinator stays unreachable.
+    """
+    worker_id = validate_worker_id(worker_id or default_worker_id())
+    os.makedirs(shard_dir, exist_ok=True)
+    stats = {"cells": 0, "shards": 0}
+    while True:
+        deadline = time.monotonic() + connect_wait
+        sock = None
+        while sock is None:
+            try:
+                sock = socket.create_connection((host, port), timeout=5.0)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise DispatchError(
+                        f"could not reach dispatch coordinator at "
+                        f"{host}:{port} within {connect_wait:g}s"
+                    )
+                time.sleep(poll)
+        sock.settimeout(None)
+        conn = FramedSocket(sock)
+        stop_heartbeat = threading.Event()
+
+        def _beat(conn=conn, stop=stop_heartbeat):
+            while not stop.wait(heartbeat_interval):
+                try:
+                    conn.send({"type": "heartbeat"})
+                except OSError:
+                    return
+
+        try:
+            conn.send({
+                "type": "register",
+                "worker": worker_id,
+                "pid": os.getpid(),
+                "host": platform.node(),
+            })
+        except OSError:
+            conn.close()
+            continue
+        heartbeat = threading.Thread(
+            target=_beat, name="dispatch-heartbeat", daemon=True
+        )
+        heartbeat.start()
+        try:
+            outcome = _serve_connection(conn, shard_dir, worker_id, stats)
+        finally:
+            stop_heartbeat.set()
+            conn.close()
+            heartbeat.join(timeout=heartbeat_interval + 1.0)
+        if outcome == "shutdown" or once:
+            return stats
+
+
+def main(argv=None) -> int:
+    """``python -m repro.dispatch.worker`` -- the bare worker entry point.
+
+    The CLI front door is ``repro worker join``; this module entry exists
+    so benchmark harnesses and CI can spawn workers without the argparse
+    tree import cost.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.dispatch.worker",
+        description="Join a dispatch coordinator and execute sweep shards.",
+    )
+    parser.add_argument("address", help="coordinator HOST:PORT")
+    parser.add_argument(
+        "--shard-dir", required=True,
+        help="directory for this worker's JSONL store shards",
+    )
+    parser.add_argument(
+        "--name", default=None, help="worker id (default: host-pid)"
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="exit when the coordinator connection ends (no reconnect)",
+    )
+    parser.add_argument(
+        "--connect-wait", type=float, default=30.0,
+        help="seconds to keep retrying the coordinator connect",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=2.0,
+        help="seconds between heartbeat frames",
+    )
+    args = parser.parse_args(argv)
+    try:
+        host, port = parse_address(args.address)
+        stats = run_worker(
+            host,
+            port,
+            shard_dir=args.shard_dir,
+            worker_id=args.name,
+            once=args.once,
+            connect_wait=args.connect_wait,
+            heartbeat_interval=args.heartbeat,
+        )
+    except (ValueError, DispatchError) as error:
+        print(f"error: {error}")
+        return 2
+    print(
+        f"worker done: {stats['cells']} cell(s) over {stats['shards']} shard(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

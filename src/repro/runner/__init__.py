@@ -34,7 +34,12 @@ from repro.runner.algorithms import (
     resolve_algorithms,
     sweep_algorithm_for_problem,
 )
-from repro.runner.batch import BatchRunner, resolve_jobs, task_seed
+from repro.runner.batch import (
+    BatchRunner,
+    BatchTaskError,
+    resolve_jobs,
+    task_seed,
+)
 from repro.runner.spec import (
     GraphSpec,
     build_graph_cached,
@@ -45,6 +50,7 @@ from repro.runner.spec import (
 
 __all__ = [
     "BatchRunner",
+    "BatchTaskError",
     "resolve_jobs",
     "task_seed",
     "GraphSpec",

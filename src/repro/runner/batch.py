@@ -18,8 +18,10 @@ output.  :class:`BatchRunner` guarantees that by construction:
   parent's process-wide default engine, quantum schedule-backend and
   compute-tier selections;
 * worker exceptions propagate to the caller (the pool is torn down and the
-  original exception is re-raised), so a failing task cannot be silently
-  dropped from the aggregate.
+  failure re-raised as :class:`BatchTaskError` naming the failing task and
+  chaining the original exception), so a failing task cannot be silently
+  dropped from the aggregate -- and a 400-cell sweep that dies tells you
+  *which* cell died, not just that one did.
 
 Serial execution (``jobs=1``, the default) runs the exact same per-task
 code in-process -- there is one code path for the task body, so the
@@ -42,6 +44,32 @@ _NO_CONTEXT = object()
 #: Per-worker state installed by the pool initializer: the task callable,
 #: the shared context and the per-worker caches (see :mod:`repro.runner.spec`).
 _WORKER_STATE: dict = {}
+
+
+class BatchTaskError(RuntimeError):
+    """A pool worker's task raised; identifies *which* task failed.
+
+    ``multiprocessing`` pickles worker exceptions back to the caller but
+    strips them of any hint of which task was running -- fatal ergonomics
+    for grid sweeps, where one bad ``(spec, algorithm)`` cell among
+    hundreds needs to be findable from the failure alone.  The message
+    carries the task's ``repr`` (a :class:`SweepTask` names its spec,
+    algorithm and seed) plus the original exception type and text.
+    Serial execution (``jobs=1``) is left unwrapped on purpose: there the
+    original exception surfaces with its full traceback intact, which is
+    strictly more diagnostic than any wrapper.
+
+    Built as a single pre-formatted message string so the instance
+    pickles across the pool boundary unchanged (multi-arg exceptions
+    round-trip ``pickle`` badly).
+    """
+
+
+def _task_error(task, error: BaseException) -> BatchTaskError:
+    """Wrap a task's exception with the task identity, for re-raising."""
+    return BatchTaskError(
+        f"task {task!r} failed: {type(error).__name__}: {error}"
+    )
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -103,12 +131,22 @@ def _worker_initializer(
 
 
 def _invoke_task(task):
-    """Run one task in a pool worker using the installed state."""
+    """Run one task in a pool worker using the installed state.
+
+    Failures are wrapped in :class:`BatchTaskError` *inside the worker*,
+    where the task is still in hand -- by the time the pool re-raises in
+    the parent, the task identity would be gone.
+    """
     function = _WORKER_STATE["function"]
     context = _WORKER_STATE["context"]
-    if context is _NO_CONTEXT:
-        return function(task)
-    return function(context, task)
+    try:
+        if context is _NO_CONTEXT:
+            return function(task)
+        return function(context, task)
+    except BatchTaskError:
+        raise
+    except Exception as error:
+        raise _task_error(task, error) from error
 
 
 class BatchRunner:
@@ -135,7 +173,8 @@ class BatchRunner:
     The mapped callable, the context and every task must be picklable when
     ``jobs > 1`` (module-level functions and plain dataclasses are; lambdas
     are not).  Results are returned in task order; a worker exception
-    aborts the batch and re-raises in the caller.
+    aborts the batch and re-raises in the caller as
+    :class:`BatchTaskError` naming the failing task.
     """
 
     def __init__(

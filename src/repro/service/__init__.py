@@ -15,9 +15,17 @@ share:
   cancellation and SIGTERM checkpointing;
 * :mod:`repro.service.quota` -- capacity accounting and per-tenant
   active-job quotas;
+* :mod:`repro.service.metrics` -- Prometheus text exposition of job
+  states, tenant activity, and worker capacity (``GET /metrics``);
 * :mod:`repro.service.api` / :mod:`repro.service.client` -- the stdlib
   HTTP JSON face and its client, surfaced as ``repro serve`` and
   ``repro jobs ...``.
+
+With ``repro serve --dispatch remote`` the daemon also owns a
+:class:`repro.dispatch.DispatchCoordinator`; jobs submitted with
+``"dispatch": "remote"`` fan their cells out to registered
+``repro worker join`` workers instead of computing in the job
+subprocess.
 """
 
 from repro.service.gridspec import (
@@ -34,6 +42,7 @@ from repro.service.jobs import (
     JobLedger,
     JobRecord,
 )
+from repro.service.metrics import METRICS_CONTENT_TYPE, render_metrics
 from repro.service.queue import ExperimentService
 from repro.service.quota import QuotaExceeded, QuotaPolicy, capacity_report
 from repro.service.api import serve_api
@@ -51,6 +60,8 @@ __all__ = [
     "JobLedger",
     "JobRecord",
     "ExperimentService",
+    "METRICS_CONTENT_TYPE",
+    "render_metrics",
     "QuotaPolicy",
     "QuotaExceeded",
     "capacity_report",

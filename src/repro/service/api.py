@@ -7,6 +7,8 @@ standard library.  Routes::
     GET  /health                      liveness + job counts
     GET  /capacity                    total/used/available worker slots,
                                       per-tenant quotas (MAAS pod style)
+    GET  /metrics                     Prometheus text exposition (job
+                                      counts, tenant activity, capacity)
     GET  /jobs[?tenant=NAME]          list jobs
     POST /jobs                        submit {"tenant": ..., "request": {...}}
     GET  /jobs/<id>                   status + progress
@@ -28,6 +30,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.service.gridspec import GridRequest
 from repro.service.jobs import JobError
+from repro.service.metrics import METRICS_CONTENT_TYPE, render_metrics
 from repro.service.queue import ExperimentService
 from repro.service.quota import QuotaExceeded
 from repro.store import EXPORT_FORMATS
@@ -128,6 +131,10 @@ class ServiceAPIHandler(BaseHTTPRequestHandler):
             return self._get_health()
         if parts == ("capacity",) and method == "GET":
             return self._send_json(200, self.service.capacity())
+        if parts == ("metrics",) and method == "GET":
+            return self._send_text(
+                200, render_metrics(self.service), METRICS_CONTENT_TYPE
+            )
         if parts == ("jobs",):
             if method == "GET":
                 return self._get_jobs(query)

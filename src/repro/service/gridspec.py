@@ -26,6 +26,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.sweep import run_sweep_grid
+from repro.dispatch import DISPATCH_NAMES
 from repro.engine import ENGINE_NAMES, set_default_engine
 from repro.faults import FaultModel
 from repro.graphs import generators
@@ -99,6 +100,7 @@ class GridRequest:
     backend: Optional[str] = None
     tier: Optional[str] = None
     fault: Optional[FaultModel] = None
+    dispatch: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Normalise sequences to tuples so requests hash/compare by value
@@ -153,6 +155,11 @@ class GridRequest:
                 f"unknown compute tier {self.tier!r} (available: "
                 + ", ".join(TIER_NAMES) + ")"
             )
+        if self.dispatch is not None and self.dispatch not in DISPATCH_NAMES:
+            raise ValueError(
+                f"unknown dispatch backend {self.dispatch!r} (available: "
+                + ", ".join(DISPATCH_NAMES) + ")"
+            )
         self.algorithm_table()  # raises on unknown algorithm/problem names
 
     # -- derived execution inputs --------------------------------------
@@ -198,6 +205,7 @@ class GridRequest:
             "engine": self.engine,
             "backend": self.backend,
             "tier": self.tier,
+            "dispatch": self.dispatch,
             "fault": None if self.fault is None else {
                 item.name: getattr(self.fault, item.name)
                 for item in fields(FaultModel)
@@ -235,6 +243,7 @@ class GridRequest:
             engine=data.get("engine"),
             backend=data.get("backend"),
             tier=data.get("tier"),
+            dispatch=data.get("dispatch"),
             fault=fault,
         )
 
@@ -264,6 +273,7 @@ def execute_grid_request(
     resume: bool = False,
     progress=None,
     should_stop=None,
+    dispatch=None,
 ) -> List:
     """Run a grid request: the one execution path of CLI and daemon.
 
@@ -273,7 +283,17 @@ def execute_grid_request(
     checkpoint-store and cooperative progress/cancellation hooks.  The
     records -- and therefore the canonical export -- depend only on the
     request, never on who executed it.
+
+    ``dispatch`` overrides the request's dispatch selection with a
+    *configured* backend object -- the CLI and the service job worker
+    pass a :class:`repro.dispatch.RemoteDispatch` bound to their
+    coordinator here, since the bare name ``"remote"`` carries no
+    address.  ``None`` falls back to ``request.dispatch`` (and a plain
+    ``"remote"`` request with no configured backend fails loudly in
+    :func:`repro.dispatch.resolve_dispatch`).
     """
+    if dispatch is None:
+        dispatch = request.dispatch
     if runner is None:
         runner = BatchRunner(jobs=request.jobs)
     with _process_default(request.engine, set_default_engine), \
@@ -289,4 +309,5 @@ def execute_grid_request(
             fault_model=request.fault,
             progress=progress,
             should_stop=should_stop,
+            dispatch=dispatch,
         )

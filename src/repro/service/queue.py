@@ -33,6 +33,7 @@ import threading
 import time
 from typing import Any, Deque, Dict, List, Optional
 
+from repro.dispatch import DispatchCoordinator
 from repro.service import worker as worker_mod
 from repro.service.gridspec import GridRequest
 from repro.service.jobs import JobError, JobLedger, JobRecord
@@ -54,9 +55,15 @@ class ExperimentService:
         workers: int = 2,
         quota: Optional[QuotaPolicy] = None,
         poll_interval: float = _POLL_INTERVAL,
+        dispatch: Optional[str] = None,
+        dispatch_port: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if dispatch not in (None, "remote"):
+            raise ValueError(
+                f"service dispatch must be None or 'remote', got {dispatch!r}"
+            )
         self.data_dir = os.fspath(data_dir)
         os.makedirs(self.data_dir, exist_ok=True)
         self.ledger = JobLedger(
@@ -75,6 +82,15 @@ class ExperimentService:
         self._threads: List[threading.Thread] = []
         self._procs: Dict[str, subprocess.Popen] = {}
         self._started = False
+        # With dispatch="remote" the daemon owns one persistent
+        # coordinator shared by every job that requests remote dispatch;
+        # 'repro worker join' workers register against it once and serve
+        # shards across jobs.
+        self.dispatch = dispatch
+        self.coordinator: Optional[DispatchCoordinator] = (
+            DispatchCoordinator(port=dispatch_port)
+            if dispatch == "remote" else None
+        )
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -82,6 +98,8 @@ class ExperimentService:
         if self._started:
             raise RuntimeError("service already started")
         self._started = True
+        if self.coordinator is not None:
+            self.coordinator.start()
         recovered = self.ledger.recover()
         with self._lock:
             self._jobs = recovered
@@ -116,6 +134,8 @@ class ExperimentService:
                 pass
         for thread in self._threads:
             thread.join(timeout=timeout)
+        if self.coordinator is not None:
+            self.coordinator.stop()
 
     # -- submission / queries ------------------------------------------
     def submit(self, tenant: str, request: GridRequest) -> JobRecord:
@@ -126,6 +146,12 @@ class ExperimentService:
         on rejection, so a failing submission cannot occupy quota.
         """
         request.validate()
+        if request.dispatch == "remote" and self.coordinator is None:
+            raise ValueError(
+                "this service has no dispatch coordinator; start the "
+                "daemon with --dispatch remote to accept remote-dispatch "
+                "jobs"
+            )
         total = request.total_cells()
         with self._lock:
             self.quota.check_submit(tenant, self._jobs.values())
@@ -264,6 +290,9 @@ class ExperimentService:
             "--data-dir", self.data_dir,
             "--job-id", record.job_id,
         ]
+        if record.request.dispatch == "remote" and self.coordinator is not None:
+            host, port = self.coordinator.address
+            argv.extend(["--coordinator", f"{host}:{port}"])
         with open(log_path, "ab") as log:
             proc = subprocess.Popen(
                 argv, stdout=log, stderr=subprocess.STDOUT

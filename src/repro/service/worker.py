@@ -35,6 +35,7 @@ import traceback
 from typing import Optional, Sequence
 
 from repro.analysis.sweep import SweepCancelled
+from repro.dispatch import RemoteDispatch, parse_address
 from repro.service.jobs import JobLedger
 from repro.service.gridspec import execute_grid_request
 from repro.store import StoreLockError, set_run_context
@@ -55,7 +56,12 @@ def cancel_sentinel_path(store_path: str) -> str:
     return os.fspath(store_path) + ".cancel"
 
 
-def run_job(ledger_path: str, data_dir: str, job_id: str) -> int:
+def run_job(
+    ledger_path: str,
+    data_dir: str,
+    job_id: str,
+    coordinator: Optional[str] = None,
+) -> int:
     """Execute one job from the ledger; returns the worker exit code."""
     ledger = JobLedger(ledger_path)
     records = ledger.replay()
@@ -64,6 +70,26 @@ def run_job(ledger_path: str, data_dir: str, job_id: str) -> int:
         print(f"unknown job id {job_id!r} in ledger {ledger_path!r}",
               file=sys.stderr)
         return EXIT_USAGE
+
+    # A remote-dispatch job fans its cells out to the daemon's registered
+    # 'repro worker join' workers instead of computing locally; the
+    # daemon passes its coordinator address because the bare name
+    # "remote" in the request carries none.
+    dispatch = None
+    if record.request.dispatch == "remote":
+        if coordinator is None:
+            print(
+                f"job {job_id!r} requests remote dispatch but no "
+                "--coordinator address was provided (daemon started "
+                "without --dispatch remote?)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        dispatch = RemoteDispatch(
+            address=parse_address(coordinator),
+            kind=record.request.kind,
+            workers=max(1, record.request.jobs),
+        )
 
     store = record.store(data_dir)
     sentinel = cancel_sentinel_path(store.path)
@@ -89,6 +115,7 @@ def run_job(ledger_path: str, data_dir: str, job_id: str) -> int:
                 store=store,
                 resume=True,
                 should_stop=should_stop,
+                dispatch=dispatch,
             )
         except SweepCancelled:
             return EXIT_CHECKPOINTED if sigterm["received"] else EXIT_CANCELLED
@@ -119,8 +146,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--data-dir", required=True,
                         help="root of the per-tenant store shards")
     parser.add_argument("--job-id", required=True, help="job to execute")
+    parser.add_argument(
+        "--coordinator", default=None, metavar="HOST:PORT",
+        help="dispatch coordinator for remote-dispatch jobs "
+        "(passed by the daemon when started with --dispatch remote)",
+    )
     args = parser.parse_args(argv)
-    return run_job(args.ledger, args.data_dir, args.job_id)
+    return run_job(args.ledger, args.data_dir, args.job_id,
+                   coordinator=args.coordinator)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

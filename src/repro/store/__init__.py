@@ -15,9 +15,14 @@ sweep lost everything.  :mod:`repro.store` makes sweeps durable:
 * export (:mod:`repro.store.export`) -- CSV / JSON / canonical-JSONL
   renderers, plus ``ExperimentStore.load_records`` to round-trip records
   back into ``sweep_table`` and the fitting helpers.
+* shard merge (:mod:`repro.store.merge`) -- fold the per-worker store
+  shards of a distributed run (:mod:`repro.dispatch`) back into one
+  canonical store, validating grid signatures/seed streams across shard
+  headers and deduplicating task keys, byte-identical to a serial run.
 
-CLI surface: ``repro sweep --out run.jsonl [--resume]`` and
-``repro export --store run.jsonl --format csv``.
+CLI surface: ``repro sweep --out run.jsonl [--resume]``,
+``repro export --store run.jsonl --format csv`` and
+``repro merge SHARD... --out merged.jsonl``.
 """
 
 from repro.store.export import (
@@ -37,6 +42,7 @@ from repro.store.jsonl import (
     append_jsonl_line,
     iter_jsonl_entries,
 )
+from repro.store.merge import merge_shards
 from repro.store.provenance import (
     clear_run_context,
     collect_provenance,
@@ -60,6 +66,7 @@ __all__ = [
     "StoreWriterLock",
     "append_jsonl_line",
     "iter_jsonl_entries",
+    "merge_shards",
     "SCHEMA_VERSION",
     "set_run_context",
     "get_run_context",

@@ -1,0 +1,179 @@
+"""Provenance-aware merge of distributed store shards.
+
+A remote dispatch run (:mod:`repro.dispatch`) leaves one JSONL store
+shard per worker, each holding the cells that worker computed plus run
+headers stamped with the dispatched grid's signature and seed stream.
+:func:`merge_shards` folds those shards back into one canonical store
+that is **byte-identical** -- record for record, in grid order -- to what
+a serial single-process run of the same grid would have written, because:
+
+* task keys and grid indices derive from cell *identity*, never from
+  which worker ran a cell or when (see
+  :func:`repro.analysis.sweep.sweep_task_key`);
+* every record is deterministic in its key, so duplicates -- a shard
+  requeued after a worker death may be recomputed elsewhere while the
+  original worker's partial file survives -- are exact copies and
+  first-complete-wins deduplication cannot change the data;
+* ordering is by integer grid index, independent of shard file order,
+  hash randomisation and completion timing.
+
+The merge **refuses** to mix shards whose headers disagree on the grid
+signature or the base seed stream: a shard from a different grid (or a
+different ``--seed``) would otherwise silently corrupt the output.
+Empty or missing shard files are tolerated (a worker that registered but
+was never leased a shard writes nothing), as are truncated final lines
+(a killed worker's interrupted append), because shards go through the
+same tolerant reader as every other store.
+
+CLI surface: ``repro merge SHARD... --out merged.jsonl``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import SweepRecord
+from repro.store.jsonl import (
+    SCHEMA_VERSION,
+    ExperimentStore,
+    ExperimentStoreError,
+)
+from repro.store.provenance import collect_provenance
+from repro.store.records import record_to_dict
+
+
+def merge_shards(
+    shard_paths: Sequence[str],
+    out_path: Optional[str] = None,
+    require_complete: bool = True,
+) -> List[SweepRecord]:
+    """Merge worker store shards into one canonical record list.
+
+    Returns the records in grid order (exactly
+    ``ExperimentStore.load_records()`` of an equivalent serial run) and,
+    with ``out_path``, writes a canonical merged store: one run header
+    carrying the shard provenance, the records, and a completion footer.
+
+    ``require_complete`` (the default) additionally demands that the
+    merged cells cover the grid's index range with no gaps -- a lost
+    shard file surfaces as a hard error naming the missing count instead
+    of a silently shorter export.  Pass ``False`` to merge partial
+    results (e.g. for progress inspection mid-run).
+
+    Raises :class:`ExperimentStoreError` when the shards disagree on the
+    grid signature or base seed, when a shard has records but no header,
+    or when every shard is empty.
+    """
+    if not shard_paths:
+        raise ExperimentStoreError("no shard paths given to merge")
+    headers: List[Tuple[str, Dict[str, Any]]] = []
+    merged: Dict[str, Tuple[int, SweepRecord]] = {}
+    for path in shard_paths:
+        store = ExperimentStore(path)
+        header = store.latest_header()
+        cells = store.completed()
+        if header is None:
+            if cells:
+                raise ExperimentStoreError(
+                    f"shard {path!r} holds records but no run header; "
+                    "refusing to merge unattributable cells"
+                )
+            continue  # empty shard: a worker that was never leased work
+        headers.append((path, header))
+        for key, (index, record) in cells.items():
+            # First-complete wins, like ExperimentStore.completed():
+            # requeue races recompute identical records, so which copy
+            # survives cannot matter -- but keeping the first makes the
+            # choice deterministic in the given shard order.
+            merged.setdefault(key, (index, record))
+    if not headers:
+        raise ExperimentStoreError(
+            "nothing to merge: every shard is empty "
+            f"({', '.join(repr(path) for path in shard_paths)})"
+        )
+    _validate_headers(headers)
+    by_index = sorted(merged.values(), key=lambda item: item[0])
+    if require_complete:
+        indices = [index for index, _ in by_index]
+        expected = list(range(len(indices)))
+        if indices != expected:
+            missing = sorted(set(expected) - set(indices))[:5]
+            raise ExperimentStoreError(
+                f"merged shards cover {len(indices)} cell(s) but indices "
+                f"are not contiguous from 0 (first gaps: {missing}); a "
+                "shard file is missing or the run is incomplete -- merge "
+                "with require_complete=False (--allow-partial) to inspect"
+            )
+    records = [record for _, record in by_index]
+    if out_path is not None:
+        _write_merged(out_path, headers, merged, records)
+    return records
+
+
+def _validate_headers(headers: List[Tuple[str, Dict[str, Any]]]) -> None:
+    """Refuse shards whose run headers describe different grids."""
+    first_path, first = headers[0]
+    signature = first.get("signature")
+    base_seed = first.get("base_seed")
+    for path, header in headers[1:]:
+        if header.get("signature") != signature:
+            raise ExperimentStoreError(
+                f"shard {path!r} holds a different grid (signature "
+                f"{header.get('signature')} != {signature} of "
+                f"{first_path!r}); refusing to mix"
+            )
+        if header.get("base_seed") != base_seed:
+            raise ExperimentStoreError(
+                f"shard {path!r} used a different seed stream (base_seed "
+                f"{header.get('base_seed')} != {base_seed} of "
+                f"{first_path!r}); refusing to mix"
+            )
+
+
+def _write_merged(
+    out_path: str,
+    headers: List[Tuple[str, Dict[str, Any]]],
+    merged: Dict[str, Tuple[int, SweepRecord]],
+    records: List[SweepRecord],
+) -> None:
+    """Write the canonical merged store (header, records, footer)."""
+    first = headers[0][1]
+    out = ExperimentStore(out_path)
+    if out.exists():
+        raise ExperimentStoreError(
+            f"merge output {out_path!r} already exists; refusing to append "
+            "a merged grid into an existing store"
+        )
+    with out.acquire_writer():
+        out._append({
+            "kind": "run",
+            "schema": SCHEMA_VERSION,
+            "signature": first.get("signature"),
+            "specs": first.get("specs", []),
+            "algorithms": first.get("algorithms", []),
+            "base_seed": first.get("base_seed"),
+            "jobs": len(headers),
+            "resume": False,
+            "merged_from": [
+                os.path.basename(path) for path, _ in headers
+            ],
+            **collect_provenance(),
+        })
+        by_index = sorted(
+            ((index, key, record) for key, (index, record) in merged.items()),
+            key=lambda item: item[0],
+        )
+        for index, key, record in by_index:
+            out._append({
+                "kind": "record",
+                "key": key,
+                "index": index,
+                "record": record_to_dict(record),
+            })
+        out._append({
+            "kind": "finish",
+            "wall_seconds": 0.0,
+            "total_records": len(records),
+            "resumed_records": 0,
+        })

@@ -137,7 +137,8 @@ class TestCommands:
 
         def fake_run_sweep_grid(specs, algorithms, runner=None, base_seed=0,
                                 store=None, resume=False, fault_model=None,
-                                progress=None, should_stop=None):
+                                progress=None, should_stop=None,
+                                dispatch=None):
             captured["graph_seed"] = specs[0].seed
             captured["base_seed"] = base_seed
             return []

@@ -1,0 +1,413 @@
+"""Tests for the distributed dispatch subsystem (``repro.dispatch``).
+
+The load-bearing property is the same one the batch runner pins: remote
+execution must be **byte-identical** to serial execution -- for the
+streamed records, for the per-worker shard stores after merging, and
+regardless of worker deaths, reconnects or completion order.  Around
+that sit the protocol-level contracts (framing, EOF, oversize refusal)
+and the backend-resolution rules of ``--dispatch``.
+
+Thread workers are used for fault-free grids (cheap, deterministic);
+grids that mutate process defaults (fault models) and the worker-death
+path use real subprocess workers, as the CLI would.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.analysis.sweep import run_sweep_grid
+from repro.dispatch import (
+    DISPATCH_NAMES,
+    DispatchCoordinator,
+    DispatchError,
+    FrameError,
+    FramedSocket,
+    MAX_FRAME_BYTES,
+    RemoteDispatch,
+    dispatch_signature,
+    parse_address,
+    resolve_dispatch,
+)
+from repro.dispatch.worker import (
+    default_worker_id,
+    run_worker,
+    shard_store_path,
+    validate_worker_id,
+)
+from repro.faults import FaultModel
+from repro.runner import BatchRunner, GraphSpec, resolve_algorithms
+from repro.store import merge_shards, render_records
+
+SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (SRC_ROOT, env.get("PYTHONPATH")) if part
+    )
+    return env
+
+
+def _grid(sizes=(12, 16)):
+    specs = tuple(GraphSpec("cycle", n, seed=1) for n in sizes) + tuple(
+        GraphSpec("clique_chain", n, seed=1) for n in sizes
+    )
+    table = resolve_algorithms(["classical_exact", "two_approx"])
+    return specs, table
+
+
+class TestProtocol:
+    def _pair(self):
+        left, right = socket.socketpair()
+        return FramedSocket(left), FramedSocket(right)
+
+    def test_frames_round_trip_in_order(self):
+        a, b = self._pair()
+        frames = [
+            {"type": "register", "worker": "w1"},
+            {"type": "cell", "index": 3, "record": {"nested": [1, 2, 3]}},
+            {"type": "heartbeat"},
+        ]
+        for frame in frames:
+            a.send(frame)
+        received = [b.recv() for _ in frames]
+        assert received == frames
+        a.close()
+        b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self._pair()
+        a.close()
+        assert b.recv() is None
+        b.close()
+
+    def test_eof_mid_frame_raises(self):
+        left, right = socket.socketpair()
+        # A length header promising bytes that never arrive.
+        left.sendall(struct.pack(">I", 64) + b'{"type":')
+        left.close()
+        with pytest.raises(FrameError):
+            FramedSocket(right).recv()
+        right.close()
+
+    def test_oversize_length_prefix_refused(self):
+        left, right = socket.socketpair()
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError, match="cap"):
+            FramedSocket(right).recv()
+        left.close()
+        right.close()
+
+    def test_non_object_payload_refused(self):
+        left, right = socket.socketpair()
+        payload = b"[1, 2, 3]"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError, match="JSON object"):
+            FramedSocket(right).recv()
+        left.close()
+        right.close()
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+        assert parse_address("my.host:1") == ("my.host", 1)
+        for bad in ("nohost", ":8080", "host:", "host:zero", "host:0",
+                    "host:70000"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+class TestBackendResolution:
+    def test_none_keeps_runner_or_builds_one(self):
+        runner = BatchRunner(jobs=1)
+        assert resolve_dispatch(None, runner=runner) is runner
+        built = resolve_dispatch(None, jobs=2)
+        assert isinstance(built, BatchRunner) and built.jobs == 2
+
+    def test_inprocess_is_serial(self):
+        backend = resolve_dispatch("inprocess", jobs=8)
+        assert isinstance(backend, BatchRunner) and backend.jobs == 1
+
+    def test_multiprocessing_uses_jobs(self):
+        backend = resolve_dispatch("multiprocessing", jobs=3)
+        assert isinstance(backend, BatchRunner) and backend.jobs == 3
+
+    def test_bare_remote_refused(self):
+        with pytest.raises(DispatchError, match="needs a coordinator"):
+            resolve_dispatch("remote")
+
+    def test_unknown_name_refused(self):
+        with pytest.raises(DispatchError, match="unknown dispatch backend"):
+            resolve_dispatch("carrier-pigeon")
+
+    def test_configured_object_passes_through(self):
+        backend = RemoteDispatch(address=("127.0.0.1", 1))
+        assert resolve_dispatch(backend) is backend
+
+    def test_names_are_the_cli_choices(self):
+        assert DISPATCH_NAMES == ("inprocess", "multiprocessing", "remote")
+
+    def test_signature_depends_on_keys(self):
+        first = dispatch_signature(["a", "b"])
+        assert first == dispatch_signature(["a", "b"])
+        assert first != dispatch_signature(["a", "c"])
+        assert len(first) == 16
+
+
+class TestRemoteDispatchMisuse:
+    def test_needs_exactly_one_target(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            RemoteDispatch()
+        with pytest.raises(ValueError, match="exactly one"):
+            RemoteDispatch(
+                address=("127.0.0.1", 1),
+                coordinator=DispatchCoordinator(),
+            )
+
+    def test_unknown_kind_refused(self):
+        with pytest.raises(ValueError, match="unknown grid kind"):
+            RemoteDispatch(address=("127.0.0.1", 1), kind="banana")
+
+    def test_arbitrary_callables_refused(self):
+        backend = RemoteDispatch(address=("127.0.0.1", 1))
+        with pytest.raises(DispatchError, match="only executes sweep grid"):
+            backend.map(len, [((), "x")], context=({}, 0))
+
+    def test_empty_task_list_never_connects(self):
+        # port 1 is unreachable: an empty batch must not even try.
+        backend = RemoteDispatch(address=("127.0.0.1", 1))
+        from repro.analysis.sweep import _sweep_one_grid_cell
+
+        assert backend.map(_sweep_one_grid_cell, [], context=({}, 0)) == []
+
+
+class TestCoordinator:
+    def test_wait_for_workers_times_out(self):
+        coordinator = DispatchCoordinator()
+        coordinator.start()
+        try:
+            with pytest.raises(DispatchError, match="repro worker join"):
+                coordinator.wait_for_workers(1, timeout=0.2)
+        finally:
+            coordinator.stop()
+
+    def test_invalid_shard_size_rejected(self):
+        with pytest.raises(ValueError):
+            DispatchCoordinator(shard_size=0)
+
+
+class TestWorkerIds:
+    def test_default_id_is_valid(self):
+        assert validate_worker_id(default_worker_id())
+
+    def test_unsafe_ids_rejected(self):
+        for bad in ("", "../escape", "a/b", ".hidden", "x" * 65):
+            with pytest.raises(ValueError):
+                validate_worker_id(bad)
+
+    def test_shard_path_shape(self):
+        path = shard_store_path("dir", "abcd", "w1")
+        assert path == os.path.join("dir", "shard-abcd-w1.jsonl")
+
+
+def _run_remote(specs, table, base_seed, shard_dir, workers=2,
+                shard_size=None, start_delay=0.0):
+    """A full remote round-trip with in-thread workers; returns records."""
+    coordinator = DispatchCoordinator(shard_size=shard_size)
+    coordinator.start()
+    host, port = coordinator.address
+    threads = [
+        threading.Thread(
+            target=run_worker,
+            args=(host, port, shard_dir),
+            kwargs=dict(worker_id=f"w{index + 1}", once=True,
+                        connect_wait=15.0, heartbeat_interval=0.5),
+            daemon=True,
+        )
+        for index in range(workers)
+    ]
+    try:
+        if start_delay:
+            # Late workers: the grid must queue until somebody registers.
+            starter = threading.Timer(
+                start_delay, lambda: [t.start() for t in threads]
+            )
+            starter.start()
+        else:
+            for thread in threads:
+                thread.start()
+            coordinator.wait_for_workers(workers, timeout=30.0)
+        records = run_sweep_grid(
+            specs, table, base_seed=base_seed,
+            dispatch=RemoteDispatch(coordinator=coordinator, workers=workers),
+        )
+    finally:
+        coordinator.stop()
+    for thread in threads:
+        thread.join(timeout=15.0)
+        assert not thread.is_alive(), "worker thread failed to exit"
+    return records
+
+
+class TestRemoteEndToEnd:
+    def test_two_workers_byte_identical_and_merge(self, tmp_path):
+        specs, table = _grid()
+        serial = run_sweep_grid(specs, table, base_seed=11)
+        shard_dir = str(tmp_path / "shards")
+        remote = _run_remote(specs, table, 11, shard_dir, workers=2,
+                             shard_size=2)
+        assert render_records(remote, "jsonl") == render_records(serial, "jsonl")
+
+        shard_paths = sorted(
+            os.path.join(shard_dir, name) for name in os.listdir(shard_dir)
+        )
+        assert len(shard_paths) == 2  # one store shard per worker
+        merged = merge_shards(shard_paths, out_path=str(tmp_path / "m.jsonl"))
+        assert render_records(merged, "jsonl") == render_records(serial, "jsonl")
+
+    def test_grid_queues_until_a_worker_joins(self, tmp_path):
+        specs, table = _grid(sizes=(10,))
+        serial = run_sweep_grid(specs, table, base_seed=5)
+        remote = _run_remote(specs, table, 5, str(tmp_path / "shards"),
+                             workers=1, start_delay=0.4)
+        assert remote == serial
+
+    def test_unreachable_coordinator_fails_loudly(self):
+        specs, table = _grid(sizes=(10,))
+        backend = RemoteDispatch(address=("127.0.0.1", 1),
+                                 connect_timeout=0.5)
+        with pytest.raises(DispatchError, match="could not reach"):
+            run_sweep_grid(specs, table, base_seed=5, dispatch=backend)
+
+    def test_dispatch_names_resolve_identically(self):
+        specs, table = _grid(sizes=(10,))
+        serial = run_sweep_grid(specs, table, base_seed=7)
+        for name in ("inprocess", "multiprocessing"):
+            assert run_sweep_grid(
+                specs, table, base_seed=7, dispatch=name
+            ) == serial
+
+
+def _spawn_worker(address, shard_dir, name, heartbeat=0.5):
+    host, port = address
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.dispatch.worker",
+         f"{host}:{port}", "--shard-dir", str(shard_dir),
+         "--name", name, "--once", "--heartbeat", str(heartbeat)],
+        env=_subprocess_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+    )
+
+
+class TestSubprocessWorkers:
+    def test_fault_grid_byte_identical(self, tmp_path):
+        """Fault-injected grids survive the trip: the fault model rides
+        the grid description and is re-applied on the worker."""
+        specs, _ = _grid(sizes=(10,))
+        table = resolve_algorithms(["two_approx_retry"])
+        fault = FaultModel(loss=0.05, crash=0.1, timeout=256, seed=3)
+        serial = run_sweep_grid(specs, table, base_seed=9, fault_model=fault)
+
+        coordinator = DispatchCoordinator(worker_timeout=20.0)
+        coordinator.start()
+        proc = _spawn_worker(coordinator.address, tmp_path / "shards", "fw1")
+        try:
+            coordinator.wait_for_workers(1, timeout=30.0)
+            remote = run_sweep_grid(
+                specs, table, base_seed=9, fault_model=fault,
+                dispatch=RemoteDispatch(coordinator=coordinator),
+            )
+        finally:
+            coordinator.stop()
+            proc.wait(timeout=30)
+        assert render_records(remote, "jsonl") == render_records(serial, "jsonl")
+
+        shard_dir = tmp_path / "shards"
+        merged = merge_shards(
+            sorted(str(shard_dir / name) for name in os.listdir(shard_dir))
+        )
+        assert merged == serial
+
+    def test_killed_worker_shard_requeued(self, tmp_path):
+        """SIGKILL the only worker mid-grid: its unfinished shards must be
+        requeued (the ledger's stale-lease idiom) and completed by a
+        replacement, with the stream and the merge still byte-identical.
+        """
+        specs, table = _grid(sizes=(24, 32))
+        serial = run_sweep_grid(specs, table, base_seed=11)
+        shard_dir = tmp_path / "shards"
+
+        coordinator = DispatchCoordinator(shard_size=2, worker_timeout=3.0)
+        coordinator.start()
+        victim = _spawn_worker(coordinator.address, shard_dir, "victim")
+
+        outcome = {}
+
+        def _client():
+            try:
+                outcome["records"] = run_sweep_grid(
+                    specs, table, base_seed=11,
+                    dispatch=RemoteDispatch(coordinator=coordinator),
+                )
+            except Exception as error:  # surfaced in the main thread
+                outcome["error"] = error
+
+        client = threading.Thread(target=_client, daemon=True)
+        rescue = None
+        try:
+            coordinator.wait_for_workers(1, timeout=30.0)
+            client.start()
+            victim_shard = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if shard_dir.is_dir():
+                    stores = [
+                        path for path in shard_dir.iterdir()
+                        if path.name.endswith("-victim.jsonl")
+                        and path.stat().st_size > 200
+                    ]
+                    if stores:
+                        victim_shard = stores[0]
+                        break
+                time.sleep(0.05)
+            assert victim_shard is not None, "victim never started computing"
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10)
+            rescue = _spawn_worker(coordinator.address, shard_dir, "rescue")
+            client.join(timeout=120.0)
+            assert not client.is_alive(), "grid never completed after requeue"
+        finally:
+            coordinator.stop()
+            for proc in (victim, rescue):
+                if proc is not None:
+                    try:
+                        proc.wait(timeout=15)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+
+        assert "error" not in outcome, outcome.get("error")
+        remote = outcome["records"]
+        assert render_records(remote, "jsonl") == render_records(serial, "jsonl")
+        # the rescue worker actually computed cells...
+        rescue_store = [
+            path for path in shard_dir.iterdir()
+            if path.name.endswith("-rescue.jsonl")
+        ]
+        assert rescue_store and rescue_store[0].stat().st_size > 0
+        # ...and merging the victim's partial shard with the rescue's
+        # dedups the overlap back to the exact serial record list.
+        merged = merge_shards(
+            sorted(str(path) for path in shard_dir.iterdir())
+        )
+        assert render_records(merged, "jsonl") == render_records(serial, "jsonl")

@@ -76,6 +76,12 @@ class TestValidation:
         with pytest.raises(ValueError, match="sizes must be >= 1"):
             _request(sizes=(0,)).validate()
 
+    def test_unknown_dispatch(self):
+        with pytest.raises(ValueError, match="unknown dispatch backend"):
+            _request(dispatch="carrier-pigeon").validate()
+        for name in ("inprocess", "multiprocessing", "remote"):
+            _request(dispatch=name).validate()
+
 
 class TestSeedStreams:
     def test_streams_derive_from_seed_and_differ(self):
@@ -106,6 +112,16 @@ class TestRoundTrip:
         clone = GridRequest.from_dict(request.to_dict())
         assert clone.fault == fault
         assert clone == request
+
+    def test_dispatch_round_trip(self):
+        request = _request(dispatch="remote")
+        clone = GridRequest.from_dict(request.to_dict())
+        assert clone.dispatch == "remote"
+        assert clone == request
+        # absent key (a pre-dispatch payload) defaults to None
+        data = _request().to_dict()
+        del data["dispatch"]
+        assert GridRequest.from_dict(data).dispatch is None
 
     def test_unknown_field_rejected(self):
         data = _request().to_dict()
@@ -188,8 +204,18 @@ class TestFlagInventories:
     expose identical flag inventories modulo their documented deltas.
     """
 
-    SWEEP_ONLY = {"--algorithms", "--out", "--resume"}
-    QUANTUM_ONLY = {"--problems", "--list", "--out", "--resume"}
+    #: The dispatch *connection* flags live only on the locally-executing
+    #: grid commands: a submitted job talks to the daemon's coordinator,
+    #: so ``jobs submit`` carries just the shared ``--dispatch`` name.
+    DISPATCH_CONNECTION = {
+        "--coordinator", "--dispatch-port", "--dispatch-workers",
+        "--dispatch-wait",
+    }
+
+    SWEEP_ONLY = {"--algorithms", "--out", "--resume"} | DISPATCH_CONNECTION
+    QUANTUM_ONLY = (
+        {"--problems", "--list", "--out", "--resume"} | DISPATCH_CONNECTION
+    )
     SUBMIT_ONLY = {"--algorithms", "--url", "--tenant", "--watch"}
 
     def test_shared_inventories_identical(self):

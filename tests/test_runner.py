@@ -17,6 +17,7 @@ from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.runner import (
     BatchRunner,
+    BatchTaskError,
     EXACT,
     GraphSpec,
     SWEEP_ALGORITHMS,
@@ -77,10 +78,16 @@ class TestBatchRunner:
         assert serial == parallel == [100, 101, 102, 103, 104]
 
     def test_worker_exception_propagates(self):
-        with pytest.raises(ValueError, match="task three is broken"):
+        # Pool failures are wrapped so the message pinpoints the failing
+        # task: its repr plus the original exception type and text.
+        with pytest.raises(BatchTaskError, match="task three is broken"):
+            BatchRunner(jobs=2).map(_fail_on_three, range(8))
+        with pytest.raises(BatchTaskError, match=r"task 3 failed: ValueError"):
             BatchRunner(jobs=2).map(_fail_on_three, range(8))
 
     def test_serial_exception_propagates(self):
+        # Serial execution deliberately stays unwrapped: the original
+        # exception keeps its full traceback.
         with pytest.raises(ValueError, match="task three is broken"):
             BatchRunner(jobs=1).map(_fail_on_three, range(8))
 

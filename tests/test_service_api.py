@@ -361,3 +361,102 @@ class TestDaemonDurability:
         finally:
             os.killpg(os.getpgid(proc.pid), signal.SIGTERM)
             proc.wait(timeout=30)
+
+
+def _fetch_metrics(client: ServiceClient) -> "tuple[str, str]":
+    """GET /metrics raw; returns (body, content_type)."""
+    import urllib.request
+
+    with urllib.request.urlopen(client.base_url + "/metrics", timeout=10) as r:
+        return r.read().decode("utf-8"), r.headers.get("Content-Type")
+
+
+class TestMetrics:
+    def test_empty_service_zero_filled(self, idle):
+        client, _ = idle
+        body, content_type = _fetch_metrics(client)
+        assert content_type.startswith("text/plain")
+        for state in ("queued", "running", "done", "failed", "cancelled"):
+            assert f'repro_service_jobs{{state="{state}"}} 0' in body
+        assert 'repro_service_worker_slots{state="total"} 2' in body
+        assert 'repro_service_worker_slots{state="available"} 2' in body
+        assert "repro_service_queued_jobs 0" in body
+        # no coordinator, so no dispatch-worker gauge
+        assert "repro_service_dispatch_workers" not in body
+
+    def test_counts_follow_the_ledger(self, idle):
+        client, _ = idle  # daemon not started: jobs stay queued
+        client.submit("alice", _request())
+        client.submit("bob", _request())
+        body, _ = _fetch_metrics(client)
+        assert 'repro_service_jobs{state="queued"} 2' in body
+        assert 'repro_service_tenant_active_jobs{tenant="alice"} 1' in body
+        assert 'repro_service_tenant_active_jobs{tenant="bob"} 1' in body
+        assert "repro_service_queued_jobs 2" in body
+
+    def test_matches_json_api(self, idle):
+        # the two faces render the same snapshots; they cannot disagree
+        client, _ = idle
+        client.submit("alice", _request())
+        body, _ = _fetch_metrics(client)
+        capacity = client.capacity()
+        used = capacity["tenants"]["alice"]["used"]
+        assert f'repro_service_tenant_active_jobs{{tenant="alice"}} {used}' \
+            in body
+
+
+class TestRemoteDispatchJobs:
+    def test_remote_submit_rejected_without_coordinator(self, live):
+        client, _ = live
+        with pytest.raises(ServiceClientError) as info:
+            client.submit("alice", _request(dispatch="remote"))
+        assert info.value.status == 400
+        assert "no dispatch coordinator" in info.value.message
+
+    def test_remote_job_byte_identical_via_daemon_coordinator(self, tmp_path):
+        """A daemon owning a coordinator fans a remote-dispatch job out to
+        a joined worker; the export must match a plain local run."""
+        service = ExperimentService(
+            tmp_path / "data", workers=1, poll_interval=0.05,
+            dispatch="remote",
+        )
+        service.start()
+        server = serve_api(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=10.0)
+
+        chost, cport = service.coordinator.address
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _REPO_SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        worker = subprocess.Popen(
+            [sys.executable, "-m", "repro.dispatch.worker",
+             f"{chost}:{cport}", "--shard-dir", str(tmp_path / "shards"),
+             "--name", "tw1", "--once", "--heartbeat", "0.5"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+        )
+        try:
+            service.coordinator.wait_for_workers(1, timeout=30.0)
+            body, _ = _fetch_metrics(client)
+            assert "repro_service_dispatch_workers 1" in body
+
+            request = _request(dispatch="remote")
+            job_id = client.submit("alice", request)["job_id"]
+            status = client.watch(job_id, poll=0.05, timeout=120)
+            assert status["state"] == "done"
+            # the export matches a local *serial* run of the same grid
+            # (dispatch changes where cells run, never the bytes)
+            local = _request()
+            assert client.results(job_id, format="jsonl") == \
+                _local_export(local)
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+            try:
+                worker.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                worker.kill()
