@@ -368,6 +368,22 @@ def run_sweep(
     return [record for records in per_graph for record in records]
 
 
+def _grid_cell_cost(task: Tuple[GraphSpec, str]) -> float:
+    """The cost model's static prior for one grid cell (chunk planning).
+
+    Resolves the algorithm's correctness guarantee through the sweep
+    registry, falling back to the quantum problem registry (quantum
+    grids submit problem names), then to the neutral exponent.
+    """
+    from repro.dispatch.cost import guarantee_of, static_cell_cost
+
+    spec, name = task
+    guarantee = guarantee_of(name)
+    if guarantee is None:
+        guarantee = guarantee_of(name, kind="quantum")
+    return static_cell_cost(spec.num_nodes, guarantee)
+
+
 def _sweep_one_grid_cell(
     context: Tuple[Dict[str, Callable[[Graph, int], Tuple[int, float]]], int],
     task: Tuple[GraphSpec, str],
@@ -540,6 +556,17 @@ def run_sweep_grid(
         runner = resolve_dispatch(dispatch, jobs=jobs, runner=runner)
     elif runner is None:
         runner = BatchRunner(jobs=jobs)
+    if (
+        isinstance(runner, BatchRunner)
+        and runner.cost_of is None
+        and runner.chunk_size is None
+    ):
+        # Default the local pool's chunk plan to the dispatch cost
+        # model's static per-cell prior: expensive large-n exact cells
+        # end up in small tail chunks instead of padding a fixed-size
+        # chunk of cheap ones.  Estimation happens in-parent only, so
+        # picklability is not a concern.
+        runner.cost_of = _grid_cell_cost
     fault = get_default_fault_model()
     tasks = [(spec, name) for spec in specs for name in algorithms]
     context = (algorithms, base_seed)

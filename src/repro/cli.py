@@ -69,6 +69,7 @@ from repro.core import quantum_exact_diameter, quantum_three_halves_diameter
 from repro.core.problems import QUANTUM_PROBLEMS, quantum_problem_names
 from repro.dispatch import (
     DISPATCH_NAMES,
+    SHARD_POLICIES,
     DispatchCoordinator,
     DispatchError,
     RemoteDispatch,
@@ -98,6 +99,7 @@ from repro.store import (
     git_describe,
     merge_shards,
     render_records,
+    shard_stats,
 )
 from repro.tier import TIER_NAMES, set_default_tier
 
@@ -272,7 +274,11 @@ def _dispatch_backend(args: argparse.Namespace, request: GridRequest):
             workers=args.dispatch_workers,
         )
         return
-    coordinator = DispatchCoordinator(port=args.dispatch_port).start()
+    coordinator = DispatchCoordinator(
+        port=args.dispatch_port,
+        shard_policy=getattr(args, "shard_policy", "adaptive"),
+        straggler_deadline=getattr(args, "straggler_deadline", 10.0),
+    ).start()
     host, port = coordinator.address
     try:
         print(
@@ -290,6 +296,11 @@ def _dispatch_backend(args: argparse.Namespace, request: GridRequest):
             kind=request.kind,
             workers=args.dispatch_workers,
         )
+        stats_path = getattr(args, "dispatch_stats", None)
+        if stats_path is not None:
+            with open(stats_path, "w", encoding="utf-8") as handle:
+                json.dump(coordinator.stats(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
     finally:
         coordinator.stop()
 
@@ -402,7 +413,31 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         f"shard(s){destination}",
         file=sys.stderr,
     )
-    if args.out is None:
+    if args.stats:
+        stats = shard_stats(args.shards)
+        rows = [
+            [
+                worker,
+                entry["cells"],
+                entry["fresh"],
+                entry["replayed"],
+                entry["leases"],
+                f"{entry['wall_seconds']:.3f}",
+                f"{entry['cells_per_second']:.2f}",
+            ]
+            for worker, entry in stats["workers"].items()
+        ]
+        print(render_table(rows, header=[
+            "worker", "cells", "fresh", "replayed",
+            "leases", "wall s", "cells/s",
+        ]))
+        print(
+            f"{stats['unique_cells']} unique cell(s), "
+            f"{stats['duplicate_cells']} duplicate(s) dropped "
+            "(stolen/speculative/requeued re-executions)",
+            file=sys.stderr,
+        )
+    if args.out is None and not args.stats:
         print(sweep_table(records))
     return 0
 
@@ -420,6 +455,16 @@ def _cmd_worker_join(args: argparse.Namespace) -> int:
         file=sys.stderr,
         flush=True,
     )
+    stop_event = threading.Event()
+    if args.supervise:
+        # A supervised worker only stops on operator signal; translate
+        # SIGINT/SIGTERM into the worker's cooperative stop event so the
+        # current shard finishes its in-flight cell appends cleanly.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                signal.signal(signum, lambda *_: stop_event.set())
+            except ValueError:
+                pass  # non-main thread (in-process tests drive run_worker)
     try:
         stats = run_worker(
             host,
@@ -429,6 +474,8 @@ def _cmd_worker_join(args: argparse.Namespace) -> int:
             once=args.once,
             connect_wait=args.connect_wait,
             heartbeat_interval=args.heartbeat,
+            supervise=args.supervise,
+            stop_event=stop_event,
         )
     except (ValueError, DispatchError) as error:
         print(str(error), file=sys.stderr)
@@ -848,6 +895,32 @@ def add_dispatch_options(sub: argparse.ArgumentParser) -> None:
         "--dispatch-wait", type=float, default=60.0, metavar="SECONDS",
         help="how long to wait for workers to register (default: 60)",
     )
+    sub.add_argument(
+        "--shard-policy", choices=SHARD_POLICIES, default="adaptive",
+        help=(
+            "embedded-coordinator shard scheduling: 'adaptive' (default; "
+            "cost-model lease sizing, capability-weighted partitioning, "
+            "work stealing and speculative straggler re-execution -- "
+            "output stays byte-identical to serial) or 'static' (the "
+            "fixed one-shot partitioner)"
+        ),
+    )
+    sub.add_argument(
+        "--straggler-deadline", type=float, default=10.0, metavar="SECONDS",
+        help=(
+            "adaptive policy: how long an in-flight shard may run before "
+            "idle workers speculatively re-execute its remainder "
+            "(default: 10)"
+        ),
+    )
+    sub.add_argument(
+        "--dispatch-stats", default=None, metavar="PATH",
+        help=(
+            "write the embedded coordinator's scheduling statistics "
+            "(steals, speculative leases, per-worker capabilities/cells) "
+            "as JSON to PATH when the run finishes"
+        ),
+    )
 
 
 def add_store_options(sub: argparse.ArgumentParser) -> None:
@@ -1087,6 +1160,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: missing cells are a hard error)"
         ),
     )
+    merge_parser.add_argument(
+        "--stats", action="store_true",
+        help=(
+            "print a per-worker execution table (cells, fresh/replayed, "
+            "leases, wall seconds, cells/sec) aggregated from the shard "
+            "lease footers, plus the duplicate-cell dedup count"
+        ),
+    )
     merge_parser.set_defaults(handler=_cmd_merge)
 
     worker_parser = subparsers.add_parser(
@@ -1123,6 +1204,15 @@ def build_parser() -> argparse.ArgumentParser:
     join_parser.add_argument(
         "--once", action="store_true",
         help="exit when the coordinator connection ends (no reconnect)",
+    )
+    join_parser.add_argument(
+        "--supervise", action="store_true",
+        help=(
+            "never give up: reconnect with capped exponential backoff "
+            "across coordinator restarts and shutdowns, replaying this "
+            "worker's shard store on rejoin (stop with Ctrl-C/SIGTERM; "
+            "mutually exclusive with --once)"
+        ),
     )
     join_parser.add_argument(
         "--connect-wait", type=float, default=30.0, metavar="SECONDS",

@@ -11,22 +11,38 @@ that :func:`repro.analysis.sweep.run_sweep_grid` aggregates from:
 * ``remote`` -- a stdlib-socket coordinator/worker pair
   (:class:`DispatchCoordinator`, :mod:`repro.dispatch.worker`) speaking
   length-prefixed JSON frames (:mod:`repro.dispatch.protocol`): workers
-  register, lease contiguous shards of a grid's task indices, append
-  completed cells to their own JSONL store shard under the advisory
-  writer lock, and stream results back; dead workers (missed
-  heartbeats, dropped connections) have their unfinished shards
+  register (advertising cpu count, numpy availability and a
+  micro-benchmark score), lease contiguous shards of a grid's task
+  indices, append completed cells to their own JSONL store shard under
+  the advisory writer lock, and stream results back; dead workers
+  (missed heartbeats, dropped connections) have their unfinished shards
   requeued, mirroring the job ledger's stale-lease recovery.
+
+Scheduling is adaptive by default (``shard_policy="adaptive"``; see
+:mod:`repro.dispatch.cost`): leases are cut factoring-style from a
+per-cell cost model -- guarantee-based power-law priors calibrated
+online from cell timings piggybacked on heartbeats -- and weighted by
+each worker's capability score, so shards shrink toward the tail and
+faster machines get bigger slices.  When the queue drains, idle workers
+*steal* the costliest in-flight remainder (``trim`` frames tell the
+victim what to skip), and shards that outlive the straggler deadline
+are speculatively re-leased, first copy to finish wins.  ``static``
+restores the one-shot fixed-size partitioner.
 
 Because every cell's record is a pure function of its task key (spec,
 algorithm, derived seed, fault model), remote execution preserves the
-byte-identical-to-serial guarantee: the client reorders streamed results
-into task order, and the offline shard merge
+byte-identical-to-serial guarantee *even when stealing, speculation or
+requeues execute a cell more than once*: duplicates are dropped
+first-complete-wins, the client reorders streamed results into task
+order, and the offline shard merge
 (:func:`repro.store.merge.merge_shards`, ``repro merge``) reproduces the
 exact serial record list from the workers' shard files alone.
 
-CLI surface: ``repro sweep --dispatch {inprocess,multiprocessing,remote}``,
-``repro worker join HOST:PORT``, ``repro merge``, and ``repro serve
---dispatch remote`` for daemon-managed fan-out.
+CLI surface: ``repro sweep --dispatch {inprocess,multiprocessing,remote}
+--shard-policy {static,adaptive} --straggler-deadline S
+--dispatch-stats FILE``, ``repro worker join HOST:PORT [--supervise]``,
+``repro merge [--stats]``, and ``repro serve --dispatch remote`` for
+daemon-managed fan-out.
 """
 
 from repro.dispatch.backend import (
@@ -35,7 +51,11 @@ from repro.dispatch.backend import (
     dispatch_signature,
     resolve_dispatch,
 )
-from repro.dispatch.coordinator import DispatchCoordinator
+from repro.dispatch.coordinator import (
+    SHARD_POLICIES,
+    DispatchCoordinator,
+)
+from repro.dispatch.cost import CostModel, plan_chunks, static_cell_cost
 from repro.dispatch.protocol import (
     MAX_FRAME_BYTES,
     DispatchError,
@@ -52,6 +72,10 @@ from repro.dispatch.protocol import (
 
 __all__ = [
     "DISPATCH_NAMES",
+    "CostModel",
+    "SHARD_POLICIES",
+    "plan_chunks",
+    "static_cell_cost",
     "DispatchCoordinator",
     "DispatchError",
     "FrameError",

@@ -1,38 +1,58 @@
-"""The dispatch coordinator: registration, shard assignment, requeue.
+"""The dispatch coordinator: registration, shard scheduling, requeue.
 
 One coordinator serves two kinds of peers over the same listening socket
 (:mod:`repro.dispatch.protocol` frames):
 
 * **workers** (``repro worker join HOST:PORT``) open a connection, send a
-  ``register`` frame and then wait for work, sending ``heartbeat`` frames
-  while idle.  The coordinator answers with a ``grid`` description frame
-  (once per worker per grid) followed by ``shard`` frames naming the task
-  indices to run; the worker streams back one ``cell`` frame per
-  completed cell and a ``shard_done`` when the slice is finished.
+  ``register`` frame (carrying a ``capabilities`` report: cpu count,
+  numpy-tier availability, a micro-benchmark throughput score) and then
+  wait for work, sending ``heartbeat`` frames while idle.  The
+  coordinator answers with a ``grid`` description frame (once per worker
+  per grid) followed by ``shard`` frames naming the task indices to run;
+  the worker streams back one ``cell`` frame per completed cell and a
+  ``shard_done`` when the slice is finished.  Heartbeats carry the wall
+  times of recently completed cells, which calibrate the coordinator's
+  cost model online.
 * **clients** (a :class:`repro.dispatch.backend.RemoteDispatch` inside
   ``repro sweep`` or a service job worker) send a single ``grid`` frame
   describing the cells to run and then receive the completed ``cell``
   frames -- in completion order, dedup'd -- until ``grid_done``.
 
-Scheduling mirrors the job ledger's lease model
-(:meth:`repro.service.jobs.JobLedger.recover`) at shard granularity: a
-shard is *leased* to exactly one live worker, and a worker that
-disappears -- EOF, connection reset, or no heartbeat within
-``worker_timeout`` -- has the unfinished remainder of its shards requeued
-at the *front* of the queue, so another worker picks the orphaned cells
-up first.  Because every cell is deterministic in its task key (see
-:func:`repro.analysis.sweep.sweep_task_key`), a cell that was computed
-twice during a requeue race produces identical records; the coordinator
+Two scheduling policies exist (``shard_policy``):
+
+* ``"static"`` -- the PR-9 behaviour: the grid is sliced once into equal
+  contiguous shards at admission and the queue drains to whichever
+  worker frees up first.  The control arm of the dispatch benchmark.
+* ``"adaptive"`` (default) -- shards are cut **at lease time** from the
+  grid's remaining index range, sized by the per-cell cost model
+  (:mod:`repro.dispatch.cost`) and weighted by the leasing worker's
+  capability score: a fast worker takes a larger slice of the remaining
+  *cost*, and every cut takes ``remaining / (factor * fleet)`` so shards
+  shrink toward the tail (factoring / guided self-scheduling).  When the
+  work drains and a live worker idles, the coordinator **steals**: the
+  largest in-flight remainder is split, the tail half re-leased to the
+  idle worker, and the victim told to skip the stolen cells (a ``trim``
+  frame, honoured between cells).  Past ``straggler_deadline`` seconds
+  it also **speculates**: an unfinished shard's remainder is re-leased
+  *as a copy* to an idle worker and both race.
+
+Stealing and speculation never threaten correctness: every cell is
+deterministic in its task key (:func:`repro.analysis.sweep.sweep_task_key`),
+so a cell computed twice produces identical records; the coordinator
 forwards only the first completion and the shard-store merge
-(:func:`repro.store.merge.merge_shards`) deduplicates the rest, so the
-final output is byte-identical to a serial run no matter how many workers
-died along the way.
+(:func:`repro.store.merge.merge_shards`) deduplicates the rest
+first-complete-wins, so the final output is byte-identical to a serial
+run no matter how the race went.  A worker that disappears -- EOF,
+connection reset, or no heartbeat within ``worker_timeout`` -- has the
+unfinished remainder of its shard requeued at the *front* of the queue,
+exactly as in PR 9.
 
 All coordinator state lives behind one lock; worker/client connection
-reader threads mutate it through the ``_on_*`` handlers.  Frames to peers
-are sent while holding the lock -- peers recv promptly by protocol
-(workers between shards, clients in their result loop), so sends cannot
-wedge the coordinator.
+reader threads mutate it through the ``_on_*`` handlers, and a ticker
+thread re-runs scheduling periodically so straggler deadlines fire even
+when no frame arrives.  Frames to peers are sent while holding the lock
+-- peers recv promptly by protocol (workers between cells, clients in
+their result loop), so sends cannot wedge the coordinator.
 """
 
 from __future__ import annotations
@@ -40,8 +60,10 @@ from __future__ import annotations
 import collections
 import socket
 import threading
+import time
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.dispatch.cost import FACTOR, CostModel, take_cost_prefix
 from repro.dispatch.protocol import DispatchError, FramedSocket, FrameError
 
 #: Ceiling on one shard's cell count.  Mirrors BatchRunner's chunk cap:
@@ -49,26 +71,60 @@ from repro.dispatch.protocol import DispatchError, FramedSocket, FrameError
 #: worker forfeits little work and load stays balanced.
 MAX_SHARD_CELLS = 16
 
+#: The selectable shard scheduling policies.
+SHARD_POLICIES = ("static", "adaptive")
+
+#: Capability weights below this floor are clamped: a worker that
+#: reported a zero/garbage score must still receive work.
+_MIN_WEIGHT = 1e-6
+
 
 class _WorkerState:
     """One registered worker connection and its current lease."""
 
-    def __init__(self, worker_id: str, conn: FramedSocket) -> None:
+    def __init__(
+        self,
+        worker_id: str,
+        conn: FramedSocket,
+        capabilities: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.worker_id = worker_id
         self.conn = conn
         self.shard: Optional["_Shard"] = None
         self.known_grids: set = set()
         self.alive = True
+        self.capabilities: Dict[str, Any] = dict(capabilities or {})
+        self.cells = 0
+        try:
+            score = float(self.capabilities.get("score", 1.0))
+        except (TypeError, ValueError):
+            score = 1.0
+        #: Relative throughput weight for capability-weighted lease
+        #: sizing; only ratios between workers matter.
+        self.weight = score if score > _MIN_WEIGHT else 1.0
 
 
 class _Shard:
-    """A contiguous slice of one grid's task indices, leased as a unit."""
+    """A slice of one grid's task indices, leased as a unit."""
 
-    def __init__(self, shard_id: str, grid_id: str, indices: List[int]) -> None:
+    def __init__(
+        self,
+        shard_id: str,
+        grid_id: str,
+        indices: List[int],
+        speculative: bool = False,
+    ) -> None:
         self.shard_id = shard_id
         self.grid_id = grid_id
         self.indices = list(indices)
         self.remaining = set(indices)
+        self.speculative = speculative
+        #: The original shard this one speculatively duplicates, if any.
+        self.origin: Optional["_Shard"] = None
+        #: Whether a speculative copy of *this* shard is in flight.
+        self.has_speculative_copy = False
+        #: ``time.monotonic()`` of the last lease (straggler detection).
+        self.leased_at = 0.0
 
 
 class _GridState:
@@ -85,17 +141,25 @@ class _GridState:
         self.completed: set = set()
         self.shard_counter = 0
         self.finished = False
+        #: Unleased task indices, in grid order (adaptive policy only;
+        #: static grids are pre-partitioned into the queue at admission).
+        self.pending: List[int] = []
+        #: Per-task-index cost estimates (adaptive policy only).
+        self.costs: List[float] = []
 
 
 class DispatchCoordinator:
     """Register workers, lease grid shards to them, forward results.
 
     ``port=0`` binds an ephemeral port; read :attr:`address` after
-    :meth:`start`.  ``shard_size=None`` sizes shards per grid as
-    ``ceil(cells / (4 * workers))`` capped at :data:`MAX_SHARD_CELLS`
-    (the BatchRunner chunk heuristic).  ``worker_timeout`` is the
-    heartbeat deadline after which a silent worker is declared dead and
-    its shards requeued.
+    :meth:`start`.  ``shard_policy`` selects static pre-partitioning or
+    adaptive cost-model scheduling (see the module docstring); an
+    explicit ``shard_size`` forces fixed-size static slicing regardless
+    of policy (the historical knob, kept for tests and benchmarks).
+    ``straggler_deadline`` is how long an in-flight shard may run before
+    idle workers are allowed to speculatively re-execute its remainder.
+    ``worker_timeout`` is the heartbeat deadline after which a silent
+    worker is declared dead and its shards requeued.
     """
 
     def __init__(
@@ -104,13 +168,26 @@ class DispatchCoordinator:
         port: int = 0,
         shard_size: Optional[int] = None,
         worker_timeout: float = 30.0,
+        shard_policy: str = "adaptive",
+        straggler_deadline: float = 10.0,
     ) -> None:
         if shard_size is not None and shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if shard_policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"unknown shard policy {shard_policy!r} "
+                f"(available: {', '.join(SHARD_POLICIES)})"
+            )
+        if straggler_deadline <= 0:
+            raise ValueError(
+                f"straggler_deadline must be > 0, got {straggler_deadline}"
+            )
         self.host = host
         self.port = port
         self.shard_size = shard_size
         self.worker_timeout = worker_timeout
+        self.shard_policy = shard_policy
+        self.straggler_deadline = straggler_deadline
         self._lock = threading.Lock()
         self._workers_changed = threading.Condition(self._lock)
         self._workers: Dict[int, _WorkerState] = {}
@@ -120,6 +197,17 @@ class DispatchCoordinator:
         self._running = False
         self._server: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
+        self._stop_ticker = threading.Event()
+        self._cost_model = CostModel()
+        self._counters: Dict[str, int] = {
+            "cells": 0,
+            "duplicate_cells": 0,
+            "shards_leased": 0,
+            "requeues": 0,
+            "steals": 0,
+            "speculative_leases": 0,
+            "trims_sent": 0,
+        }
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "DispatchCoordinator":
@@ -131,11 +219,20 @@ class DispatchCoordinator:
         self.port = server.getsockname()[1]
         self._server = server
         self._running = True
+        self._stop_ticker.clear()
         thread = threading.Thread(
             target=self._accept_loop, name="dispatch-accept", daemon=True
         )
         thread.start()
         self._threads.append(thread)
+        if self.shard_policy == "adaptive":
+            # Straggler deadlines must fire even when no frames arrive:
+            # a ticker re-runs scheduling on a fraction of the deadline.
+            ticker = threading.Thread(
+                target=self._ticker_loop, name="dispatch-ticker", daemon=True
+            )
+            ticker.start()
+            self._threads.append(ticker)
         return self
 
     def stop(self) -> None:
@@ -147,6 +244,7 @@ class DispatchCoordinator:
             workers = list(self._workers.values())
             grids = list(self._grids.values())
             self._queue.clear()
+        self._stop_ticker.set()
         if self._server is not None:
             try:
                 self._server.close()
@@ -178,6 +276,43 @@ class DispatchCoordinator:
         """Number of currently registered (live) workers."""
         with self._lock:
             return len(self._workers)
+
+    def stats(self) -> Dict[str, Any]:
+        """A snapshot of the scheduler's counters and fleet state.
+
+        ``steals`` / ``speculative_leases`` / ``trims_sent`` /
+        ``requeues`` / ``duplicate_cells`` count scheduling events since
+        start; ``workers`` describes the registered fleet (id, weight,
+        capabilities, cells completed); ``idle_workers`` is the number of
+        live workers currently without a lease.  Surfaced by
+        ``--dispatch-stats``, the service ``/metrics`` endpoint and the
+        dispatch benchmark's straggler scenario.
+        """
+        with self._lock:
+            workers = [
+                {
+                    "worker": state.worker_id,
+                    "weight": round(state.weight, 6),
+                    "cells": state.cells,
+                    "capabilities": dict(state.capabilities),
+                    "idle": state.shard is None,
+                }
+                for state in self._workers.values()
+            ]
+            in_flight = sum(
+                1 for state in self._workers.values() if state.shard is not None
+            )
+            return {
+                **dict(self._counters),
+                "policy": self.shard_policy,
+                "straggler_deadline": self.straggler_deadline,
+                "registered_workers": len(workers),
+                "idle_workers": sum(1 for item in workers if item["idle"]),
+                "in_flight_shards": in_flight,
+                "queued_shards": len(self._queue),
+                "calibrated_algorithms": self._cost_model.observation_count(),
+                "workers": sorted(workers, key=lambda item: item["worker"]),
+            }
 
     def wait_for_workers(self, count: int, timeout: float = 60.0) -> None:
         """Block until ``count`` workers are registered.
@@ -213,6 +348,14 @@ class DispatchCoordinator:
             thread.start()
             self._threads.append(thread)
 
+    def _ticker_loop(self) -> None:
+        interval = max(0.05, min(1.0, self.straggler_deadline / 4.0))
+        while not self._stop_ticker.wait(interval):
+            with self._lock:
+                if not self._running:
+                    return
+                self._schedule_locked()
+
     def _serve_peer(self, conn: FramedSocket) -> None:
         """Route a fresh connection by its first frame (register/grid)."""
         try:
@@ -240,7 +383,12 @@ class DispatchCoordinator:
 
     # -- worker side ---------------------------------------------------
     def _serve_worker(self, conn: FramedSocket, register: Dict[str, Any]) -> None:
-        worker = _WorkerState(str(register.get("worker", "worker")), conn)
+        capabilities = register.get("capabilities")
+        worker = _WorkerState(
+            str(register.get("worker", "worker")),
+            conn,
+            capabilities if isinstance(capabilities, dict) else None,
+        )
         conn.sock.settimeout(self.worker_timeout)
         with self._workers_changed:
             if not self._running:
@@ -256,9 +404,9 @@ class DispatchCoordinator:
                     return
                 kind = frame.get("type")
                 if kind == "heartbeat":
-                    continue
-                if kind == "cell":
-                    self._on_cell(frame)
+                    self._on_heartbeat(frame)
+                elif kind == "cell":
+                    self._on_cell(worker, frame)
                 elif kind == "shard_done":
                     self._on_shard_done(worker, frame)
                 elif kind == "shard_failed":
@@ -286,6 +434,10 @@ class DispatchCoordinator:
                 if grid is not None and not grid.finished:
                     shard.indices = sorted(shard.remaining)
                     self._queue.appendleft(shard)
+                    self._counters["requeues"] += 1
+            if shard is not None and shard.origin is not None:
+                # A dead speculator frees its original for re-speculation.
+                shard.origin.has_speculative_copy = False
             self._workers_changed.notify_all()
             self._schedule_locked()
 
@@ -334,29 +486,51 @@ class DispatchCoordinator:
                 except OSError:
                     pass
                 return grid
-            for shard in self._partition_locked(grid):
-                self._queue.append(shard)
+            if self._adaptive_for(grid):
+                # Lease-time cutting: keep the whole index range pending
+                # and size each shard when a worker asks for it.
+                grid.costs = self._cost_model.grid_costs(description)
+                grid.pending = list(range(grid.total))
+            else:
+                for shard in self._partition_locked(grid):
+                    self._queue.append(shard)
             self._schedule_locked()
         return grid
 
+    def _adaptive_for(self, grid: _GridState) -> bool:
+        """Whether this grid schedules adaptively.
+
+        An explicit ``shard_size`` always forces fixed static slices
+        (the historical knob); otherwise the policy decides.
+        """
+        return self.shard_policy == "adaptive" and self.shard_size is None
+
     def _partition_locked(self, grid: _GridState) -> List[_Shard]:
-        """Slice a grid's task indices into contiguous lease units."""
+        """Slice a grid's task indices into contiguous static lease units."""
         size = self.shard_size
         if size is None:
             workers = max(1, len(self._workers))
             size = min(MAX_SHARD_CELLS, max(1, -(-grid.total // (4 * workers))))
         shards = []
         for start in range(0, grid.total, size):
-            grid.shard_counter += 1
-            shard_id = f"{grid.grid_id}s{grid.shard_counter}"
-            indices = list(range(start, min(start + size, grid.total)))
-            shards.append(_Shard(shard_id, grid.grid_id, indices))
+            shards.append(self._new_shard_locked(
+                grid, list(range(start, min(start + size, grid.total)))
+            ))
         return shards
+
+    def _new_shard_locked(
+        self, grid: _GridState, indices: List[int], speculative: bool = False
+    ) -> _Shard:
+        grid.shard_counter += 1
+        suffix = "spec" if speculative else ""
+        shard_id = f"{grid.grid_id}s{grid.shard_counter}{suffix}"
+        return _Shard(shard_id, grid.grid_id, indices, speculative=speculative)
 
     def _abort_grid(self, grid: _GridState) -> None:
         """Drop a grid whose client is gone; orphan its queued shards."""
         with self._lock:
             grid.finished = True
+            grid.pending = []
             self._grids.pop(grid.grid_id, None)
             if self._queue:
                 self._queue = collections.deque(
@@ -372,6 +546,7 @@ class DispatchCoordinator:
         (see :func:`repro.analysis.sweep._run_cell`).
         """
         grid.finished = True
+        grid.pending = []
         self._grids.pop(grid.grid_id, None)
         self._queue = collections.deque(
             shard for shard in self._queue if shard.grid_id != grid.grid_id
@@ -383,19 +558,50 @@ class DispatchCoordinator:
         grid.client.close()
 
     # -- frame handlers (worker reader threads) ------------------------
-    def _on_cell(self, frame: Dict[str, Any]) -> None:
+    def _on_heartbeat(self, frame: Dict[str, Any]) -> None:
+        """Liveness plus cost-model calibration from completed-cell times."""
+        timings = frame.get("timings")
+        if not timings:
+            return
+        from repro.dispatch.cost import guarantee_of
+
+        with self._lock:
+            for item in timings:
+                try:
+                    algorithm = str(item["algorithm"])
+                    num_nodes = int(item["num_nodes"])
+                    seconds = float(item["seconds"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self._cost_model.observe(
+                    algorithm,
+                    num_nodes,
+                    seconds,
+                    guarantee_of(algorithm, kind=str(item.get("kind", "sweep"))),
+                )
+
+    def _on_cell(self, worker: _WorkerState, frame: Dict[str, Any]) -> None:
         with self._lock:
             grid = self._grids.get(str(frame.get("grid")))
             if grid is None or grid.finished:
                 return  # stale result from an aborted/finished grid
             index = int(frame["index"])
-            for worker in self._workers.values():
-                shard = worker.shard
+            for state in self._workers.values():
+                shard = state.shard
                 if shard is not None and shard.grid_id == grid.grid_id:
                     shard.remaining.discard(index)
+            for shard in self._queue:
+                if shard.grid_id == grid.grid_id:
+                    shard.remaining.discard(index)
             if index in grid.completed:
-                return  # duplicate from a requeue race: first write wins
+                # A speculative / stolen / requeued duplicate: the record
+                # is byte-identical by construction, so first-complete
+                # wins and the copy is only counted.
+                self._counters["duplicate_cells"] += 1
+                return
             grid.completed.add(index)
+            worker.cells += 1
+            self._counters["cells"] += 1
             try:
                 grid.client.send({
                     "type": "cell",
@@ -409,6 +615,7 @@ class DispatchCoordinator:
                 return
             if len(grid.completed) >= grid.total:
                 grid.finished = True
+                grid.pending = []
                 self._grids.pop(grid.grid_id, None)
                 try:
                     grid.client.send({"type": "grid_done"})
@@ -420,6 +627,8 @@ class DispatchCoordinator:
             shard = worker.shard
             if shard is not None and shard.shard_id == frame.get("shard"):
                 worker.shard = None
+                if shard.origin is not None:
+                    shard.origin.has_speculative_copy = False
             self._schedule_locked()
 
     def _on_shard_failed(self, worker: _WorkerState, frame: Dict[str, Any]) -> None:
@@ -437,8 +646,16 @@ class DispatchCoordinator:
 
     # -- scheduling ----------------------------------------------------
     def _schedule_locked(self) -> None:
-        """Lease queued shards to idle workers (caller holds the lock)."""
-        while self._queue:
+        """Lease work to every idle worker (caller holds the lock).
+
+        Source order: requeued shards first (orphans of dead workers),
+        then fresh cuts from grids with pending cells, then -- adaptive
+        policy only -- steals from the largest in-flight remainder, then
+        speculative re-leases of shards past the straggler deadline.
+        """
+        if not self._running:
+            return
+        while True:
             worker = next(
                 (
                     candidate
@@ -449,30 +666,193 @@ class DispatchCoordinator:
             )
             if worker is None:
                 return
-            shard = self._queue.popleft()
+            shard = self._next_shard_locked(worker)
+            if shard is None:
+                return
+            self._lease_locked(worker, shard)
+
+    def _next_shard_locked(self, worker: _WorkerState) -> Optional[_Shard]:
+        # 1. Orphaned / stolen-then-orphaned shards, front of the queue.
+        while self._queue:
+            shard = self._queue[0]
+            grid = self._grids.get(shard.grid_id)
+            if grid is None or grid.finished or not shard.remaining:
+                self._queue.popleft()
+                continue
+            self._queue.popleft()
+            shard.indices = sorted(shard.remaining)
+            return shard
+        # 2. A fresh cut from the first grid with pending cells
+        #    (admission order -- deterministic and FIFO-fair).
+        for grid in self._grids.values():
+            if grid.finished or not grid.pending:
+                continue
+            return self._cut_shard_locked(grid, worker)
+        if self.shard_policy != "adaptive":
+            return None
+        # 3. Steal: split the largest in-flight remainder.
+        shard = self._steal_locked(worker)
+        if shard is not None:
+            return shard
+        # 4. Speculate: duplicate a straggler's remainder past deadline.
+        return self._speculate_locked(worker)
+
+    def _cut_shard_locked(
+        self, grid: _GridState, worker: _WorkerState
+    ) -> _Shard:
+        """Cut the next lease off a grid's pending range, sized for
+        ``worker``: its capability-weight share of the remaining cost,
+        divided by the factoring divisor so shards shrink toward the
+        tail, floored at one cell and capped at :data:`MAX_SHARD_CELLS`.
+        """
+        if not grid.costs:
+            # Degenerate description (no resolvable costs): equal slices.
+            size = min(
+                MAX_SHARD_CELLS,
+                max(1, -(-len(grid.pending) // (4 * max(1, len(self._workers))))),
+            )
+            taken, grid.pending = grid.pending[:size], grid.pending[size:]
+            return self._new_shard_locked(grid, taken)
+        total_weight = sum(
+            state.weight for state in self._workers.values() if state.alive
+        )
+        share = worker.weight / total_weight if total_weight > 0 else 1.0
+        remaining_cost = sum(grid.costs[index] for index in grid.pending)
+        budget = remaining_cost * share / FACTOR
+        taken, rest = take_cost_prefix(
+            grid.pending, grid.costs, budget, max_cells=MAX_SHARD_CELLS
+        )
+        grid.pending = rest
+        return self._new_shard_locked(grid, taken)
+
+    def _in_flight_locked(self) -> List[Tuple[_WorkerState, _Shard, _GridState]]:
+        triples = []
+        for state in self._workers.values():
+            shard = state.shard
+            if shard is None or not shard.remaining:
+                continue
             grid = self._grids.get(shard.grid_id)
             if grid is None or grid.finished:
                 continue
-            try:
-                if shard.grid_id not in worker.known_grids:
-                    worker.conn.send({
-                        "type": "grid",
-                        "grid": shard.grid_id,
-                        "description": grid.description,
-                    })
-                    worker.known_grids.add(shard.grid_id)
+            triples.append((state, shard, grid))
+        return triples
+
+    def _remaining_cost(self, shard: _Shard, grid: _GridState) -> float:
+        if grid.costs:
+            return sum(grid.costs[index] for index in shard.remaining)
+        return float(len(shard.remaining))
+
+    def _steal_locked(self, thief: _WorkerState) -> Optional[_Shard]:
+        """Split the costliest in-flight remainder; the thief takes the
+        tail half and the victim is told to skip it (``trim`` frame).
+
+        The victim streams cells in index order, so stealing the *tail*
+        minimises the window where both compute the same cell; if the
+        trim arrives late the duplicates are deduplicated downstream.
+        """
+        candidates = [
+            (state, shard, grid)
+            for state, shard, grid in self._in_flight_locked()
+            if len(shard.remaining) >= 2
+        ]
+        if not candidates:
+            return None
+        victim, shard, grid = max(
+            candidates,
+            key=lambda item: (self._remaining_cost(item[1], item[2]),
+                              item[1].shard_id),
+        )
+        remaining = sorted(shard.remaining)
+        half = self._remaining_cost(shard, grid) / 2.0
+        stolen: List[int] = []
+        spent = 0.0
+        for index in reversed(remaining):
+            if stolen and spent >= half:
+                break
+            if len(stolen) >= len(remaining) - 1:
+                break  # the victim keeps at least its current cell
+            stolen.append(index)
+            spent += grid.costs[index] if grid.costs else 1.0
+        if not stolen:
+            return None
+        stolen.sort()
+        shard.remaining.difference_update(stolen)
+        shard.indices = [
+            index for index in shard.indices if index in shard.remaining
+        ]
+        self._counters["steals"] += 1
+        try:
+            victim.conn.send({
+                "type": "trim",
+                "grid": grid.grid_id,
+                "shard": shard.shard_id,
+                "indices": stolen,
+            })
+            self._counters["trims_sent"] += 1
+        except OSError:
+            # Dead victim: its reader thread will requeue what is left of
+            # its shard; the stolen cells are already ours.
+            pass
+        return self._new_shard_locked(grid, stolen)
+
+    def _speculate_locked(self, thief: _WorkerState) -> Optional[_Shard]:
+        """Re-lease a copy of a straggling shard's remainder.
+
+        Only shards leased longer than ``straggler_deadline`` ago and
+        without a live speculative copy qualify; the original keeps
+        computing (no trim) and the two races' duplicates are dropped
+        first-complete-wins.
+        """
+        now = time.monotonic()
+        candidates = [
+            (state, shard, grid)
+            for state, shard, grid in self._in_flight_locked()
+            if not shard.has_speculative_copy
+            and now - shard.leased_at >= self.straggler_deadline
+        ]
+        if not candidates:
+            return None
+        _, original, grid = max(
+            candidates,
+            key=lambda item: (self._remaining_cost(item[1], item[2]),
+                              item[1].shard_id),
+        )
+        copy = self._new_shard_locked(
+            grid, sorted(original.remaining), speculative=True
+        )
+        copy.origin = original
+        original.has_speculative_copy = True
+        self._counters["speculative_leases"] += 1
+        return copy
+
+    def _lease_locked(self, worker: _WorkerState, shard: _Shard) -> None:
+        grid = self._grids.get(shard.grid_id)
+        if grid is None or grid.finished:
+            return
+        try:
+            if shard.grid_id not in worker.known_grids:
                 worker.conn.send({
-                    "type": "shard",
+                    "type": "grid",
                     "grid": shard.grid_id,
-                    "shard": shard.shard_id,
-                    "indices": shard.indices,
+                    "description": grid.description,
                 })
-            except OSError:
-                # Dead before the lease landed: put the shard back and
-                # drop the worker (its reader thread will also land here
-                # eventually; removal is idempotent).
-                self._queue.appendleft(shard)
-                worker.alive = False
-                self._workers.pop(id(worker), None)
-                continue
-            worker.shard = shard
+                worker.known_grids.add(shard.grid_id)
+            worker.conn.send({
+                "type": "shard",
+                "grid": shard.grid_id,
+                "shard": shard.shard_id,
+                "indices": shard.indices,
+            })
+        except OSError:
+            # Dead before the lease landed: put the shard back and
+            # drop the worker (its reader thread will also land here
+            # eventually; removal is idempotent).
+            self._queue.appendleft(shard)
+            if shard.origin is not None:
+                shard.origin.has_speculative_copy = False
+            worker.alive = False
+            self._workers.pop(id(worker), None)
+            return
+        shard.leased_at = time.monotonic()
+        worker.shard = shard
+        self._counters["shards_leased"] += 1

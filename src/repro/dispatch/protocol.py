@@ -15,11 +15,22 @@ registered workers -- without dragging in Twisted: the stdlib ``socket``
 and ``struct`` modules are the whole dependency surface.
 
 Every frame is a JSON *object* with a ``"type"`` key; the coordinator and
-worker modules document the concrete frame vocabulary.  A frame larger
-than :data:`MAX_FRAME_BYTES` is refused on both ends -- the largest
-legitimate frame is a grid description (a few hundred bytes per spec), so
-the cap is purely a defence against a garbage length prefix from a
-non-protocol peer.
+worker modules document the concrete frame vocabulary:
+
+* worker -> coordinator: ``register`` (with a ``capabilities`` report --
+  cpu count, numpy availability, micro-benchmark ``score`` -- feeding
+  capability-weighted lease sizing), ``heartbeat`` (optionally carrying
+  ``timings``, completed-cell wall times that calibrate the
+  coordinator's cost model), ``cell``, ``shard_done``, ``shard_failed``.
+* coordinator -> worker: ``grid``, ``shard``, ``trim`` (work stealing:
+  the named indices were re-leased elsewhere, skip them), ``shutdown``.
+* client <-> coordinator: ``grid`` in; ``cell``, ``grid_done``,
+  ``error`` out.
+
+A frame larger than :data:`MAX_FRAME_BYTES` is refused on both ends --
+the largest legitimate frame is a grid description (a few hundred bytes
+per spec), so the cap is purely a defence against a garbage length
+prefix from a non-protocol peer.
 """
 
 from __future__ import annotations

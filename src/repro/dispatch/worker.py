@@ -1,10 +1,13 @@
 """The dispatch worker: execute leased shards, persist a local store shard.
 
 ``repro worker join HOST:PORT --shard-dir DIR`` runs this loop: connect
-to a :class:`repro.dispatch.coordinator.DispatchCoordinator`, register,
-heartbeat, and for every leased shard run the exact per-cell body of a
-local sweep (:func:`repro.analysis.sweep._sweep_one_grid_cell`) with the
-grid's engine / schedule-backend / compute-tier / fault-model selections
+to a :class:`repro.dispatch.coordinator.DispatchCoordinator`, register
+(reporting a ``capabilities`` probe: cpu count, numpy-tier availability
+and a micro-benchmark throughput score the coordinator uses to weight
+lease sizes), heartbeat, and for every leased shard run the exact
+per-cell body of a local sweep
+(:func:`repro.analysis.sweep._sweep_one_grid_cell`) with the grid's
+engine / schedule-backend / compute-tier / fault-model selections
 applied as (restored) process defaults -- the same re-application the
 BatchRunner pool initializer performs, so a remote cell computes the
 byte-identical record a serial run would.
@@ -18,24 +21,45 @@ and idempotent: kill a worker mid-shard and either the coordinator
 requeues the remainder elsewhere, or the restarted worker resumes its own
 shard file -- the provenance-aware merge
 (:func:`repro.store.merge.merge_shards`) deduplicates whichever way the
-race went.
+race went.  Each lease's completion footer records the worker id, shard
+id and cells/sec throughput for ``repro merge --stats``.
+
+Between cells the worker polls its connection for ``trim`` frames -- the
+adaptive coordinator's work stealing: trimmed indices were re-leased to
+an idle worker and are skipped here.  A late trim merely means both
+workers computed the cell; the records are identical by construction and
+dedup'd downstream.  Heartbeats carry the wall times of recently
+completed cells, calibrating the coordinator's cost model online.
 
 The connection drops when the coordinator stops or dies; with
-``once=True`` the worker then exits (the CI smoke mode), otherwise it
-retries the connect for ``connect_wait`` seconds before giving up.
+``once=True`` the worker then exits (the CI smoke mode); with
+``supervise=True`` it instead reconnects forever with capped exponential
+backoff -- surviving coordinator restarts and replaying its shard store
+on rejoin -- until ``stop_event`` is set; otherwise it retries the
+connect for ``connect_wait`` seconds before giving up.
+
+``REPRO_DISPATCH_THROTTLE`` (seconds, float) sleeps after every freshly
+computed cell -- the deterministic slow-worker hook the straggler
+benchmark and the CI heterogeneous smoke use to manufacture stragglers.
+The registration micro-benchmark deliberately ignores it: the hook
+models an *unexpected* runtime straggler whose capabilities looked
+normal, the case stealing and speculation exist to absorb (the cost
+model still learns the true cell times from heartbeat telemetry).
 """
 
 from __future__ import annotations
 
 import contextlib
+import importlib.util
 import os
 import platform
 import re
+import select
 import socket
 import threading
 import time
 import traceback
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dispatch.protocol import (
     DispatchError,
@@ -52,6 +76,16 @@ _WORKER_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
 #: worker only ever contends with its own previous (crashed) incarnation,
 #: whose lock the stale-holder break clears almost immediately.
 _LOCK_WAIT_SECONDS = 15.0
+
+#: Environment hook: seconds slept after each freshly computed cell.
+THROTTLE_ENV = "REPRO_DISPATCH_THROTTLE"
+
+#: Supervisor reconnect backoff: initial delay and cap (seconds).
+_BACKOFF_INITIAL = 0.5
+_BACKOFF_CAP = 15.0
+
+#: Cap on timing observations shipped per heartbeat frame.
+_TIMINGS_PER_BEAT = 256
 
 
 def default_worker_id() -> str:
@@ -74,6 +108,49 @@ def validate_worker_id(worker_id: str) -> str:
 def shard_store_path(shard_dir: str, signature: str, worker_id: str) -> str:
     """Where a worker persists its cells for one grid."""
     return os.path.join(shard_dir, f"shard-{signature}-{worker_id}.jsonl")
+
+
+def resolve_throttle(throttle: Optional[float] = None) -> float:
+    """The effective per-cell throttle: explicit arg, else the env hook."""
+    if throttle is None:
+        raw = os.environ.get(THROTTLE_ENV, "").strip()
+        if raw:
+            try:
+                throttle = float(raw)
+            except ValueError:
+                throttle = None
+    return max(0.0, throttle or 0.0)
+
+
+def probe_capabilities(throttle: Optional[float] = None) -> Dict[str, Any]:
+    """What this worker tells the coordinator about itself at register.
+
+    ``score`` is work units per second from a short fixed arithmetic
+    micro-benchmark -- a *hardware* throughput probe feeding the
+    coordinator's capability-weighted lease sizing; only ratios between
+    workers matter.  The throttle hook is deliberately NOT part of the
+    timed window: it models an **unexpected** runtime straggler (a
+    worker whose capabilities looked normal but whose cells run slow --
+    contended box, thermal limit), which is precisely the case work
+    stealing and speculative re-execution exist to absorb.  The
+    effective throttle is still *reported* (diagnostic only; the
+    coordinator weights by ``score`` alone).
+    """
+    throttle = resolve_throttle(throttle)
+    rounds = 3
+    started = time.perf_counter()
+    sink = 0
+    for _ in range(rounds):
+        for value in range(20_000):
+            sink ^= (value * 2654435761) & 0xFFFFFFFF
+    elapsed = max(time.perf_counter() - started, 1e-9)
+    del sink
+    return {
+        "cpus": os.cpu_count() or 1,
+        "numpy": importlib.util.find_spec("numpy") is not None,
+        "score": round(rounds / elapsed, 6),
+        "throttle": throttle,
+    }
 
 
 @contextlib.contextmanager
@@ -133,7 +210,8 @@ class _GridContext:
         self.tasks = [tuple(item) for item in description["tasks"]]
         self.base_seed = int(description["base_seed"])
         self.signature = str(description["signature"])
-        if description.get("kind") == "quantum":
+        self.kind = str(description.get("kind", "sweep"))
+        if self.kind == "quantum":
             self.table = dict(
                 sweep_algorithm_for_problem(problem) for problem in self.names
             )
@@ -146,25 +224,89 @@ class _GridContext:
         return self.specs[spec_index], self.names[name_index]
 
 
+class _Telemetry:
+    """Per-cell wall times queued for the heartbeat thread to ship."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: List[Dict[str, Any]] = []
+
+    def record(self, algorithm: str, num_nodes: int, kind: str,
+               seconds: float) -> None:
+        with self._lock:
+            self._items.append({
+                "algorithm": algorithm,
+                "num_nodes": num_nodes,
+                "kind": kind,
+                "seconds": round(seconds, 9),
+            })
+
+    def drain(self, limit: int = _TIMINGS_PER_BEAT) -> List[Dict[str, Any]]:
+        with self._lock:
+            taken, self._items = self._items[:limit], self._items[limit:]
+            return taken
+
+
+def _poll_frames(conn: FramedSocket) -> List[Dict[str, Any]]:
+    """Frames already waiting on the connection, without blocking.
+
+    The shard-execution loop calls this between cells so the adaptive
+    coordinator's ``trim`` frames (work stealing) land mid-shard; any
+    other frame types surfaced here are deferred back to the main serve
+    loop untouched.
+    """
+    frames: List[Dict[str, Any]] = []
+    while True:
+        readable, _, _ = select.select([conn.sock], [], [], 0.0)
+        if not readable:
+            return frames
+        frame = conn.recv()
+        if frame is None:
+            raise OSError("dispatch connection closed mid-shard")
+        frames.append(frame)
+
+
 def _execute_shard(
     conn: FramedSocket,
     grid: _GridContext,
     frame: Dict[str, Any],
     shard_dir: str,
     worker_id: str,
-) -> int:
-    """Run one leased shard; returns the number of cells streamed back."""
+    stats: Dict[str, int],
+    telemetry: _Telemetry,
+    throttle: float,
+) -> Tuple[int, List[Dict[str, Any]]]:
+    """Run one leased shard.
+
+    Returns ``(cells streamed back, frames deferred to the serve loop)``
+    -- frames other than ``trim`` that arrived while polling mid-shard.
+    """
     from repro.analysis.sweep import _sweep_one_grid_cell, sweep_task_key
     from repro.faults import get_default_fault_model
     from repro.store import ExperimentStore
     from repro.store.records import record_to_dict
 
+    shard_id = frame["shard"]
     indices = [int(index) for index in frame["indices"]]
+    trimmed: set = set()
+    deferred: List[Dict[str, Any]] = []
+
+    def absorb(frames: List[Dict[str, Any]]) -> None:
+        for item in frames:
+            if (
+                item.get("type") == "trim"
+                and item.get("shard") == shard_id
+            ):
+                trimmed.update(int(index) for index in item.get("indices", ()))
+            else:
+                deferred.append(item)
+
     store = ExperimentStore(
         shard_store_path(shard_dir, grid.signature, worker_id)
     )
     started = time.perf_counter()
     streamed = 0
+    fresh = 0
     with _grid_environment(grid.description):
         fault = get_default_fault_model()
         with store.acquire_writer(timeout=_LOCK_WAIT_SECONDS):
@@ -176,36 +318,64 @@ def _execute_shard(
                 jobs=1,
                 resume=store.exists(),
             )
-            fresh = 0
             for index in indices:
+                absorb(_poll_frames(conn))
+                if index in trimmed:
+                    stats["trimmed"] += 1
+                    continue
                 spec, name = grid.cell(index)
                 key = sweep_task_key(spec, name, grid.base_seed, fault)
                 record = completed.get(key)
                 if record is None:
+                    cell_started = time.perf_counter()
                     record = _sweep_one_grid_cell(
                         (grid.table, grid.base_seed), (spec, name)
                     )
                     store.append_record(key, index, record)
+                    if throttle:
+                        time.sleep(throttle)
+                    telemetry.record(
+                        name,
+                        spec.num_nodes,
+                        grid.kind,
+                        time.perf_counter() - cell_started,
+                    )
                     fresh += 1
+                else:
+                    stats["replayed"] += 1
                 conn.send({
                     "type": "cell",
                     "grid": frame["grid"],
-                    "shard": frame["shard"],
+                    "shard": shard_id,
                     "index": index,
                     "key": key,
                     "record": record_to_dict(record),
                 })
                 streamed += 1
+            wall = time.perf_counter() - started
             store.finish_sweep(
-                wall_seconds=time.perf_counter() - started,
-                total_records=len(indices),
-                resumed_records=len(indices) - fresh,
+                wall_seconds=wall,
+                total_records=streamed,
+                resumed_records=streamed - fresh,
+                extra={
+                    "worker": worker_id,
+                    "shard": str(shard_id),
+                    "cells": streamed,
+                    "fresh": fresh,
+                    "cells_per_second": round(streamed / wall, 6)
+                    if wall > 0 else 0.0,
+                },
             )
-    return streamed
+    return streamed, deferred
 
 
 def _serve_connection(
-    conn: FramedSocket, shard_dir: str, worker_id: str, stats: Dict[str, int]
+    conn: FramedSocket,
+    shard_dir: str,
+    worker_id: str,
+    stats: Dict[str, int],
+    telemetry: _Telemetry,
+    throttle: float,
 ) -> str:
     """Process frames on one live connection.
 
@@ -213,16 +383,22 @@ def _serve_connection(
     connection dropped, reconnect may help).
     """
     grids: Dict[str, _GridContext] = {}
+    backlog: List[Dict[str, Any]] = []
     while True:
-        try:
-            frame = conn.recv()
-        except (FrameError, OSError):
-            return "lost"
-        if frame is None:
-            return "lost"
+        if backlog:
+            frame = backlog.pop(0)
+        else:
+            try:
+                frame = conn.recv()
+            except (FrameError, OSError):
+                return "lost"
+            if frame is None:
+                return "lost"
         kind = frame.get("type")
         if kind == "shutdown":
             return "shutdown"
+        if kind == "trim":
+            continue  # stale: its shard already finished here
         if kind == "grid":
             try:
                 grids[str(frame["grid"])] = _GridContext(frame["description"])
@@ -238,10 +414,13 @@ def _serve_connection(
                 )
                 continue
             try:
-                stats["cells"] += _execute_shard(
-                    conn, grid, frame, shard_dir, worker_id
+                streamed, deferred = _execute_shard(
+                    conn, grid, frame, shard_dir, worker_id,
+                    stats, telemetry, throttle,
                 )
+                stats["cells"] += streamed
                 stats["shards"] += 1
+                backlog.extend(deferred)
                 conn.send({
                     "type": "shard_done",
                     "grid": frame["grid"],
@@ -279,24 +458,49 @@ def run_worker(
     connect_wait: float = 30.0,
     heartbeat_interval: float = 2.0,
     poll: float = 0.25,
+    supervise: bool = False,
+    throttle: Optional[float] = None,
+    stop_event: Optional[threading.Event] = None,
 ) -> Dict[str, int]:
     """Join a coordinator and serve shards until it shuts down.
 
-    Returns ``{"cells": ..., "shards": ...}`` counters.  With ``once``
-    the worker exits as soon as its connection ends; otherwise it keeps
-    retrying the connect for ``connect_wait`` seconds after each drop and
-    raises :class:`DispatchError` when the coordinator stays unreachable.
+    Returns ``{"cells", "shards", "replayed", "trimmed", "sessions"}``
+    counters.  With ``once`` the worker exits as soon as its connection
+    ends; with ``supervise`` it never gives up -- connection drops *and*
+    clean coordinator shutdowns alike trigger a reconnect with capped
+    exponential backoff (0.5s doubling to 15s, reset after each
+    successful registration), so the worker rides out coordinator
+    restarts and replays its shard store on rejoin; it returns only when
+    ``stop_event`` is set.  Otherwise the worker keeps retrying the
+    connect for ``connect_wait`` seconds after each drop and raises
+    :class:`DispatchError` when the coordinator stays unreachable.
     """
+    if once and supervise:
+        raise ValueError("once and supervise are mutually exclusive")
     worker_id = validate_worker_id(worker_id or default_worker_id())
     os.makedirs(shard_dir, exist_ok=True)
-    stats = {"cells": 0, "shards": 0}
+    throttle = resolve_throttle(throttle)
+    capabilities = probe_capabilities(throttle)
+    stop_event = stop_event or threading.Event()
+    stats = {
+        "cells": 0, "shards": 0, "replayed": 0, "trimmed": 0, "sessions": 0,
+    }
+    telemetry = _Telemetry()
+    backoff = _BACKOFF_INITIAL
     while True:
         deadline = time.monotonic() + connect_wait
         sock = None
         while sock is None:
+            if supervise and stop_event.is_set():
+                return stats
             try:
                 sock = socket.create_connection((host, port), timeout=5.0)
             except OSError:
+                if supervise:
+                    if stop_event.wait(backoff):
+                        return stats
+                    backoff = min(backoff * 2.0, _BACKOFF_CAP)
+                    continue
                 if time.monotonic() >= deadline:
                     raise DispatchError(
                         f"could not reach dispatch coordinator at "
@@ -309,8 +513,12 @@ def run_worker(
 
         def _beat(conn=conn, stop=stop_heartbeat):
             while not stop.wait(heartbeat_interval):
+                frame: Dict[str, Any] = {"type": "heartbeat"}
+                timings = telemetry.drain()
+                if timings:
+                    frame["timings"] = timings
                 try:
-                    conn.send({"type": "heartbeat"})
+                    conn.send(frame)
                 except OSError:
                     return
 
@@ -320,20 +528,32 @@ def run_worker(
                 "worker": worker_id,
                 "pid": os.getpid(),
                 "host": platform.node(),
+                "capabilities": capabilities,
             })
         except OSError:
             conn.close()
             continue
+        backoff = _BACKOFF_INITIAL  # registered: a restart starts fresh
         heartbeat = threading.Thread(
             target=_beat, name="dispatch-heartbeat", daemon=True
         )
         heartbeat.start()
         try:
-            outcome = _serve_connection(conn, shard_dir, worker_id, stats)
+            outcome = _serve_connection(
+                conn, shard_dir, worker_id, stats, telemetry, throttle
+            )
         finally:
             stop_heartbeat.set()
             conn.close()
             heartbeat.join(timeout=heartbeat_interval + 1.0)
+        stats["sessions"] += 1
+        if supervise:
+            if stop_event.is_set():
+                return stats
+            if stop_event.wait(backoff):
+                return stats
+            backoff = min(backoff * 2.0, _BACKOFF_CAP)
+            continue
         if outcome == "shutdown" or once:
             return stats
 
@@ -364,6 +584,11 @@ def main(argv=None) -> int:
         help="exit when the coordinator connection ends (no reconnect)",
     )
     parser.add_argument(
+        "--supervise", action="store_true",
+        help="never give up: reconnect with capped exponential backoff "
+        "across coordinator restarts (mutually exclusive with --once)",
+    )
+    parser.add_argument(
         "--connect-wait", type=float, default=30.0,
         help="seconds to keep retrying the coordinator connect",
     )
@@ -382,6 +607,7 @@ def main(argv=None) -> int:
             once=args.once,
             connect_wait=args.connect_wait,
             heartbeat_interval=args.heartbeat,
+            supervise=args.supervise,
         )
     except (ValueError, DispatchError) as error:
         print(f"error: {error}")

@@ -149,6 +149,17 @@ def _invoke_task(task):
         raise _task_error(task, error) from error
 
 
+def _invoke_chunk(chunk):
+    """Run one planner-sized chunk of tasks in a pool worker, in order.
+
+    The variable-size chunk plan (see :meth:`BatchRunner._chunks`) cannot
+    use the pool's own fixed ``chunksize``, so chunks travel as explicit
+    task lists; results come back as one ordered list per chunk and the
+    caller flattens them, preserving task order exactly.
+    """
+    return [_invoke_task(task) for task in chunk]
+
+
 class BatchRunner:
     """Run independent tasks over a process pool with ordered aggregation.
 
@@ -158,15 +169,24 @@ class BatchRunner:
         Number of worker processes (see :func:`resolve_jobs`; ``None``/``1``
         run serially in-process, ``0`` means one worker per CPU).
     chunk_size:
-        Number of tasks handed to a worker per dispatch.  Defaults to
-        ``ceil(len(tasks) / (4 * jobs))`` capped at 32 -- large enough to
-        amortise IPC, small enough to keep workers load-balanced.  Chunks
-        preserve task order, so tasks sharing a per-worker cache key (e.g.
-        the same :class:`repro.runner.spec.GraphSpec`) should be submitted
+        Number of tasks handed to a worker per dispatch.  The default
+        (``None``) uses the factoring planner shared with the dispatch
+        coordinator (:func:`repro.dispatch.cost.plan_chunks`): chunk
+        *cost* shrinks as the work drains, so chunks are large at the
+        head (amortising IPC) and small at the tail (a straggler holds
+        at most a few cells), capped at 32 cells.  An explicit integer
+        restores fixed-size chunking.  Chunks preserve task order, so
+        tasks sharing a per-worker cache key (e.g. the same
+        :class:`repro.runner.spec.GraphSpec`) should be submitted
         consecutively.
     start_method:
         ``multiprocessing`` start method (``None`` uses the platform
         default, ``fork`` on Linux).
+    cost_of:
+        Optional per-task cost estimator feeding the default chunk plan
+        (uniform costs otherwise).  Called in the *parent* process only,
+        so it need not be picklable; sweep grids pass the dispatch cost
+        model's static per-cell prior here.
 
     Notes
     -----
@@ -177,17 +197,47 @@ class BatchRunner:
     :class:`BatchTaskError` naming the failing task.
     """
 
+    #: Cap on one planned chunk's task count (the historical fixed cap).
+    MAX_CHUNK_CELLS = 32
+
     def __init__(
         self,
         jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
+        cost_of: Optional[Callable[[Any], float]] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
         self.start_method = start_method
+        self.cost_of = cost_of
+
+    def _chunks(self, tasks: Sequence, workers: int) -> List[List]:
+        """The variable-size chunk plan for one batch (default chunking).
+
+        Deterministic in the task list and cost estimates -- no wall
+        clocks, no dict iteration -- so the plan (and therefore the
+        batch's execution structure) is identical across processes and
+        ``PYTHONHASHSEED`` values.
+        """
+        # Local import: repro.dispatch pulls in this module through its
+        # backend registry, so the dependency must stay one-way at
+        # import time.
+        from repro.dispatch.cost import plan_chunks
+
+        if self.cost_of is None:
+            costs: List[float] = [1.0] * len(tasks)
+        else:
+            costs = [float(self.cost_of(task)) for task in tasks]
+        plan = plan_chunks(costs, workers, max_cells=self.MAX_CHUNK_CELLS)
+        chunks: List[List] = []
+        position = 0
+        for length in plan:
+            chunks.append(list(tasks[position:position + length]))
+            position += length
+        return chunks
 
     # ------------------------------------------------------------------
     def map(
@@ -238,9 +288,6 @@ class BatchRunner:
         from repro.tier import get_default_tier
 
         workers = min(self.jobs, len(tasks))
-        chunk = self.chunk_size
-        if chunk is None:
-            chunk = min(32, max(1, -(-len(tasks) // (4 * workers))))
         mp_context = multiprocessing.get_context(self.start_method)
         pool = mp_context.Pool(
             processes=workers,
@@ -255,7 +302,17 @@ class BatchRunner:
             ),
         )
         try:
-            results = pool.map(_invoke_task, tasks, chunksize=chunk)
+            if self.chunk_size is not None:
+                results = pool.map(
+                    _invoke_task, tasks, chunksize=self.chunk_size
+                )
+            else:
+                per_chunk = pool.map(
+                    _invoke_chunk, self._chunks(tasks, workers), chunksize=1
+                )
+                results = [
+                    result for chunk in per_chunk for result in chunk
+                ]
             pool.close()
             return results
         except BaseException:
@@ -271,9 +328,6 @@ class BatchRunner:
         from repro.tier import get_default_tier
 
         workers = min(self.jobs, len(tasks))
-        chunk = self.chunk_size
-        if chunk is None:
-            chunk = min(32, max(1, -(-len(tasks) // (4 * workers))))
         mp_context = multiprocessing.get_context(self.start_method)
         pool = mp_context.Pool(
             processes=workers,
@@ -288,8 +342,17 @@ class BatchRunner:
             ),
         )
         try:
-            for result in pool.imap(_invoke_task, tasks, chunksize=chunk):
-                yield result
+            if self.chunk_size is not None:
+                for result in pool.imap(
+                    _invoke_task, tasks, chunksize=self.chunk_size
+                ):
+                    yield result
+            else:
+                for chunk in pool.imap(
+                    _invoke_chunk, self._chunks(tasks, workers), chunksize=1
+                ):
+                    for result in chunk:
+                        yield result
             pool.close()
         except BaseException:
             pool.terminate()

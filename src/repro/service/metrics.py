@@ -53,8 +53,14 @@ def render_metrics(service) -> str:
     * ``repro_service_worker_slots{state=total|used|available}`` --
       the capacity report's worker-slot split;
     * ``repro_service_queued_jobs`` -- depth of the run queue;
-    * ``repro_service_dispatch_workers`` -- registered remote-dispatch
-      workers (only when the daemon owns a coordinator).
+    * ``repro_service_dispatch_workers`` / ``..._dispatch_idle_workers``
+      -- registered and currently-idle remote-dispatch workers (only
+      when the daemon owns a coordinator);
+    * ``repro_service_dispatch_steals`` /
+      ``..._dispatch_speculative_leases`` -- the adaptive scheduler's
+      work-stealing and speculative re-execution counts since
+      coordinator start (monotone within one coordinator lifetime;
+      still exported as gauges like every other family here).
     """
     jobs = service.jobs()
     capacity = service.capacity()
@@ -103,12 +109,28 @@ def render_metrics(service) -> str:
 
     coordinator = getattr(service, "coordinator", None)
     if coordinator is not None:
+        dispatch = coordinator.stats()
         lines += [
             "# HELP repro_service_dispatch_workers "
             "Workers registered with the dispatch coordinator.",
             "# TYPE repro_service_dispatch_workers gauge",
             _sample("repro_service_dispatch_workers", {},
-                    coordinator.worker_count()),
+                    dispatch["registered_workers"]),
+            "# HELP repro_service_dispatch_idle_workers "
+            "Registered dispatch workers currently without a lease.",
+            "# TYPE repro_service_dispatch_idle_workers gauge",
+            _sample("repro_service_dispatch_idle_workers", {},
+                    dispatch["idle_workers"]),
+            "# HELP repro_service_dispatch_steals "
+            "Shards split by work stealing since coordinator start.",
+            "# TYPE repro_service_dispatch_steals gauge",
+            _sample("repro_service_dispatch_steals", {},
+                    dispatch["steals"]),
+            "# HELP repro_service_dispatch_speculative_leases "
+            "Speculative straggler re-leases since coordinator start.",
+            "# TYPE repro_service_dispatch_speculative_leases gauge",
+            _sample("repro_service_dispatch_speculative_leases", {},
+                    dispatch["speculative_leases"]),
         ]
 
     return "\n".join(lines) + "\n"

@@ -42,7 +42,7 @@ from repro.store.jsonl import (
     append_jsonl_line,
     iter_jsonl_entries,
 )
-from repro.store.merge import merge_shards
+from repro.store.merge import merge_shards, shard_stats
 from repro.store.provenance import (
     clear_run_context,
     collect_provenance,
@@ -67,6 +67,7 @@ __all__ = [
     "append_jsonl_line",
     "iter_jsonl_entries",
     "merge_shards",
+    "shard_stats",
     "SCHEMA_VERSION",
     "set_run_context",
     "get_run_context",

@@ -404,14 +404,24 @@ class ExperimentStore:
         self._append({"kind": "row", "key": key, "row": row})
 
     def finish_sweep(
-        self, wall_seconds: float, total_records: int, resumed_records: int
+        self,
+        wall_seconds: float,
+        total_records: int,
+        resumed_records: int,
+        extra: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Append the completion footer of the current run attempt."""
-        self._append(
-            {
-                "kind": "finish",
-                "wall_seconds": round(float(wall_seconds), 6),
-                "total_records": int(total_records),
-                "resumed_records": int(resumed_records),
-            }
-        )
+        """Append the completion footer of the current run attempt.
+
+        ``extra`` attaches free-form attempt metadata under the footer's
+        ``extra`` key -- dispatch workers stamp per-lease timing there
+        (worker id, shard id, cells/sec) for ``repro merge --stats``.
+        """
+        footer: Dict[str, Any] = {
+            "kind": "finish",
+            "wall_seconds": round(float(wall_seconds), 6),
+            "total_records": int(total_records),
+            "resumed_records": int(resumed_records),
+        }
+        if extra:
+            footer["extra"] = dict(extra)
+        self._append(footer)

@@ -25,7 +25,16 @@ was never leased a shard writes nothing), as are truncated final lines
 (a killed worker's interrupted append), because shards go through the
 same tolerant reader as every other store.
 
-CLI surface: ``repro merge SHARD... --out merged.jsonl``.
+Each shard's lease footers (``finish`` entries with an ``extra`` stamp:
+worker id, shard id, cells/sec) additionally feed :func:`shard_stats`,
+the per-worker execution summary behind ``repro merge --stats``; the
+aggregate is stamped into the merged store's run header as
+``dispatch_stats`` provenance, including how many duplicate cells were
+dropped by the first-complete-wins dedup (work stealing and speculative
+re-execution recompute cells on purpose; the copies are identical by
+construction).
+
+CLI surface: ``repro merge SHARD... --out merged.jsonl [--stats]``.
 """
 
 from __future__ import annotations
@@ -107,8 +116,90 @@ def merge_shards(
             )
     records = [record for _, record in by_index]
     if out_path is not None:
-        _write_merged(out_path, headers, merged, records)
+        _write_merged(out_path, headers, merged, records,
+                      shard_stats(shard_paths))
     return records
+
+
+def _shard_worker_id(path: str) -> str:
+    """The worker id encoded in a shard filename, best-effort.
+
+    Worker shards are named ``shard-<signature>-<worker_id>.jsonl`` (see
+    :func:`repro.dispatch.worker.shard_store_path`); the signature is a
+    hex digest with no dashes, so splitting once past the prefix is
+    unambiguous.  Non-conforming names fall back to the basename.
+    """
+    base = os.path.basename(path)
+    name = base[:-len(".jsonl")] if base.endswith(".jsonl") else base
+    if name.startswith("shard-"):
+        rest = name[len("shard-"):]
+        if "-" in rest:
+            return rest.split("-", 1)[1]
+    return name
+
+
+def shard_stats(shard_paths: Sequence[str]) -> Dict[str, Any]:
+    """Per-worker execution statistics aggregated from store shards.
+
+    Scans each shard's records and lease footers (``finish`` entries,
+    whose ``extra`` stamp carries the worker id, lease cell counts and
+    throughput -- see :meth:`ExperimentStore.finish_sweep`) and
+    aggregates by worker: unique cells held, fresh-vs-replayed split,
+    lease count, wall seconds and cells/sec.  ``duplicate_cells`` counts
+    cells present in more than one shard -- the footprint of stolen,
+    speculative and requeue re-executions, all dropped first-complete-
+    wins at merge time.  Tolerates empty/missing shards and shards
+    without footers (a killed worker), like the merge itself.
+    """
+    workers: Dict[str, Dict[str, Any]] = {}
+    unique: set = set()
+    total_cells = 0
+    for path in shard_paths:
+        store = ExperimentStore(path)
+        cells = store.completed()
+        total_cells += len(cells)
+        unique.update(cells.keys())
+        worker_id = _shard_worker_id(path)
+        leases = 0
+        wall = 0.0
+        fresh = 0
+        lease_cells = 0
+        for entry in store.iter_entries():
+            if entry.get("kind") != "finish":
+                continue
+            leases += 1
+            wall += float(entry.get("wall_seconds", 0.0))
+            extra = entry.get("extra") or {}
+            if extra.get("worker"):
+                worker_id = str(extra["worker"])
+            total = int(entry.get("total_records", 0))
+            fresh += int(extra.get("fresh", total))
+            lease_cells += int(extra.get("cells", total))
+        if not cells and leases == 0:
+            continue  # a worker that registered but never got work
+        entry = workers.setdefault(worker_id, {
+            "cells": 0, "fresh": 0, "replayed": 0,
+            "leases": 0, "wall_seconds": 0.0,
+        })
+        entry["cells"] += len(cells)
+        entry["fresh"] += fresh
+        # Replays are counted lease by lease (a rejoining worker replays
+        # its whole store, which unique-cell arithmetic cannot see).
+        entry["replayed"] += max(0, lease_cells - fresh)
+        entry["leases"] += leases
+        entry["wall_seconds"] += wall
+    for entry in workers.values():
+        entry["wall_seconds"] = round(entry["wall_seconds"], 6)
+        entry["cells_per_second"] = (
+            round(entry["cells"] / entry["wall_seconds"], 6)
+            if entry["wall_seconds"] > 0 else 0.0
+        )
+    return {
+        "workers": {name: workers[name] for name in sorted(workers)},
+        "total_cells": total_cells,
+        "unique_cells": len(unique),
+        "duplicate_cells": total_cells - len(unique),
+    }
 
 
 def _validate_headers(headers: List[Tuple[str, Dict[str, Any]]]) -> None:
@@ -136,6 +227,7 @@ def _write_merged(
     headers: List[Tuple[str, Dict[str, Any]]],
     merged: Dict[str, Tuple[int, SweepRecord]],
     records: List[SweepRecord],
+    stats: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Write the canonical merged store (header, records, footer)."""
     first = headers[0][1]
@@ -145,6 +237,18 @@ def _write_merged(
             f"merge output {out_path!r} already exists; refusing to append "
             "a merged grid into an existing store"
         )
+    provenance: Dict[str, Any] = {}
+    if stats is not None:
+        provenance["dispatch_stats"] = dict(stats)
+        if stats.get("duplicate_cells"):
+            # Record *why* shards overlapped: stolen, speculative and
+            # requeued cells are recomputed on purpose, the copies are
+            # identical by construction, and the first-complete-wins
+            # dedup above dropped the extras.
+            provenance["dispatch_stats"]["dedup"] = (
+                "duplicates from stolen/speculative/requeued "
+                "re-executions dropped first-complete-wins"
+            )
     with out.acquire_writer():
         out._append({
             "kind": "run",
@@ -158,6 +262,7 @@ def _write_merged(
             "merged_from": [
                 os.path.basename(path) for path, _ in headers
             ],
+            **provenance,
             **collect_provenance(),
         })
         by_index = sorted(

@@ -209,7 +209,8 @@ class TestFlagInventories:
     #: so ``jobs submit`` carries just the shared ``--dispatch`` name.
     DISPATCH_CONNECTION = {
         "--coordinator", "--dispatch-port", "--dispatch-workers",
-        "--dispatch-wait",
+        "--dispatch-wait", "--shard-policy", "--straggler-deadline",
+        "--dispatch-stats",
     }
 
     SWEEP_ONLY = {"--algorithms", "--out", "--resume"} | DISPATCH_CONNECTION
